@@ -1,0 +1,94 @@
+"""E2 -- Fig. 2: one configuration seen at all three abstraction levels.
+
+Builds the figure's particle-filter configuration (GPS and WiFi strands
+merging in the particle filter) and renders the Positioning Layer, the
+Process Channel Layer and the Process Structure Layer views of the same
+process.
+
+Shape assertions: the PCL shows exactly the figure's channels (two
+sensor channels into the filter, one filter channel to the application);
+the positioning layer surfaces the channel features; the PSL shows every
+discrete step.
+"""
+
+from repro.core import Kind, PerPos
+from repro.geo.grid import GridPosition
+from repro.model.demo import demo_building, demo_radio_environment
+from repro.processing.gps_features import HdopFeature
+from repro.processing.pipelines import build_gps_pipeline, build_wifi_pipeline
+from repro.sensors.gps import GpsReceiver, SUBURBAN, constant_environment
+from repro.sensors.trajectory import Waypoint, WaypointTrajectory
+from repro.sensors.wifi import WifiScanner
+from repro.tracking.likelihood import LikelihoodFeature
+from repro.tracking.particle_filter import ParticleFilterComponent
+
+
+def build():
+    building = demo_building()
+    grid = building.grid
+    trajectory = WaypointTrajectory(
+        [
+            Waypoint(0.0, grid.to_wgs84(GridPosition(2.0, 7.5))),
+            Waypoint(60.0, grid.to_wgs84(GridPosition(35.0, 7.5))),
+        ]
+    )
+    middleware = PerPos()
+    gps = GpsReceiver(
+        "gps", trajectory, constant_environment(SUBURBAN), seed=3
+    )
+    wifi = WifiScanner(
+        "wifi", trajectory, demo_radio_environment(building), grid, seed=4
+    )
+    gps_pipe = build_gps_pipeline(middleware, gps, prefix="gps")
+    wifi_pipe = build_wifi_pipeline(middleware, wifi, building, prefix="wifi")
+    middleware.graph.component(gps_pipe.parser).attach_feature(HdopFeature())
+
+    pf = ParticleFilterComponent(
+        building, pcl=middleware.pcl, num_particles=300, seed=5
+    )
+    middleware.graph.add(pf)
+    middleware.graph.connect(gps_pipe.interpreter, pf.name)
+    middleware.graph.connect(wifi_pipe.engine, pf.name)
+    provider = middleware.create_provider(
+        "application", accepts=(Kind.POSITION_WGS84,)
+    )
+    middleware.graph.connect(pf.name, provider.sink.name)
+
+    channel = middleware.pcl.channel_delivering(
+        pf.name, gps_pipe.interpreter
+    )
+    channel.attach_feature(LikelihoodFeature())
+    return middleware, provider
+
+
+def test_e2_three_layer_views(benchmark, results_writer):
+    middleware, provider = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    positioning_view = [
+        f"provider {p.describe()}" for p in middleware.positioning.providers()
+    ]
+    lines = [
+        "Fig. 2 -- three levels of abstraction on one positioning process",
+        "",
+        "[Positioning Layer]",
+        *positioning_view,
+        "",
+        "[Process Channel Layer]",
+        middleware.pcl.render(),
+        "",
+        "[Process Structure Layer]",
+        middleware.psl.structure(),
+    ]
+    results_writer("E2_fig2_three_layers", "\n".join(lines))
+
+    channel_ids = [c.id for c in middleware.pcl.channels()]
+    assert "gps->particle-filter" in channel_ids
+    assert "wifi->particle-filter" in channel_ids
+    assert "particle-filter->application" in channel_ids
+    # The adaptation (Likelihood) is visible from the top layer.
+    assert "Likelihood" in provider.available_features()
+    assert provider.get_feature("Likelihood") is not None
+    structure = middleware.psl.structure()
+    for step in ("gps-parser", "gps-interpreter", "wifi-positioning",
+                 "particle-filter"):
+        assert step in structure

@@ -1,0 +1,92 @@
+"""E3 -- Fig. 4: the data tree for the GPS channel.
+
+Reproduces the figure's exact scenario: the GPS sensor emits raw string
+fragments, several of which form one NMEA sentence; the first sentence
+carries no valid position, so the Interpreter needs a second one before
+producing WGS84_1.  The regenerated artefact is the rendered tree in the
+figure's ``(data, logical time, time range)`` tuple format.
+
+Shape assertions: the first output has logical time 1 and time range
+1-2 over the sentence layer; the invalid sentence is part of the tree;
+each sentence groups several raw fragments.
+"""
+
+from repro.core import Kind
+from repro.core.channel import ChannelFeature
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum
+from repro.core.graph import ProcessingGraph
+from repro.core.pcl import ProcessChannelLayer
+from repro.processing.interpreter import NmeaInterpreterComponent
+from repro.processing.parser import NmeaParserComponent
+from repro.sensors.nmea import GgaSentence
+
+
+class TreeCapture(ChannelFeature):
+    name = "TreeCapture"
+
+    def __init__(self):
+        super().__init__()
+        self.trees = []
+
+    def apply(self, tree):
+        self.trees.append(tree)
+
+
+def run_fig4_scenario():
+    graph = ProcessingGraph()
+    source = SourceComponent("GPS", (Kind.NMEA_RAW,))
+    parser = NmeaParserComponent(name="Parser")
+    interpreter = NmeaInterpreterComponent(name="Interpreter")
+    app = ApplicationSink("Application", (Kind.POSITION_WGS84,))
+    for c in (source, parser, interpreter, app):
+        graph.add(c)
+    graph.connect("GPS", "Parser")
+    graph.connect("Parser", "Interpreter")
+    graph.connect("Interpreter", "Application")
+    pcl = ProcessChannelLayer(graph)
+    capture = TreeCapture()
+    pcl.attach_feature("GPS->Application", capture)
+
+    # Fig. 4's stream: an invalid sentence over two fragments, then a
+    # valid one over three fragments -> exactly five raw strings.
+    invalid = GgaSentence(0.0, None, None, 0, 2, None, None).encode() + "\r\n"
+    valid = GgaSentence(1.0, 56.17, 10.19, 1, 8, 1.1, 40.0).encode() + "\r\n"
+
+    def fragments(stream, count, t):
+        size = len(stream) // count + 1
+        return [
+            Datum(Kind.NMEA_RAW, stream[i : i + size], t, "GPS")
+            for i in range(0, len(stream), size)
+        ]
+
+    for datum in fragments(invalid, 2, 0.0) + fragments(valid, 3, 1.0):
+        source.inject(datum)
+    return capture
+
+
+def test_e3_fig4_data_tree(benchmark, results_writer):
+    capture = benchmark.pedantic(run_fig4_scenario, rounds=1, iterations=1)
+
+    assert len(capture.trees) == 1
+    tree = capture.trees[0]
+    results_writer(
+        "E3_fig4_data_tree",
+        "Fig. 4 -- data tree for the GPS channel\n\n" + tree.render(),
+    )
+
+    root = tree.root
+    assert root.datum.kind == Kind.POSITION_WGS84
+    assert root.logical_time == 1
+    assert root.time_range == (1, 2)  # WGS84_1 spans NMEA_1..NMEA_2
+    sentences = tree.layer(1)
+    assert [e.logical_time for e in sentences] == [1, 2]
+    # The invalid sentence contributed but produced nothing by itself.
+    assert not sentences[0].datum.payload.has_fix
+    assert sentences[1].datum.payload.has_fix
+    raw = tree.layer(0)
+    assert len(raw) == 5  # the figure's five raw strings
+    assert all(e.time_range is None for e in raw)
+    # Sentence time ranges point at their raw fragments, as in the figure.
+    assert sentences[0].time_range == (1, 2)
+    assert sentences[1].time_range == (3, 5)

@@ -1,0 +1,96 @@
+"""E6 -- Fig. 7 / §3.3: EnTracked on PerPos, energy vs error.
+
+Runs the two-host Fig. 7 configuration (GPS + Sensor Wrapper + Power
+Strategy on the mobile; Parser, Interpreter and the EnTracked Channel
+Feature server-side, controlling the strategy through a counted remote
+proxy) against the periodic always-on baseline, sweeping the error
+threshold and two movement profiles.
+
+Regenerated series: energy (J/h), GPS duty cycle, transmissions and
+error per (mode, threshold, profile).
+
+Shape assertions: EnTracked spends a small fraction of the baseline's
+energy; energy decreases and error increases with the threshold; a
+stationary target is nearly free.
+"""
+
+from repro.energy.entracked import EnTrackedSystem
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.trajectory import (
+    RandomWalkTrajectory,
+    StationaryTrajectory,
+)
+
+START = Wgs84Position(56.1718, 10.1903)
+DURATION_S = 1800.0
+THRESHOLDS = (10.0, 25.0, 50.0, 100.0)
+
+
+def profiles():
+    return {
+        "pedestrian": RandomWalkTrajectory(
+            START, DURATION_S, seed=4, pause_probability=0.3, pause_s=60.0
+        ),
+        "stationary": StationaryTrajectory(START, DURATION_S),
+    }
+
+
+def run_all():
+    rows = []
+    for profile_name, trajectory in profiles().items():
+        periodic = EnTrackedSystem(
+            trajectory, threshold_m=50.0, mode="periodic", seed=1
+        ).run(DURATION_S)
+        rows.append((profile_name, "periodic", None, periodic))
+        for threshold in THRESHOLDS:
+            result = EnTrackedSystem(
+                trajectory, threshold_m=threshold, mode="entracked", seed=1
+            ).run(DURATION_S)
+            rows.append((profile_name, "entracked", threshold, result))
+    return rows
+
+
+def test_e6_entracked_energy(benchmark, results_writer):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "Fig. 7 / §3.3 -- EnTracked vs periodic reporting"
+        f" ({DURATION_S / 60:.0f} min runs)",
+        "",
+        f"{'profile':<11} {'mode':<10} {'thr':>5} {'J/h':>7} {'avg W':>7}"
+        f" {'gps%':>6} {'tx':>5} {'mean err':>9} {'p95 err':>8}",
+    ]
+    table = {}
+    for profile, mode, threshold, r in rows:
+        table[(profile, mode, threshold)] = r
+        jph = r.energy_j * 3600.0 / r.duration_s
+        thr = f"{threshold:.0f}" if threshold else "-"
+        lines.append(
+            f"{profile:<11} {mode:<10} {thr:>5} {jph:>7.0f}"
+            f" {r.average_power_w:>7.3f} {r.gps_on_fraction * 100:>5.1f}%"
+            f" {r.transmissions:>5} {r.mean_error_m:>8.1f}m"
+            f" {r.p95_error_m:>7.1f}m"
+        )
+    results_writer("E6_fig7_entracked", "\n".join(lines))
+
+    for profile in ("pedestrian", "stationary"):
+        periodic = table[(profile, "periodic", None)]
+        for threshold in THRESHOLDS:
+            entracked = table[(profile, "entracked", threshold)]
+            # Headline claim: large energy savings.
+            assert entracked.energy_j < 0.5 * periodic.energy_j
+            assert entracked.transmissions < periodic.transmissions
+
+    # Threshold sweep shape on the moving profile: tighter threshold ->
+    # more energy and lower (or equal) error.
+    pedestrian = [
+        table[("pedestrian", "entracked", t)] for t in THRESHOLDS
+    ]
+    energies = [r.energy_j for r in pedestrian]
+    assert energies[0] > energies[-1], "tightest threshold must cost most"
+    errors = [r.mean_error_m for r in pedestrian]
+    assert errors[0] < errors[-1], "tightest threshold must track best"
+
+    # A stationary target costs almost nothing once acquired.
+    stationary = table[("stationary", "entracked", 50.0)]
+    assert stationary.gps_on_fraction < 0.1

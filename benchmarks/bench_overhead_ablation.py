@@ -1,0 +1,217 @@
+"""E8 -- the cost of translucency (paper §4 / future-work concerns).
+
+The paper defers "traditional software qualities ... reliability,
+scalability and performance" to future work; this ablation measures what
+the reproduction's reflection machinery costs:
+
+* baseline: a three-component pipeline with no observation;
+* + PCL channel maintenance (logical time recording);
+* + an attached Channel Feature receiving data trees per output;
+* + 1/4/8 Component Features in the interception chain;
+* PSL manipulation cost: splice + remove a component on a live graph.
+
+Regenerated series: throughput (datums/s) for each configuration, i.e.
+the overhead curve a middleware deployer would want.
+
+Shape assertions: every configuration stays within an order of magnitude
+of the bare pipeline, and overhead grows monotonically-ish with the
+feature chain length (allowing measurement noise).
+"""
+
+import pytest
+
+from repro.core.channel import ChannelFeature
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature
+from repro.core.graph import ProcessingGraph
+from repro.core.pcl import ProcessChannelLayer
+
+N_DATUMS = 2000
+
+
+class NoopComponentFeature(ComponentFeature):
+    def __init__(self, index):
+        self.name = f"Noop{index}"
+        super().__init__()
+
+    def produce(self, datum):
+        return datum
+
+
+class NoopChannelFeature(ChannelFeature):
+    name = "NoopChannel"
+
+    def __init__(self):
+        super().__init__()
+        self.applications = 0
+
+    def apply(self, tree):
+        self.applications += 1
+
+
+def build_pipeline(with_pcl=False, channel_feature=False, features=0):
+    graph = ProcessingGraph()
+    source = SourceComponent("src", ("x",))
+    stage1 = FunctionComponent("stage1", ("x",), ("x",), fn=lambda d: d)
+    stage2 = FunctionComponent("stage2", ("x",), ("x",), fn=lambda d: d)
+    sink = ApplicationSink("app", ("x",), keep_last=8)
+    for c in (source, stage1, stage2, sink):
+        graph.add(c)
+    graph.connect("src", "stage1")
+    graph.connect("stage1", "stage2")
+    graph.connect("stage2", "app")
+    for i in range(features):
+        stage1.attach_feature(NoopComponentFeature(i))
+    pcl = None
+    if with_pcl or channel_feature:
+        pcl = ProcessChannelLayer(graph)
+        if channel_feature:
+            pcl.attach_feature("src->app", NoopChannelFeature())
+    return graph, source
+
+
+def drive(source):
+    for i in range(N_DATUMS):
+        source.inject(Datum("x", i, float(i)))
+
+
+CONFIGS = [
+    ("bare pipeline", dict()),
+    ("+ channel maintenance", dict(with_pcl=True)),
+    ("+ channel feature (data trees)", dict(channel_feature=True)),
+    ("+ 1 component feature", dict(channel_feature=True, features=1)),
+    ("+ 4 component features", dict(channel_feature=True, features=4)),
+    ("+ 8 component features", dict(channel_feature=True, features=8)),
+]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_e8_overhead(benchmark, label, config):
+    def run():
+        _graph, source = build_pipeline(**config)
+        drive(source)
+
+    benchmark(run)
+
+
+def test_e8_overhead_summary(benchmark, results_writer):
+    """One comparable sweep in a single process, plus PSL manipulation."""
+    import time
+
+    def measure(config):
+        _graph, source = build_pipeline(**config)
+        start = time.perf_counter()
+        drive(source)
+        elapsed = time.perf_counter() - start
+        return N_DATUMS / elapsed
+
+    def workload():
+        return {label: measure(config) for label, config in CONFIGS}
+
+    rates = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    # PSL manipulation on a live graph, for the record.
+    graph, source = build_pipeline(with_pcl=True)
+    import time as _t
+
+    start = _t.perf_counter()
+    splices = 200
+    for i in range(splices):
+        extra = FunctionComponent(
+            f"extra{i}", ("x",), ("x",), fn=lambda d: d
+        )
+        graph.insert_between("stage1", "stage2", extra)
+        graph.remove(f"extra{i}", reconnect=True)
+    splice_ms = (_t.perf_counter() - start) / splices * 1000.0
+
+    base = rates["bare pipeline"]
+    lines = [
+        "Translucency overhead ablation (2000 datums through a"
+        " 3-component pipeline)",
+        "",
+        f"{'configuration':<34} {'datums/s':>10} {'vs bare':>8}",
+    ]
+    for label, _config in CONFIGS:
+        rate = rates[label]
+        lines.append(
+            f"{label:<34} {rate:>10.0f} {base / rate:>7.2f}x"
+        )
+    lines += [
+        "",
+        f"PSL splice+remove on live graph: {splice_ms:.2f} ms/operation",
+    ]
+    results_writer("E8_overhead_ablation", "\n".join(lines))
+
+    # Shape: reflection costs, but within an order of magnitude.
+    for label, _config in CONFIGS:
+        assert base / rates[label] < 10.0, f"{label} slower than 10x base"
+    assert rates["+ 8 component features"] < rates["bare pipeline"]
+
+
+def build_wide_graph(strands, depth):
+    """``strands`` parallel chains of ``depth`` stages into one merge."""
+    graph = ProcessingGraph()
+    sources = []
+    merge = FunctionComponent("merge", ("x",), ("x",), fn=lambda d: d)
+    sink = ApplicationSink("app", ("x",), keep_last=8)
+    graph.add(merge)
+    graph.add(sink)
+    graph.connect("merge", "app")
+    for s in range(strands):
+        source = SourceComponent(f"src{s}", ("x",))
+        graph.add(source)
+        previous = source.name
+        for d in range(depth):
+            stage = FunctionComponent(
+                f"s{s}d{d}", ("x",), ("x",), fn=lambda datum: datum
+            )
+            graph.add(stage)
+            graph.connect(previous, stage.name)
+            previous = stage.name
+        graph.connect(previous, "merge")
+        sources.append(source)
+    return graph, sources
+
+
+def test_e8_scalability(benchmark, results_writer):
+    """Paper future work: 'scalability'.  PCL derivation and delivery on
+    a wide graph (20 strands x 5 stages = 122 components)."""
+    import time
+
+    def workload():
+        start = time.perf_counter()
+        graph, sources = build_wide_graph(strands=20, depth=5)
+        build_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pcl = ProcessChannelLayer(graph)
+        derive_s = time.perf_counter() - start
+        channels = len(pcl.channels())
+
+        n = 200
+        start = time.perf_counter()
+        for i in range(n):
+            for source in sources:
+                source.inject(Datum("x", i, float(i)))
+        throughput = (n * len(sources)) / (time.perf_counter() - start)
+        return build_s, derive_s, channels, throughput
+
+    build_s, derive_s, channels, throughput = benchmark.pedantic(
+        workload, rounds=1, iterations=1
+    )
+    lines = [
+        "Scalability: 20 strands x 5 stages (122 components)",
+        f"  graph construction : {build_s * 1000:.1f} ms",
+        f"  channel derivation : {derive_s * 1000:.1f} ms"
+        f" ({channels} channels)",
+        f"  delivery throughput: {throughput:,.0f} datums/s",
+    ]
+    results_writer("E8b_scalability", "\n".join(lines))
+    assert channels == 21  # 20 sensor strands + merge->app
+    assert derive_s < 2.0
+    assert throughput > 5_000

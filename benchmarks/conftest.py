@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``bench_*`` module regenerates one artefact of the paper (a figure,
+an example scenario, or a §3 comparison claim), times it with
+pytest-benchmark, asserts the qualitative *shape* the paper reports, and
+writes the regenerated rows/series to ``benchmarks/results/<exp>.txt`` so
+the artefacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def results_writer():
+    """Returns write(exp_id, text): persist + echo one experiment artefact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(exp_id: str, text: str) -> None:
+        path = RESULTS_DIR / f"{exp_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        # Also echo to stdout for -s runs.
+        print(f"\n===== {exp_id} =====\n{text}")
+
+    return write

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: positions from a GPS pipeline in ~30 lines.
+
+Builds the minimal PerPos configuration -- a simulated GPS receiver wired
+through Parser and Interpreter components -- then pulls positions through
+the high-level Positioning Layer API, exactly as a location-aware
+application would.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Criteria, Kind, PerPos
+from repro.geo.wgs84 import Wgs84Position
+from repro.processing.pipelines import build_gps_pipeline
+from repro.sensors.gps import GpsReceiver
+from repro.sensors.trajectory import WaypointTrajectory, Waypoint
+
+
+def main() -> None:
+    # A target walking 300 m east over five minutes.
+    start = Wgs84Position(56.1718, 10.1903)
+    trajectory = WaypointTrajectory(
+        [Waypoint(0.0, start), Waypoint(300.0, start.moved(90.0, 300.0))]
+    )
+
+    middleware = PerPos()
+    gps = GpsReceiver("gps-device", trajectory, seed=1)
+    pipeline = build_gps_pipeline(middleware, gps)
+
+    # The application side: a provider sink fed by the interpreter.
+    provider = middleware.create_provider(
+        "quickstart-app",
+        accepts=(Kind.POSITION_WGS84,),
+        technologies=("gps",),
+    )
+    middleware.graph.connect(pipeline.interpreter, provider.sink.name)
+
+    # Push interface: print a line for every fifth fix.
+    count = [0]
+
+    def on_position(datum):
+        count[0] += 1
+        if count[0] % 5 == 0:
+            p = datum.payload
+            print(
+                f"t={datum.timestamp:5.1f}s  "
+                f"lat={p.latitude_deg:.6f}  lon={p.longitude_deg:.6f}  "
+                f"accuracy={p.accuracy_m:.1f} m"
+            )
+
+    provider.add_listener(on_position, kind=Kind.POSITION_WGS84)
+
+    # Drive the simulation.
+    middleware.run_until(300.0)
+
+    # Pull interface: last known position and provider lookup by criteria.
+    same_provider = middleware.get_provider(Criteria(technology="gps"))
+    final = same_provider.last_position()
+    print(f"\nfinal position: {final.latitude_deg:.6f}, "
+          f"{final.longitude_deg:.6f}")
+    print(f"fixes delivered: {count[0]}")
+    print("\nprocessing structure (PSL view):")
+    print(middleware.psl.structure())
+
+
+if __name__ == "__main__":
+    main()

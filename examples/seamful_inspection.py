@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Seamful design for developers: a tour of PerPos translucency (§2, §4).
+
+Demonstrates the adaptation and inspection surface the paper's three
+requirements ask for, using only public middleware API -- no middleware
+source is touched:
+
+1. structural reflection: walk the reified process, list component
+   methods, render the three layer views;
+2. runtime adaptation: attach the NumberOfSatellites Component Feature
+   and splice the satellite filter into the live pipeline (§3.1);
+3. state manipulation: tune the filter threshold through the PSL's
+   reflective method invocation;
+4. logical time: render the data tree behind one delivered position
+   (Fig. 4) through a Channel Feature.
+
+Run:  python examples/seamful_inspection.py
+"""
+
+from repro.core import ChannelFeature, Kind, PerPos
+from repro.geo.wgs84 import Wgs84Position
+from repro.processing.filters import SatelliteFilterComponent
+from repro.processing.gps_features import NumberOfSatellitesFeature
+from repro.processing.pipelines import build_gps_pipeline
+from repro.sensors.gps import GpsReceiver, SUBURBAN, constant_environment
+from repro.sensors.trajectory import Waypoint, WaypointTrajectory
+
+
+class DataTreePrinter(ChannelFeature):
+    """A tiny Channel Feature that renders the first few data trees."""
+
+    name = "DataTreePrinter"
+
+    def __init__(self, limit=2):
+        super().__init__()
+        self.limit = limit
+        self.printed = 0
+
+    def apply(self, data_tree):
+        if self.printed >= self.limit:
+            return
+        self.printed += 1
+        print(f"\ndata tree behind delivered position #{self.printed} "
+              f"(Fig. 4 format):")
+        print(data_tree.render())
+
+
+def main() -> None:
+    start = Wgs84Position(56.1718, 10.1903)
+    trajectory = WaypointTrajectory(
+        [Waypoint(0.0, start), Waypoint(120.0, start.moved(90.0, 150.0))]
+    )
+    middleware = PerPos()
+    gps = GpsReceiver(
+        "gps-device", trajectory, constant_environment(SUBURBAN), seed=5
+    )
+    pipeline = build_gps_pipeline(middleware, gps)
+    provider = middleware.create_provider(
+        "inspector-app", accepts=(Kind.POSITION_WGS84,)
+    )
+    middleware.graph.connect(pipeline.interpreter, provider.sink.name)
+
+    psl, pcl = middleware.psl, middleware.pcl
+
+    print("1. STRUCTURAL REFLECTION")
+    print("components:", psl.components())
+    print("\nstructure:")
+    print(psl.structure())
+    print("\nparser description:")
+    for key, value in psl.describe(pipeline.parser).items():
+        print(f"  {key}: {value}")
+
+    print("\n2. RUNTIME ADAPTATION (the §3.1 satellite filter)")
+    psl.attach_feature(pipeline.parser, NumberOfSatellitesFeature())
+    print("attached NumberOfSatellites; parser now provides:",
+          psl.describe(pipeline.parser)["features"])
+    satellite_filter = SatelliteFilterComponent(min_satellites=5)
+    psl.insert_between(
+        pipeline.parser, pipeline.interpreter, satellite_filter
+    )
+    print("spliced satellite-filter into the live pipeline:")
+    print(psl.structure())
+
+    print("\n3. STATE MANIPULATION THROUGH REFLECTION")
+    print("filter methods:", psl.methods_of(satellite_filter.name))
+    print("threshold before:",
+          psl.invoke(satellite_filter.name, "get_threshold"))
+    psl.invoke(satellite_filter.name, "set_threshold", 6)
+    print("threshold after :",
+          psl.invoke(satellite_filter.name, "get_threshold"))
+
+    print("\n4. LOGICAL TIME: channel view and data trees")
+    print("channels:")
+    print(pcl.render())
+    channel = pcl.channels_into(provider.sink.name)[0]
+    channel.attach_feature(DataTreePrinter())
+
+    middleware.run_until(30.0)
+
+    print(f"\nfilter verdict so far: passed={satellite_filter.passed}, "
+          f"rejected={satellite_filter.rejected}")
+    sats = psl.invoke(
+        pipeline.parser, "NumberOfSatellites.get_number_of_satellites"
+    )
+    print(f"latest satellite count via feature state: {sats}")
+    print(f"provider features visible at the top layer: "
+          f"{provider.available_features()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 editable installs fail; ``pip install -e . --no-use-pep517`` with
+this shim works with setuptools alone.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""PerPos reproduction: a translucent positioning middleware.
+
+Reproduction of Langdal, Schougaard, Kjaergaard & Toftkjaer, "PerPos: A
+Translucent Positioning Middleware Supporting Adaptation of Internal
+Positioning Processes" (ACM/IFIP/USENIX Middleware 2010).
+
+Public surface:
+
+* :mod:`repro.core` -- the middleware itself: processing graph, Component
+  and Channel Features, the PSL/PCL/Positioning layers, the
+  :class:`~repro.core.middleware.PerPos` facade;
+* :mod:`repro.processing` -- stock processing components and pipeline
+  builders (parser, interpreter, resolver, WiFi positioning, fusion);
+* :mod:`repro.tracking` -- the particle filter of §3.2;
+* :mod:`repro.energy` -- the EnTracked re-implementation of §3.3;
+* :mod:`repro.sensors`, :mod:`repro.geo`, :mod:`repro.model`,
+  :mod:`repro.services` -- the simulated substrates (see DESIGN.md);
+* :mod:`repro.baselines` -- Location-Stack- and PoSIM-style middleware
+  used for the §3 comparisons.
+"""
+
+from repro.core import (
+    Criteria,
+    Datum,
+    Kind,
+    PerPos,
+)
+
+__version__ = "1.0.0"
+
+__all__ = ["PerPos", "Criteria", "Datum", "Kind", "__version__"]

@@ -1,0 +1,37 @@
+"""Baseline middleware for the paper's §3 comparisons (system S13).
+
+Each §3 example ends by discussing what the same adaptation costs in
+existing middleware.  To *measure* those claims rather than repeat them,
+this package implements the two architectural families PerPos is compared
+against:
+
+* :mod:`repro.baselines.location_stack` -- a Location-Stack-style layered
+  middleware with a fixed common position format and a fixed fusion
+  layer.  Extra information (satellite count, HDOP) can only travel by
+  extending the position format *in the middleware source*, after which
+  it pollutes every technology's positions;
+* :mod:`repro.baselines.posim` -- a PoSIM-style translucent middleware:
+  sensor wrappers declare info/control features and declarative policies
+  act on them.  Low-level values are reachable, but only as "the latest
+  value", with no coupling to the position they belong to.
+"""
+
+from repro.baselines.location_stack import (
+    LocationStackMiddleware,
+    Measurement,
+    STANDARD_FIELDS,
+)
+from repro.baselines.posim import (
+    Policy,
+    PosimMiddleware,
+    SensorWrapper,
+)
+
+__all__ = [
+    "LocationStackMiddleware",
+    "Measurement",
+    "STANDARD_FIELDS",
+    "PosimMiddleware",
+    "SensorWrapper",
+    "Policy",
+]

@@ -1,0 +1,195 @@
+"""A PoSIM-style translucent positioning middleware.
+
+PoSIM (Bellavista et al. 2008) mediates heterogeneous positioning systems
+through **sensor wrappers** that declare *info* features (readable
+low-level values) and *control* features (settable knobs), plus a
+declarative **policy** layer whose conditions are simple comparisons over
+info values and whose actions set controls.
+
+The critical property for the paper's comparison (§3.2): info access is
+unsynchronised with position delivery -- "when questioned it will always
+return the latest HDOP value, which may correspond to a new position."
+This implementation keeps that semantics honestly: positions are
+delivered to the application through a queue (as event-driven middleware
+does), while ``get_info`` always reads the wrapper's current value, so a
+consumer correlating the two gets stale attributions whenever delivery
+lags the sensor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.geo.wgs84 import Wgs84Position
+
+
+class PosimError(Exception):
+    """Raised on unknown wrappers, infos or controls."""
+
+
+class SensorWrapper:
+    """A technology wrapper declaring info and control features.
+
+    ``infos`` maps info names to zero-argument getters (always returning
+    the *latest* value); ``controls`` maps control names to one-argument
+    setters.
+    """
+
+    def __init__(
+        self,
+        technology: str,
+        infos: Optional[Mapping[str, Callable[[], Any]]] = None,
+        controls: Optional[Mapping[str, Callable[[Any], None]]] = None,
+    ) -> None:
+        self.technology = technology
+        self._infos = dict(infos or {})
+        self._controls = dict(controls or {})
+
+    def declared_infos(self) -> List[str]:
+        return sorted(self._infos)
+
+    def declared_controls(self) -> List[str]:
+        return sorted(self._controls)
+
+    def get_info(self, name: str) -> Any:
+        try:
+            return self._infos[name]()
+        except KeyError:
+            raise PosimError(
+                f"wrapper {self.technology!r} declares no info {name!r}"
+            ) from None
+
+    def set_control(self, name: str, value: Any) -> None:
+        try:
+            self._controls[name](value)
+        except KeyError:
+            raise PosimError(
+                f"wrapper {self.technology!r} declares no control {name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A declarative rule: comparison over an info -> control action.
+
+    ``operator`` is one of ``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=`` --
+    PoSIM's conditions are "simple comparison of data values" and actions
+    are "limited to passing values to operations of the sensor wrapper"
+    (paper §5).
+    """
+
+    name: str
+    technology: str
+    info: str
+    operator: str
+    threshold: Any
+    control: str
+    control_value: Any
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def condition_holds(self, value: Any) -> bool:
+        if value is None:
+            return False
+        try:
+            op = self._OPS[self.operator]
+        except KeyError:
+            raise PosimError(f"unknown operator {self.operator!r}") from None
+        return bool(op(value, self.threshold))
+
+
+class PosimMiddleware:
+    """Wrapper registry + policy engine + queued position delivery."""
+
+    def __init__(self, delivery_lag_updates: int = 0) -> None:
+        """``delivery_lag_updates``: positions queued behind this many
+        newer updates before the application sees them, modelling the
+        event/processing latency between sensing and delivery."""
+        if delivery_lag_updates < 0:
+            raise ValueError("delivery lag cannot be negative")
+        self._wrappers: Dict[str, SensorWrapper] = {}
+        self._policies: List[Policy] = []
+        self._queue: deque = deque()
+        self._lag = delivery_lag_updates
+        self._listeners: List[Callable[[Wgs84Position], None]] = []
+        self.policy_firings: List[Tuple[str, Any]] = []
+
+    # -- wrappers --------------------------------------------------------------
+
+    def register_wrapper(self, wrapper: SensorWrapper) -> None:
+        if wrapper.technology in self._wrappers:
+            raise PosimError(
+                f"wrapper for {wrapper.technology!r} already registered"
+            )
+        self._wrappers[wrapper.technology] = wrapper
+
+    def wrapper(self, technology: str) -> SensorWrapper:
+        try:
+            return self._wrappers[technology]
+        except KeyError:
+            raise PosimError(f"no wrapper for {technology!r}") from None
+
+    def get_info(self, technology: str, name: str) -> Any:
+        """Cross-level info access -- always the wrapper's LATEST value."""
+        return self.wrapper(technology).get_info(name)
+
+    def set_control(self, technology: str, name: str, value: Any) -> None:
+        self.wrapper(technology).set_control(name, value)
+
+    # -- policies -----------------------------------------------------------------
+
+    def add_policy(self, policy: Policy) -> None:
+        self._policies.append(policy)
+
+    def _evaluate_policies(self) -> None:
+        for policy in self._policies:
+            value = self.get_info(policy.technology, policy.info)
+            if policy.condition_holds(value):
+                self.set_control(
+                    policy.technology, policy.control, policy.control_value
+                )
+                self.policy_firings.append((policy.name, value))
+
+    # -- position flow ----------------------------------------------------------------
+
+    def publish_position(
+        self, technology: str, position: Wgs84Position
+    ) -> None:
+        """Called by wrapper plumbing when a technology has a new fix.
+
+        Policies run immediately (they see fresh info); the application
+        sees the position only after the delivery lag drains.
+        """
+        self._evaluate_policies()
+        self._queue.append(position)
+        while len(self._queue) > self._lag:
+            delivered = self._queue.popleft()
+            for listener in list(self._listeners):
+                listener(delivered)
+
+    def add_position_listener(
+        self, listener: Callable[[Wgs84Position], None]
+    ) -> Callable[[], None]:
+        self._listeners.append(listener)
+
+        def _remove() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return _remove
+
+    def flush(self) -> None:
+        """Drain queued positions (end of run)."""
+        while self._queue:
+            delivered = self._queue.popleft()
+            for listener in list(self._listeners):
+                listener(delivered)

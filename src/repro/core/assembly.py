@@ -1,0 +1,143 @@
+"""Automatic graph assembly by capability matching (paper §2.1).
+
+Port connections in PerPos are established "either by direct calls to
+the graph manipulation API, based on explicitly defined system level
+configurations or **through dynamic resolution of dependencies between
+components**.  ... As custom components are added to the PerPos
+middleware the dependencies are resolved and when satisfied the
+components are added to the processing graph appropriately."
+
+:class:`AutoAssembler` provides that third mode: components are handed to
+the assembler, which wires input ports to compatible producers as they
+become available -- kind overlap plus required-Component-Feature checks,
+the same realizability rules :meth:`ProcessingGraph.connect` enforces.
+Ports declared ``multiple`` (fusion inputs) bind every compatible
+producer; ordinary ports bind exactly one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.component import InputPort, ProcessingComponent
+from repro.core.graph import GraphError, ProcessingGraph
+
+
+class AssemblyError(Exception):
+    """Raised on assembly-policy violations."""
+
+
+class AutoAssembler:
+    """Connects components added to a graph by matching capabilities.
+
+    Resolution runs to a fixpoint on every :meth:`add`: adding a producer
+    late satisfies waiting consumers, and adding a consumer binds it to
+    already-present producers -- declaration order does not matter,
+    mirroring :class:`repro.services.declarative.ComponentRuntime`.
+    """
+
+    def __init__(self, graph: Optional[ProcessingGraph] = None) -> None:
+        self.graph = graph or ProcessingGraph()
+        self._managed: List[str] = []
+
+    # -- membership -----------------------------------------------------------
+
+    def add(self, component: ProcessingComponent) -> ProcessingComponent:
+        """Add a component and resolve whatever became connectable."""
+        if component.name not in self.graph:
+            self.graph.add(component)
+        if component.name not in self._managed:
+            self._managed.append(component.name)
+        self.resolve()
+        return component
+
+    def remove(self, name: str, reconnect: bool = False) -> None:
+        """Remove a managed component; neighbours re-resolve."""
+        if name in self._managed:
+            self._managed.remove(name)
+        self.graph.remove(name, reconnect=reconnect)
+        self.resolve()
+
+    # -- resolution --------------------------------------------------------------
+
+    def unresolved(self) -> List[Tuple[str, str]]:
+        """``(component, port)`` pairs still waiting for a producer."""
+        waiting = []
+        for name in self._managed:
+            component = self.graph.component(name)
+            for port in component.input_ports:
+                if port.optional:
+                    continue
+                if not self._feeders(name, port.name):
+                    waiting.append((name, port.name))
+        return waiting
+
+    def resolve(self) -> int:
+        """Run matching to a fixpoint; returns connections created."""
+        created = 0
+        progress = True
+        while progress:
+            progress = False
+            for name in list(self._managed):
+                consumer = self.graph.component(name)
+                for port in consumer.input_ports:
+                    if self._try_bind(consumer, port):
+                        created += 1
+                        progress = True
+        return created
+
+    def _feeders(self, consumer: str, port: str) -> List[str]:
+        return [
+            c.producer
+            for c in self.graph.connections()
+            if c.consumer == consumer and c.port == port
+        ]
+
+    def _try_bind(
+        self, consumer: ProcessingComponent, port: InputPort
+    ) -> bool:
+        current = self._feeders(consumer.name, port.name)
+        if current and not port.multiple:
+            return False
+        for producer in self._candidates(consumer, port):
+            if producer in current:
+                continue
+            try:
+                self.graph.connect(producer, consumer.name, port.name)
+                return True
+            except GraphError:
+                continue
+        return False
+
+    def _candidates(
+        self, consumer: ProcessingComponent, port: InputPort
+    ) -> List[str]:
+        """Producers compatible with ``port``, deterministic order.
+
+        Compatibility repeats the graph's own realizability rules so the
+        assembler never proposes a connection that would be rejected.
+        """
+        matches = []
+        for component in self.graph.components():
+            if component.name == consumer.name:
+                continue
+            if not set(port.accepts) & set(
+                component.output_port.capabilities
+            ):
+                continue
+            if any(
+                not component.has_feature(f)
+                for f in port.required_features
+            ):
+                continue
+            if consumer.name in self.graph.ancestors(component.name):
+                continue  # would create a cycle
+            matches.append(component.name)
+        return sorted(matches)
+
+    def describe(self) -> Dict[str, List[str]]:
+        """Assembly status: managed components and waiting ports."""
+        return {
+            "managed": list(self._managed),
+            "unresolved": [f"{c}.{p}" for c, p in self.unresolved()],
+        }

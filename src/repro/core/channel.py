@@ -1,0 +1,341 @@
+"""Channels and Channel Features (paper §2.2, Fig. 3b).
+
+A Channel is the Process Channel Layer's view of a single-strained
+source-to-merge flow: "the connection between components in the PSL are
+called Channels and encapsulates the positioning process taking place
+between its end points."  The channel watches its member components
+through graph observation, assigns each produced element a logical time
+at its layer, tracks which upstream elements each output consumed, and --
+every time the channel delivers an output -- assembles the
+:class:`~repro.core.datatree.DataTree` and hands it to every attached
+:class:`ChannelFeature` via ``apply`` (paper: "The method is called by
+the middleware every time the Channel delivers a data element").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type, TypeVar, Union
+
+from repro.core.component import ProcessingComponent
+from repro.core.data import Datum
+from repro.core.datatree import DataTree, DataTreeElement
+from repro.core.features import FeatureError
+from repro.core.graph import GraphObserver, ProcessingGraph
+
+CF = TypeVar("CF", bound="ChannelFeature")
+
+
+class ChannelFeature:
+    """A feature spanning several processing steps of one channel.
+
+    Subclasses may set:
+
+    ``name``
+        Lookup identity; defaults to the class name.
+    ``requires_component_features``
+        Component Feature names that some member of the channel must
+        provide; checked when the feature is attached (paper §2.2: "the
+        feature specifies that it depends on a Processing Component that
+        provides the Component Feature which can access ... HDOP").
+    ``requires_channel_features``
+        Names of Channel Features that must already be attached to the
+        same channel ("Input requirements may include Component Features,
+        Channel Features, and Processing Components", §2.2).
+    ``requires_components``
+        Component names (or type names) that must appear among the
+        channel's members.
+
+    The one mandatory method is :meth:`apply`, called with the data tree
+    behind every channel output.  Any further public methods become part
+    of the channel's surface (``channel.get_feature(...)``) -- that is how
+    the paper's Likelihood feature offers ``getLikelihood(particle)``.
+    """
+
+    name: str = ""
+    requires_component_features: Tuple[str, ...] = ()
+    requires_channel_features: Tuple[str, ...] = ()
+    requires_components: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+        self._channel: Optional["Channel"] = None
+
+    @property
+    def channel(self) -> "Channel":
+        if self._channel is None:
+            raise FeatureError(f"channel feature {self.name} not attached")
+        return self._channel
+
+    def _attach(self, channel: "Channel") -> None:
+        if self._channel is not None:
+            raise FeatureError(
+                f"channel feature {self.name} already attached"
+            )
+        missing = [
+            needed
+            for needed in self.requires_component_features
+            if not any(
+                member.has_feature(needed) for member in channel.members
+            )
+        ]
+        if missing:
+            raise FeatureError(
+                f"channel feature {self.name} requires component features"
+                f" {missing} not provided by any member of {channel.id}"
+            )
+        missing_channel = [
+            needed
+            for needed in self.requires_channel_features
+            if channel.get_feature(needed) is None
+        ]
+        if missing_channel:
+            raise FeatureError(
+                f"channel feature {self.name} requires channel features"
+                f" {missing_channel} not attached to {channel.id}"
+            )
+        member_ids = {m.name for m in channel.members} | {
+            type(m).__name__ for m in channel.members
+        }
+        missing_members = [
+            needed
+            for needed in self.requires_components
+            if needed not in member_ids
+        ]
+        if missing_members:
+            raise FeatureError(
+                f"channel feature {self.name} requires components"
+                f" {missing_members} not present in {channel.id}"
+            )
+        self._channel = channel
+        self.on_attached()
+
+    def _detach(self) -> None:
+        self.on_detached()
+        self._channel = None
+
+    def on_attached(self) -> None:
+        """Hook called after attachment."""
+
+    def on_detached(self) -> None:
+        """Hook called before removal."""
+
+    def apply(self, data_tree: DataTree) -> None:
+        """Update internal state from the tree behind one channel output."""
+        raise NotImplementedError
+
+
+class Channel(GraphObserver):
+    """A single-strained flow from a data source toward a merge point.
+
+    ``members`` run source-first; ``endpoint`` names the PCL node (merge
+    component or application) the channel delivers into.  The channel's
+    output is whatever ``members[-1]`` produces -- the paper treats a
+    Channel Feature as "semantically equivalent to a Component Feature
+    attached to the last Processing Component of the Channel".
+
+    ``history_limit`` bounds how many elements are remembered per layer;
+    data trees only ever reference recent elements, so the bound exists
+    to keep long runs in constant memory.
+    """
+
+    def __init__(
+        self,
+        graph: ProcessingGraph,
+        members: Sequence[ProcessingComponent],
+        endpoint: str,
+        history_limit: int = 512,
+    ) -> None:
+        if not members:
+            raise ValueError("a channel needs at least one member")
+        self.graph = graph
+        self.members: List[ProcessingComponent] = list(members)
+        self.endpoint = endpoint
+        self.history_limit = history_limit
+        self._member_index = {m.name: i for i, m in enumerate(self.members)}
+        self._counters: List[int] = [0] * len(self.members)
+        self._pending: List[List[int]] = [[] for _ in self.members]
+        self._history: List[List[DataTreeElement]] = [
+            [] for _ in self.members
+        ]
+        self._features: List[ChannelFeature] = []
+        #: (feature name, exception) pairs from failed ``apply`` calls.
+        self.feature_errors: List[Tuple[str, Exception]] = []
+        self._unsubscribe = graph.add_observer(self)
+
+    # -- identity & inspection ------------------------------------------------
+
+    @property
+    def id(self) -> str:
+        return f"{self.members[0].name}->{self.endpoint}"
+
+    @property
+    def source(self) -> ProcessingComponent:
+        return self.members[0]
+
+    @property
+    def last_component(self) -> ProcessingComponent:
+        return self.members[-1]
+
+    def describe(self) -> Dict[str, Any]:
+        """Reflective summary of the channel (Fig. 2 middle layer)."""
+        return {
+            "id": self.id,
+            "members": [m.name for m in self.members],
+            "endpoint": self.endpoint,
+            "features": [f.name for f in self._features],
+            "component_features": {
+                m.name: m.provided_feature_names()
+                for m in self.members
+                if m.features
+            },
+            "output_kinds": list(self.last_component.output_port.capabilities),
+        }
+
+    def close(self) -> None:
+        """Stop observing; detach features."""
+        self._unsubscribe()
+        for feature in list(self._features):
+            self.detach_feature(feature.name)
+
+    # -- channel features --------------------------------------------------------
+
+    @property
+    def features(self) -> List[ChannelFeature]:
+        return list(self._features)
+
+    def attach_feature(self, feature: ChannelFeature) -> None:
+        """Attach a Channel Feature after checking its requirements."""
+        if any(f.name == feature.name for f in self._features):
+            raise FeatureError(
+                f"channel {self.id} already has a feature named"
+                f" {feature.name!r}"
+            )
+        feature._attach(self)
+        self._features.append(feature)
+
+    def detach_feature(self, name: str) -> ChannelFeature:
+        """Remove a Channel Feature by name."""
+        for feature in self._features:
+            if feature.name == name:
+                feature._detach()
+                self._features.remove(feature)
+                return feature
+        raise FeatureError(f"channel {self.id} has no feature {name!r}")
+
+    def get_feature(
+        self, key: Union[str, Type[CF]]
+    ) -> Optional[ChannelFeature]:
+        """Look a channel feature up by name or class.
+
+        This is the call the particle filter makes on its input channel
+        (Fig. 5, snippet 1): ``inputChannel.getFeature(Likelihood)``.
+        """
+        for feature in self._features:
+            if isinstance(key, str):
+                if feature.name == key:
+                    return feature
+            elif isinstance(feature, key):
+                return feature
+        return None
+
+    # -- logical time bookkeeping (graph observation) ----------------------------
+
+    def data_consumed(
+        self, component: ProcessingComponent, port_name: str, datum: Datum
+    ) -> None:
+        """Graph observation: track which inputs feed the next output."""
+        index = self._member_index.get(component.name)
+        if index is None or index == 0:
+            return
+        upstream = self.members[index - 1].name
+        # Only count elements arriving from this channel's own previous
+        # layer; merge endpoints also consume from other channels.
+        producer = datum.producer.split("#", 1)[0]
+        if producer != upstream:
+            return
+        self._pending[index].append(self._counters[index - 1])
+
+    def data_produced(
+        self, component: ProcessingComponent, datum: Datum
+    ) -> None:
+        """Graph observation: assign logical time; deliver data trees."""
+        index = self._member_index.get(component.name)
+        if index is None:
+            return
+        self._counters[index] += 1
+        logical_time = self._counters[index]
+        if index == 0 or not self._pending[index]:
+            time_range = None
+        else:
+            time_range = (
+                min(self._pending[index]),
+                max(self._pending[index]),
+            )
+        element = DataTreeElement(
+            datum=datum,
+            logical_time=logical_time,
+            time_range=time_range,
+            layer=index,
+            producer=datum.producer or component.name,
+        )
+        history = self._history[index]
+        history.append(element)
+        if len(history) > self.history_limit:
+            del history[: len(history) - self.history_limit]
+        # Feature-added data (producer "component#Feature") is emitted
+        # *during* the host's produce chain: it annotates the pending
+        # inputs but must not consume them, or the host's own output
+        # would lose its time range.
+        is_feature_data = "#" in (datum.producer or "")
+        if index > 0 and not is_feature_data:
+            self._pending[index].clear()
+        if index == len(self.members) - 1:
+            self._deliver_output(element)
+
+    def _deliver_output(self, element: DataTreeElement) -> None:
+        if not self._features:
+            return
+        tree = self.data_tree_for(element)
+        for feature in list(self._features):
+            try:
+                feature.apply(tree)
+            except Exception as exc:  # noqa: BLE001 - isolation by design
+                # Channel Features observe the process; a broken observer
+                # must not take the positioning pipeline down with it.
+                # Failures are recorded and inspectable (a seam, exposed).
+                self.feature_errors.append((feature.name, exc))
+
+    # -- data tree construction ----------------------------------------------------
+
+    def data_tree_for(self, element: DataTreeElement) -> DataTree:
+        """Assemble the tree of elements that contributed to ``element``."""
+        layers: List[List[DataTreeElement]] = [[] for _ in self.members]
+        layers[element.layer] = [element]
+        span: Optional[Tuple[int, int]] = element.time_range
+        for index in range(element.layer - 1, -1, -1):
+            if span is None:
+                break
+            low, high = span
+            selected = [
+                e
+                for e in self._history[index]
+                if low <= e.logical_time <= high
+            ]
+            layers[index] = selected
+            ranges = [e.time_range for e in selected if e.time_range]
+            span = (
+                (min(r[0] for r in ranges), max(r[1] for r in ranges))
+                if ranges
+                else None
+            )
+        names = [m.name for m in self.members]
+        return DataTree(layers[: element.layer + 1], names[: element.layer + 1])
+
+    def latest_output(self) -> Optional[DataTreeElement]:
+        """The channel's most recent output element, if any."""
+        history = self._history[-1]
+        return history[-1] if history else None
+
+    def __repr__(self) -> str:
+        return f"Channel({self.id!r}, members={len(self.members)})"

@@ -1,0 +1,411 @@
+"""Processing Components: the nodes of the PerPos processing graph.
+
+Paper §2.1: "Processing Components consist of three main elements: input
+ports, output port and implementation of functionality.  A Processing
+Component has a single output port and may have multiple input ports. ...
+To make sure that port connections are realizable Processing Components
+must declare requirements for input ports and define a set of provided
+capabilities for output ports."
+
+A component receives data on its input ports, runs it through the
+Component Feature ``consume`` chain, processes it, and sends results out
+through the feature ``produce`` chain to whatever the graph has connected
+downstream.  Components never talk to each other directly -- delivery is
+the graph's job -- which is what keeps the structure reifiable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+)
+
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature, FeatureError
+
+F = TypeVar("F", bound=ComponentFeature)
+
+
+class ComponentError(Exception):
+    """Raised on illegal component configuration or use."""
+
+
+@dataclass
+class InputPort:
+    """A declared input requirement of a component.
+
+    ``accepts`` lists the data kinds deliverable to this port.  Kinds of
+    feature-added data must be listed explicitly -- a port that does not
+    name ``"hdop"`` never sees HDOP datums (paper §2.1, Adding Data).
+    ``required_features`` names Component Features the upstream component
+    must provide before a connection to this port is realisable.
+    ``multiple`` marks fusion-style ports that bind every compatible
+    producer during automatic assembly; ``optional`` ports do not count
+    as unresolved while unconnected.
+    """
+
+    name: str
+    accepts: Tuple[str, ...]
+    required_features: Tuple[str, ...] = ()
+    optional: bool = False
+    multiple: bool = False
+
+    def accepts_kind(self, kind: str) -> bool:
+        return kind in self.accepts
+
+
+@dataclass
+class OutputPort:
+    """The single output of a component: the kinds it can produce."""
+
+    capabilities: Tuple[str, ...]
+
+    def can_produce(self, kind: str) -> bool:
+        return kind in self.capabilities
+
+
+class ProcessingComponent(abc.ABC):
+    """A node in the processing graph.
+
+    Subclasses declare ports and implement :meth:`process`.  All data
+    movement goes through :meth:`receive` (inbound, called by the graph)
+    and :meth:`produce` (outbound, called by the implementation), so the
+    feature interception chain and graph observation see everything.
+
+    ``pcl_node`` marks components that *merge or re-derive* data by role
+    (fusion engines, particle filters): the Process Channel Layer treats
+    them as channel endpoints even while only one source happens to feed
+    them, matching the paper's "components that merge data sources".
+    """
+
+    pcl_node: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[InputPort],
+        output: OutputPort,
+    ) -> None:
+        names = [port.name for port in inputs]
+        if len(set(names)) != len(names):
+            raise ComponentError(f"duplicate input port names on {name}")
+        self.name = name
+        self._inputs: Dict[str, InputPort] = {p.name: p for p in inputs}
+        self._base_capabilities = tuple(output.capabilities)
+        self.output_port = OutputPort(tuple(output.capabilities))
+        self._features: List[ComponentFeature] = []
+        # Wired by the graph at attach time; None while detached.
+        self._deliver: Optional[Callable[[Datum], None]] = None
+        self._observer: Optional["ComponentObserver"] = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def input_ports(self) -> List[InputPort]:
+        return list(self._inputs.values())
+
+    def input_port(self, name: str) -> InputPort:
+        """Look an input port up by name."""
+        try:
+            return self._inputs[name]
+        except KeyError:
+            raise ComponentError(
+                f"component {self.name} has no input port {name!r}"
+            ) from None
+
+    @property
+    def is_source(self) -> bool:
+        return not self._inputs
+
+    def describe(self) -> Dict[str, Any]:
+        """Reflective summary used by the PSL inspection API."""
+        return {
+            "name": self.name,
+            "type": type(self).__name__,
+            "inputs": {
+                p.name: {
+                    "accepts": list(p.accepts),
+                    "required_features": list(p.required_features),
+                }
+                for p in self._inputs.values()
+            },
+            "capabilities": list(self.output_port.capabilities),
+            "features": [f.name for f in self._features],
+            "methods": self.public_methods(),
+        }
+
+    def public_methods(self) -> List[str]:
+        """All public methods, including ones added by features."""
+        own = [
+            name
+            for name in dir(type(self))
+            if not name.startswith("_")
+            and callable(getattr(self, name, None))
+        ]
+        for feature in self._features:
+            own.extend(
+                f"{feature.name}.{m}" for m in feature.exposed_methods()
+            )
+        return sorted(own)
+
+    # -- features (paper Fig. 3a) -------------------------------------------
+
+    @property
+    def features(self) -> List[ComponentFeature]:
+        return list(self._features)
+
+    def attach_feature(self, feature: ComponentFeature) -> None:
+        """Attach a Component Feature, extending the output capabilities."""
+        if any(f.name == feature.name for f in self._features):
+            raise FeatureError(
+                f"component {self.name} already has a feature named"
+                f" {feature.name!r}"
+            )
+        feature._attach(self)
+        self._features.append(feature)
+        extra = tuple(
+            k
+            for k in feature.provides
+            if k not in self.output_port.capabilities
+        )
+        self.output_port = OutputPort(self.output_port.capabilities + extra)
+
+    def detach_feature(self, name: str) -> ComponentFeature:
+        """Remove a feature by name, restoring base capabilities."""
+        for feature in self._features:
+            if feature.name == name:
+                feature._detach()
+                self._features.remove(feature)
+                self._recompute_capabilities()
+                return feature
+        raise FeatureError(f"component {self.name} has no feature {name!r}")
+
+    def _recompute_capabilities(self) -> None:
+        caps = list(self._base_capabilities)
+        for feature in self._features:
+            caps.extend(k for k in feature.provides if k not in caps)
+        self.output_port = OutputPort(tuple(caps))
+
+    def get_feature(
+        self, key: Union[str, Type[F]]
+    ) -> Optional[ComponentFeature]:
+        """Look a feature up by name or by class."""
+        for feature in self._features:
+            if isinstance(key, str):
+                if feature.name == key:
+                    return feature
+            elif isinstance(feature, key):
+                return feature
+        return None
+
+    def has_feature(self, key: Union[str, Type[ComponentFeature]]) -> bool:
+        """Whether a feature with this name/class is attached."""
+        return self.get_feature(key) is not None
+
+    def provided_feature_names(self) -> List[str]:
+        """Names of all attached features."""
+        return [f.name for f in self._features]
+
+    # -- data flow -----------------------------------------------------------
+
+    def receive(self, port_name: str, datum: Datum) -> None:
+        """Deliver one datum to an input port (called by the graph)."""
+        port = self.input_port(port_name)
+        if not port.accepts_kind(datum.kind):
+            raise ComponentError(
+                f"port {self.name}.{port_name} does not accept kind"
+                f" {datum.kind!r}"
+            )
+        for feature in self._features:
+            intercepted = feature.consume(datum)
+            if intercepted is None:
+                return
+            if intercepted.kind != datum.kind:
+                raise FeatureError(
+                    f"feature {feature.name} changed data kind"
+                    f" {datum.kind!r} -> {intercepted.kind!r}"
+                )
+            datum = intercepted
+        if self._observer is not None:
+            self._observer.data_consumed(self, port_name, datum)
+        self.process(port_name, datum)
+
+    @abc.abstractmethod
+    def process(self, port_name: str, datum: Datum) -> None:
+        """Handle one datum; call :meth:`produce` for any results."""
+
+    def produce(self, datum: Datum) -> None:
+        """Send a datum out through the output port.
+
+        Runs the feature ``produce`` chain, then hands the datum to the
+        graph for delivery.  Producing a kind outside the output port's
+        capabilities is a contract violation and raises.
+        """
+        if not self.output_port.can_produce(datum.kind):
+            raise ComponentError(
+                f"component {self.name} declared capabilities"
+                f" {list(self.output_port.capabilities)}, cannot produce"
+                f" kind {datum.kind!r}"
+            )
+        if not datum.producer:
+            datum = datum.from_producer(self.name)
+        for feature in self._features:
+            intercepted = feature.produce(datum)
+            if intercepted is None:
+                return
+            if intercepted.kind != datum.kind:
+                raise FeatureError(
+                    f"feature {feature.name} changed data kind"
+                    f" {datum.kind!r} -> {intercepted.kind!r}"
+                )
+            datum = intercepted
+        self._send(datum)
+
+    def emit_feature_data(self, datum: Datum) -> None:
+        """Emit feature-added data, bypassing the produce hooks.
+
+        Called by :meth:`ComponentFeature.add_data`; the capability was
+        added to the output port when the feature attached.
+        """
+        if not self.output_port.can_produce(datum.kind):
+            raise ComponentError(
+                f"feature data kind {datum.kind!r} not in capabilities of"
+                f" {self.name}"
+            )
+        self._send(datum)
+
+    def _send(self, datum: Datum) -> None:
+        if self._observer is not None:
+            self._observer.data_produced(self, datum)
+        if self._deliver is not None:
+            self._deliver(datum)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ComponentObserver(abc.ABC):
+    """Receives component-level data events; implemented by the graph."""
+
+    @abc.abstractmethod
+    def data_consumed(
+        self, component: ProcessingComponent, port_name: str, datum: Datum
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def data_produced(
+        self, component: ProcessingComponent, datum: Datum
+    ) -> None: ...
+
+
+class SourceComponent(ProcessingComponent):
+    """A leaf node: no inputs, produces data injected from outside.
+
+    Sensor adapters push readings in via :meth:`inject`.
+    """
+
+    def __init__(self, name: str, capabilities: Sequence[str]) -> None:
+        super().__init__(name, inputs=(), output=OutputPort(tuple(capabilities)))
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        raise ComponentError(f"source {self.name} has no inputs")
+
+    def inject(self, datum: Datum) -> None:
+        """Feed externally generated data into the graph."""
+        self.produce(datum)
+
+
+class FunctionComponent(ProcessingComponent):
+    """A component defined by a plain function.
+
+    ``fn(datum) -> None | Datum | iterable of Datum``; results are
+    produced in order.  Handy for small filters and adapters, and for
+    tests that need throwaway components.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        accepts: Sequence[str],
+        capabilities: Sequence[str],
+        fn: Callable[[Datum], Union[None, Datum, Iterable[Datum]]],
+        required_features: Sequence[str] = (),
+    ) -> None:
+        super().__init__(
+            name,
+            inputs=(
+                InputPort(
+                    "in",
+                    tuple(accepts),
+                    required_features=tuple(required_features),
+                ),
+            ),
+            output=OutputPort(tuple(capabilities)),
+        )
+        self._fn = fn
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        result = self._fn(datum)
+        if result is None:
+            return
+        if isinstance(result, Datum):
+            result = [result]
+        for item in result:
+            self.produce(item)
+
+
+class ApplicationSink(ProcessingComponent):
+    """The root of the processing tree: the application receiving data.
+
+    Collects everything delivered to it and notifies registered
+    listeners.  The Positioning Layer wraps one of these per provider.
+    """
+
+    def __init__(
+        self, name: str, accepts: Sequence[str], keep_last: int = 1000
+    ) -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", tuple(accepts)),),
+            output=OutputPort(()),
+        )
+        self._keep_last = keep_last
+        self.received: List[Datum] = []
+        self._listeners: List[Callable[[Datum], None]] = []
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        self.received.append(datum)
+        if len(self.received) > self._keep_last:
+            del self.received[: len(self.received) - self._keep_last]
+        for listener in list(self._listeners):
+            listener(datum)
+
+    def add_listener(
+        self, listener: Callable[[Datum], None]
+    ) -> Callable[[], None]:
+        self._listeners.append(listener)
+
+        def _remove() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return _remove
+
+    def last(self, kind: Optional[str] = None) -> Optional[Datum]:
+        """Most recent datum, optionally restricted to one kind."""
+        for datum in reversed(self.received):
+            if kind is None or datum.kind == kind:
+                return datum
+        return None

@@ -1,0 +1,297 @@
+"""Declarative system-level configurations (paper §2.1).
+
+The second of the paper's three connection-establishment modes:
+"explicitly defined system level configurations".  A configuration is a
+JSON-compatible mapping describing components (by registered type name
+and constructor parameters), Component Features to attach, connections
+(explicit edges or ``"auto"`` for capability matching), Channel Features,
+and providers.  :func:`load_configuration` materialises it onto a
+:class:`~repro.core.middleware.PerPos` instance.
+
+Example::
+
+    {
+        "components": [
+            {"type": "nmea-parser", "name": "parser"},
+            {"type": "nmea-interpreter", "name": "interpreter"},
+        ],
+        "features": [
+            {"component": "parser", "type": "hdop"}
+        ],
+        "connections": [
+            {"from": "gps", "to": "parser"},
+            {"from": "parser", "to": "interpreter"}
+        ],
+        "providers": [
+            {"name": "app", "accepts": ["position-wgs84"],
+             "connect_from": ["interpreter"]}
+        ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.core.assembly import AutoAssembler
+from repro.core.component import ProcessingComponent
+from repro.core.features import ComponentFeature
+from repro.core.middleware import PerPos
+
+
+class ConfigurationError(Exception):
+    """Raised on malformed configurations or unknown type names."""
+
+
+class ComponentTypeRegistry:
+    """Names component and feature constructors for configurations.
+
+    The registry ships with the stock processing components; bundles and
+    applications register their own types the same way custom components
+    join the paper's middleware.
+    """
+
+    def __init__(self) -> None:
+        self._components: Dict[str, Callable[..., ProcessingComponent]] = {}
+        self._features: Dict[str, Callable[..., ComponentFeature]] = {}
+
+    def register_component(
+        self, type_name: str, factory: Callable[..., ProcessingComponent]
+    ) -> None:
+        if type_name in self._components:
+            raise ConfigurationError(
+                f"component type {type_name!r} already registered"
+            )
+        self._components[type_name] = factory
+
+    def register_feature(
+        self, type_name: str, factory: Callable[..., ComponentFeature]
+    ) -> None:
+        if type_name in self._features:
+            raise ConfigurationError(
+                f"feature type {type_name!r} already registered"
+            )
+        self._features[type_name] = factory
+
+    def create_component(
+        self, type_name: str, **params: Any
+    ) -> ProcessingComponent:
+        try:
+            factory = self._components[type_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown component type {type_name!r};"
+                f" known: {sorted(self._components)}"
+            ) from None
+        return factory(**params)
+
+    def create_feature(self, type_name: str, **params: Any) -> ComponentFeature:
+        try:
+            factory = self._features[type_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown feature type {type_name!r};"
+                f" known: {sorted(self._features)}"
+            ) from None
+        return factory(**params)
+
+    def component_types(self) -> List[str]:
+        return sorted(self._components)
+
+    def feature_types(self) -> List[str]:
+        return sorted(self._features)
+
+
+def default_registry() -> ComponentTypeRegistry:
+    """Registry preloaded with the stock components and features."""
+    # Imported here to keep repro.core free of upward dependencies.
+    from repro.processing.filters import SatelliteFilterComponent
+    from repro.processing.fusion import BestAccuracyFusionComponent
+    from repro.processing.gps_features import (
+        HdopFeature,
+        NumberOfSatellitesFeature,
+    )
+    from repro.processing.interpreter import NmeaInterpreterComponent
+    from repro.processing.parser import NmeaParserComponent
+
+    registry = ComponentTypeRegistry()
+    registry.register_component("nmea-parser", NmeaParserComponent)
+    registry.register_component("nmea-interpreter", NmeaInterpreterComponent)
+    registry.register_component(
+        "satellite-filter", SatelliteFilterComponent
+    )
+    registry.register_component("fusion", BestAccuracyFusionComponent)
+    registry.register_feature("hdop", HdopFeature)
+    registry.register_feature(
+        "number-of-satellites", NumberOfSatellitesFeature
+    )
+    return registry
+
+
+def load_configuration(
+    middleware: PerPos,
+    configuration: Union[Mapping[str, Any], str, Path],
+    registry: Optional[ComponentTypeRegistry] = None,
+) -> Dict[str, Any]:
+    """Materialise a configuration onto a middleware instance.
+
+    Accepts a mapping, a JSON string, or a path to a JSON file.  Returns
+    a summary: created component names, attached features, connections.
+    """
+    registry = registry or default_registry()
+    config = _coerce(configuration)
+
+    created: List[str] = []
+    for entry in config.get("components", ()):
+        entry = dict(entry)
+        type_name = entry.pop("type", None)
+        if not type_name:
+            raise ConfigurationError(f"component entry missing type: {entry}")
+        component = registry.create_component(type_name, **entry)
+        middleware.graph.add(component)
+        created.append(component.name)
+
+    attached: List[str] = []
+    for entry in config.get("features", ()):
+        entry = dict(entry)
+        target = entry.pop("component", None)
+        type_name = entry.pop("type", None)
+        if not target or not type_name:
+            raise ConfigurationError(
+                f"feature entry needs component and type: {entry}"
+            )
+        feature = registry.create_feature(type_name, **entry)
+        middleware.psl.attach_feature(target, feature)
+        attached.append(f"{target}#{feature.name}")
+
+    connections: List[str] = []
+    declared = config.get("connections", ())
+    if declared == "auto":
+        assembler = AutoAssembler(middleware.graph)
+        for name in created:
+            assembler.add(middleware.graph.component(name))
+        connections.append(f"auto ({assembler.resolve()} resolved)")
+    else:
+        for entry in declared:
+            try:
+                producer, consumer = entry["from"], entry["to"]
+            except (TypeError, KeyError):
+                raise ConfigurationError(
+                    f"connection entry needs from/to: {entry!r}"
+                ) from None
+            middleware.graph.connect(
+                producer, consumer, entry.get("port")
+            )
+            connections.append(f"{producer}->{consumer}")
+
+    providers: List[str] = []
+    for entry in config.get("providers", ()):
+        provider = middleware.create_provider(
+            entry["name"],
+            accepts=tuple(entry["accepts"]),
+            technologies=tuple(entry.get("technologies", ())),
+        )
+        for producer in entry.get("connect_from", ()):
+            middleware.graph.connect(producer, provider.sink.name)
+        providers.append(provider.name)
+
+    return {
+        "components": created,
+        "features": attached,
+        "connections": connections,
+        "providers": providers,
+    }
+
+
+def save_configuration(
+    middleware: PerPos,
+    type_names: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Export the current graph as a declarative configuration.
+
+    The inverse of :func:`load_configuration` for the structural parts:
+    components (typed via ``type_names`` -- a mapping from component
+    *class* name to registered type name -- defaulting to the stock
+    types), attached features, and explicit connections.  Providers are
+    exported with their sink wiring.  Constructor parameters beyond the
+    name are not recoverable from a live instance and are omitted; the
+    export reproduces topology, not tuning.
+    """
+    known_types = dict(DEFAULT_TYPE_NAMES)
+    if type_names:
+        known_types.update(type_names)
+    provider_names = {
+        p.name for p in middleware.positioning.providers()
+    }
+    components = []
+    features = []
+    for component in middleware.graph.components():
+        class_name = type(component).__name__
+        if component.name in provider_names:
+            continue  # exported in the providers section
+        if class_name in known_types:
+            components.append(
+                {
+                    "type": known_types[class_name],
+                    "name": component.name,
+                }
+            )
+        for feature in component.features:
+            feature_class = type(feature).__name__
+            if feature_class in known_types:
+                features.append(
+                    {
+                        "component": component.name,
+                        "type": known_types[feature_class],
+                    }
+                )
+    providers = []
+    for provider in middleware.positioning.providers():
+        providers.append(
+            {
+                "name": provider.name,
+                "accepts": list(provider.kinds),
+                "technologies": list(provider.technologies),
+                "connect_from": sorted(
+                    middleware.graph.upstream(provider.sink.name)
+                ),
+            }
+        )
+    connections = [
+        {"from": c.producer, "to": c.consumer, "port": c.port}
+        for c in middleware.graph.connections()
+        if c.consumer not in provider_names
+    ]
+    return {
+        "components": components,
+        "features": features,
+        "connections": connections,
+        "providers": providers,
+    }
+
+
+#: Class name -> registered type name for the stock components/features.
+DEFAULT_TYPE_NAMES: Dict[str, str] = {
+    "NmeaParserComponent": "nmea-parser",
+    "NmeaInterpreterComponent": "nmea-interpreter",
+    "SatelliteFilterComponent": "satellite-filter",
+    "BestAccuracyFusionComponent": "fusion",
+    "HdopFeature": "hdop",
+    "NumberOfSatellitesFeature": "number-of-satellites",
+}
+
+
+def _coerce(configuration: Union[Mapping[str, Any], str, Path]) -> Mapping:
+    if isinstance(configuration, Mapping):
+        return configuration
+    if isinstance(configuration, Path) or (
+        isinstance(configuration, str) and configuration.lstrip()[:1] != "{"
+    ):
+        with open(configuration, encoding="utf-8") as fh:
+            return json.load(fh)
+    try:
+        return json.loads(configuration)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"bad configuration JSON: {exc}") from exc

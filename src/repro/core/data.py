@@ -1,0 +1,99 @@
+"""The data envelope that flows along processing-graph edges.
+
+Edges in the PerPos graph "represent the data that flows between
+components" (paper §2).  Every element on an edge is a :class:`Datum`: a
+typed payload with a wall-clock timestamp and provenance.  The ``kind``
+string is the unit of capability matching -- output ports declare the
+kinds they can produce, input ports the kinds they accept -- and of
+feature-added data routing (paper §2.1 "Adding Data": generated data is
+only propagated if the next component explicitly accepts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class Kind:
+    """Well-known data kinds used by the built-in components.
+
+    Kinds are plain strings so applications can mint their own; these
+    constants just name the ones the stock pipeline speaks.
+    """
+
+    NMEA_RAW = "nmea-raw"  # serial string fragments from a GPS device
+    NMEA_SENTENCE = "nmea-sentence"  # parsed NMEA sentence values
+    POSITION_WGS84 = "position-wgs84"  # geodetic positions
+    POSITION_GRID = "position-grid"  # building-grid positions
+    ROOM_ID = "room-id"  # symbolic locations
+    WIFI_SCAN = "wifi-scan"  # WiFi RSSI scans
+    BEACON_SCAN = "beacon-scan"  # BLE beacon sightings
+    ACCEL_VARIANCE = "accel-variance"  # accelerometer motion energy
+    HDOP = "hdop"  # feature-added dilution of precision
+    NUM_SATELLITES = "num-satellites"  # feature-added satellite count
+    SEGMENT = "trajectory-segment"  # windowed position sequences
+    SEGMENT_FEATURES = "segment-features"  # motion statistics per segment
+    TRANSPORT_MODE = "transport-mode"  # classified movement mode
+
+
+@dataclass(frozen=True)
+class Datum:
+    """One unit of data travelling through the processing graph.
+
+    Parameters
+    ----------
+    kind:
+        Capability string; drives routing and port compatibility.
+    payload:
+        The value itself (an NMEA sentence, a position, a scan, ...).
+    timestamp:
+        Simulation wall-clock time the underlying observation was made.
+    producer:
+        Name of the component (or feature) that produced this datum.
+    attributes:
+        Free-form annotations; features use this to associate extra data
+        with an element without changing its type.
+    """
+
+    kind: str
+    payload: Any
+    timestamp: float
+    producer: str = ""
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_payload(self, payload: Any) -> "Datum":
+        """Copy with a different payload (same kind/time/provenance).
+
+        Component Features use this in ``consume``/``produce`` hooks: the
+        paper allows them to alter data but not to change its type.
+        """
+        return Datum(
+            kind=self.kind,
+            payload=payload,
+            timestamp=self.timestamp,
+            producer=self.producer,
+            attributes=self.attributes,
+        )
+
+    def annotated(self, **annotations: Any) -> "Datum":
+        """Copy with extra attributes merged in."""
+        merged = dict(self.attributes)
+        merged.update(annotations)
+        return Datum(
+            kind=self.kind,
+            payload=self.payload,
+            timestamp=self.timestamp,
+            producer=self.producer,
+            attributes=merged,
+        )
+
+    def from_producer(self, producer: str) -> "Datum":
+        """Copy re-attributed to ``producer``."""
+        return Datum(
+            kind=self.kind,
+            payload=self.payload,
+            timestamp=self.timestamp,
+            producer=producer,
+            attributes=self.attributes,
+        )

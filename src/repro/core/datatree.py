@@ -1,0 +1,131 @@
+"""Logical time and the per-output data tree (paper §2.2, Fig. 4).
+
+"To support extension a Channel groups the output of every internal
+processing step into logically coherent groups.  For each data element
+produced by a Channel it collects all intermediate data elements that
+logically contributed to that element and places them in a hierarchical
+data structure. ... the data is presented as tuples with three elements:
+the data, the logical time of the current layer, the time range of the
+data used to generate the element."
+
+:class:`DataTreeElement` is that tuple (plus provenance); a
+:class:`DataTree` is the per-output grouping handed to Channel Features'
+``apply``.  The paper's Fig. 4 example -- one WGS84 position over two NMEA
+sentences over five raw strings, where the first sentence held no valid
+fix -- renders exactly via :meth:`DataTree.render`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.data import Datum
+
+
+@dataclass(frozen=True)
+class DataTreeElement:
+    """One ``(data, logical time, time range)`` tuple of Fig. 4.
+
+    ``time_range`` is the inclusive span of logical times at the layer
+    below whose elements contributed to this one; ``None`` for layer 0
+    (the paper renders it "N/A").
+    """
+
+    datum: Datum
+    logical_time: int
+    time_range: Optional[Tuple[int, int]]
+    layer: int
+    producer: str
+
+    def describe(self) -> str:
+        span = (
+            "N/A"
+            if self.time_range is None
+            else f"{self.time_range[0]}-{self.time_range[1]}"
+        )
+        return f"({self.datum.kind}, {self.logical_time}, {span})"
+
+
+class DataTree:
+    """The contributing elements behind one channel output.
+
+    ``layers`` is ordered source-first: ``layers[0]`` holds the raw
+    sensor elements, ``layers[-1]`` holds exactly the output element.
+    Channel Features must not assume a fixed number of layers or a fixed
+    number of elements per layer (paper §2.2: "the feature must handle
+    the complexity of not knowing for example the number of layers in the
+    data tree or the number of data chunks of each kind").
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Sequence[DataTreeElement]],
+        layer_names: Sequence[str],
+    ) -> None:
+        if not layers or not layers[-1]:
+            raise ValueError("a data tree needs a root output element")
+        if len(layers) != len(layer_names):
+            raise ValueError("one name per layer required")
+        self._layers: List[List[DataTreeElement]] = [
+            list(layer) for layer in layers
+        ]
+        self.layer_names = list(layer_names)
+
+    @property
+    def root(self) -> DataTreeElement:
+        """The channel output this tree explains."""
+        return self._layers[-1][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self._layers)
+
+    def layer(self, index: int) -> List[DataTreeElement]:
+        return list(self._layers[index])
+
+    def elements(self) -> List[DataTreeElement]:
+        """Every element, source layer first."""
+        return [e for layer in self._layers for e in layer]
+
+    def get_data(self, kind: str) -> List[Tuple[str, Any]]:
+        """``(producer, payload)`` pairs for every element of ``kind``.
+
+        This is the paper's ``dataTree.getData(NMEASentence.class)``
+        lookup from the Likelihood feature (Fig. 5, snippet 2).
+        """
+        return [
+            (e.producer, e.datum.payload)
+            for e in self.elements()
+            if e.datum.kind == kind
+        ]
+
+    def contributors(
+        self, element: DataTreeElement
+    ) -> List[DataTreeElement]:
+        """Elements at the layer below within ``element``'s time range."""
+        if element.layer == 0 or element.time_range is None:
+            return []
+        low, high = element.time_range
+        return [
+            e
+            for e in self._layers[element.layer - 1]
+            if low <= e.logical_time <= high
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering in the style of Fig. 4 (source layer last)."""
+        lines = []
+        for index in range(self.depth - 1, -1, -1):
+            cells = "   ".join(
+                e.describe() for e in self._layers[index]
+            )
+            lines.append(f"L{index} {self.layer_names[index]:<14} {cells}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DataTree(root={self.root.datum.kind!r},"
+            f" depth={self.depth},"
+            f" elements={len(self.elements())})"
+        )

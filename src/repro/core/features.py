@@ -1,0 +1,153 @@
+"""Component Features: the paper's per-component extension mechanism.
+
+Paper §2.1, Fig. 3(a): "Component Features are small code modules that can
+hook into a component and augment it in three ways.  Firstly, data can be
+manipulated when flowing into or out of the component.  Secondly,
+additional data can be associated with the data flowing out of the
+component.  Thirdly, component state can be read, exposed and
+manipulated."
+
+:class:`ComponentFeature` realises all three:
+
+* override :meth:`consume` / :meth:`produce` to rewrite data in flight
+  (the hooks may alter the payload but not the kind);
+* call :meth:`add_data` from a hook to emit a *new* datum through the host
+  component's output port -- it carries the feature's ``provides`` kind and
+  is only delivered to downstream ports that declare they accept it;
+* define ordinary methods on the feature subclass; they become visible
+  through the host component's reflective API
+  (``component.get_feature(...)`` / ``component.feature_methods()``),
+  which is how the paper's HDOP and Power Strategy features expose state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.core.data import Datum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.component import ProcessingComponent
+
+
+class FeatureError(Exception):
+    """Raised on illegal feature operations (bad attach, kind change)."""
+
+
+class ComponentFeature:
+    """Base class for features attached to a processing component.
+
+    Subclasses may set:
+
+    ``name``
+        Identity used for lookup; defaults to the class name.
+    ``provides``
+        Kinds of feature-added data this feature may emit via
+        :meth:`add_data` (advertised on the host's output port).
+    ``requires_kinds``
+        Kinds the host component must be able to produce for this feature
+        to make sense; checked at attach time.
+    """
+
+    name: str = ""
+    provides: Tuple[str, ...] = ()
+    requires_kinds: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+        self._component: Optional["ProcessingComponent"] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def component(self) -> "ProcessingComponent":
+        if self._component is None:
+            raise FeatureError(f"feature {self.name} is not attached")
+        return self._component
+
+    @property
+    def attached(self) -> bool:
+        return self._component is not None
+
+    def _attach(self, component: "ProcessingComponent") -> None:
+        if self._component is not None:
+            raise FeatureError(
+                f"feature {self.name} already attached to"
+                f" {self._component.name}"
+            )
+        missing = [
+            kind
+            for kind in self.requires_kinds
+            if kind not in component.output_port.capabilities
+        ]
+        if missing:
+            raise FeatureError(
+                f"feature {self.name} requires kinds {missing} that"
+                f" component {component.name} does not produce"
+            )
+        self._component = component
+        self.on_attached()
+
+    def _detach(self) -> None:
+        self.on_detached()
+        self._component = None
+
+    def on_attached(self) -> None:
+        """Hook called after the feature is attached."""
+
+    def on_detached(self) -> None:
+        """Hook called before the feature is removed."""
+
+    # -- data interception (augmentation type 1) --------------------------
+
+    def consume(self, datum: Datum) -> Optional[Datum]:
+        """Intercept data flowing *into* the host component.
+
+        Return a (possibly altered) datum to pass on, or ``None`` to drop
+        it before the component sees it.  The kind must not change.
+        """
+        return datum
+
+    def produce(self, datum: Datum) -> Optional[Datum]:
+        """Intercept data flowing *out of* the host component.
+
+        Same contract as :meth:`consume`, applied to outgoing data.
+        """
+        return datum
+
+    # -- feature-added data (augmentation type 2) --------------------------
+
+    def add_data(self, datum: Datum) -> None:
+        """Emit a new datum as if produced by the host component.
+
+        The datum's kind must be one this feature declared in
+        ``provides``.  It propagates through the graph like ordinary
+        output, but only into input ports that explicitly accept the
+        kind (paper §2.1).
+        """
+        if datum.kind not in self.provides:
+            raise FeatureError(
+                f"feature {self.name} declared provides={self.provides},"
+                f" cannot add data of kind {datum.kind!r}"
+            )
+        self.component.emit_feature_data(
+            datum.from_producer(f"{self.component.name}#{self.name}")
+        )
+
+    # -- reflection helpers ------------------------------------------------
+
+    def exposed_methods(self) -> List[str]:
+        """Public methods this feature adds to its host component."""
+        base = set(dir(ComponentFeature))
+        return sorted(
+            name
+            for name in dir(type(self))
+            if not name.startswith("_")
+            and name not in base
+            and callable(getattr(self, name))
+        )
+
+    def __repr__(self) -> str:
+        host = self._component.name if self._component else "unattached"
+        return f"{type(self).__name__}(name={self.name!r}, host={host})"

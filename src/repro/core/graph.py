@@ -1,0 +1,384 @@
+"""The reified processing graph and its manipulation API.
+
+Paper §2: "the PerPos middleware is designed around the central idea of
+representing individual steps of the actual positioning process explicitly
+as a directed acyclic graph based on the flow of information from sensors
+to application code."  §2.1: "Applications can manipulate the composition
+of components in the tree through the API of the PSL, e.g., insert,
+delete and connect."
+
+This graph *is* the positioning process -- there is no second, shadow
+structure to keep causally connected: components hand produced data to the
+graph, and the graph routes it along the current edge set.  Manipulating
+the graph therefore changes the live process, which is exactly the causal
+connection the paper's reflection design calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.component import ComponentObserver, ProcessingComponent
+from repro.core.data import Datum
+
+
+class GraphError(Exception):
+    """Raised on illegal graph manipulation."""
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed edge: producer's output into one consumer input port."""
+
+    producer: str
+    consumer: str
+    port: str
+
+
+class GraphObserver:
+    """Callbacks for observing the live graph; all optional.
+
+    Channels (PCL) subscribe to reconstruct logical time; the overhead
+    ablation benchmark subscribes to count traffic.
+    """
+
+    def data_consumed(
+        self, component: ProcessingComponent, port_name: str, datum: Datum
+    ) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def data_produced(
+        self, component: ProcessingComponent, datum: Datum
+    ) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def topology_changed(self, graph: "ProcessingGraph") -> None:  # pragma: no cover
+        pass
+
+
+class ProcessingGraph(ComponentObserver):
+    """A mutable DAG of processing components with synchronous delivery."""
+
+    def __init__(self) -> None:
+        self._components: Dict[str, ProcessingComponent] = {}
+        self._connections: List[Connection] = []
+        self._observers: List[GraphObserver] = []
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, component: ProcessingComponent) -> ProcessingComponent:
+        """Add a component to the graph (unconnected)."""
+        if component.name in self._components:
+            raise GraphError(
+                f"graph already contains a component named"
+                f" {component.name!r}"
+            )
+        self._components[component.name] = component
+        component._observer = self
+        component._deliver = lambda datum, _name=component.name: (
+            self._route(_name, datum)
+        )
+        self._notify_topology()
+        return component
+
+    def remove(self, name: str, reconnect: bool = False) -> ProcessingComponent:
+        """Remove a component, optionally splicing its neighbours together.
+
+        With ``reconnect=True`` every upstream producer is connected to
+        every downstream consumer port that is compatible, which is how
+        the PSL "delete" keeps a pipeline flowing when a filter is taken
+        out.
+        """
+        component = self.component(name)
+        upstream = [c for c in self._connections if c.consumer == name]
+        downstream = [c for c in self._connections if c.producer == name]
+        self._connections = [
+            c
+            for c in self._connections
+            if c.producer != name and c.consumer != name
+        ]
+        del self._components[name]
+        component._observer = None
+        component._deliver = None
+        if reconnect:
+            for up in upstream:
+                for down in downstream:
+                    try:
+                        self.connect(up.producer, down.consumer, down.port)
+                    except GraphError:
+                        continue
+        self._notify_topology()
+        return component
+
+    def component(self, name: str) -> ProcessingComponent:
+        """Look a component up by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise GraphError(f"no component named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def components(self) -> List[ProcessingComponent]:
+        """All components currently in the graph."""
+        return list(self._components.values())
+
+    def connections(self) -> List[Connection]:
+        """All current edges."""
+        return list(self._connections)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(
+        self,
+        producer: str,
+        consumer: str,
+        port: Optional[str] = None,
+    ) -> Connection:
+        """Connect ``producer``'s output to an input port of ``consumer``.
+
+        When ``port`` is omitted the first compatible input port is used.
+        The connection is validated: kind overlap, required Component
+        Features present on the producer, and acyclicity.
+        """
+        src = self.component(producer)
+        dst = self.component(consumer)
+        if port is None:
+            port = self._pick_port(src, dst)
+        in_port = dst.input_port(port)
+        if not set(in_port.accepts) & set(src.output_port.capabilities):
+            raise GraphError(
+                f"no kind overlap: {producer} produces"
+                f" {list(src.output_port.capabilities)},"
+                f" {consumer}.{port} accepts {list(in_port.accepts)}"
+            )
+        missing = [
+            f
+            for f in in_port.required_features
+            if not src.has_feature(f)
+        ]
+        if missing:
+            raise GraphError(
+                f"{consumer}.{port} requires features {missing} that"
+                f" {producer} does not provide"
+            )
+        connection = Connection(producer, consumer, port)
+        if connection in self._connections:
+            raise GraphError(f"duplicate connection {connection}")
+        if producer in self.descendants(consumer) or producer == consumer:
+            raise GraphError(
+                f"connecting {producer} -> {consumer} would create a cycle"
+            )
+        self._connections.append(connection)
+        self._notify_topology()
+        return connection
+
+    def _pick_port(
+        self, src: ProcessingComponent, dst: ProcessingComponent
+    ) -> str:
+        for in_port in dst.input_ports:
+            if set(in_port.accepts) & set(src.output_port.capabilities):
+                return in_port.name
+        raise GraphError(
+            f"no input port of {dst.name} accepts anything {src.name}"
+            " produces"
+        )
+
+    def disconnect(
+        self, producer: str, consumer: str, port: Optional[str] = None
+    ) -> None:
+        """Remove matching edges; raises if none existed."""
+        before = len(self._connections)
+        self._connections = [
+            c
+            for c in self._connections
+            if not (
+                c.producer == producer
+                and c.consumer == consumer
+                and (port is None or c.port == port)
+            )
+        ]
+        if len(self._connections) == before:
+            raise GraphError(
+                f"no connection {producer} -> {consumer}"
+                + (f".{port}" if port else "")
+            )
+        self._notify_topology()
+
+    def insert_between(
+        self,
+        producer: str,
+        consumer: str,
+        component: ProcessingComponent,
+        port: Optional[str] = None,
+    ) -> None:
+        """Splice ``component`` into an existing edge.
+
+        This is the paper's §3.1 operation: "We insert the filter
+        component after the Parser component."
+        """
+        existing = [
+            c
+            for c in self._connections
+            if c.producer == producer
+            and c.consumer == consumer
+            and (port is None or c.port == port)
+        ]
+        if not existing:
+            raise GraphError(
+                f"no existing connection {producer} -> {consumer} to"
+                " splice into"
+            )
+        if component.name not in self._components:
+            self.add(component)
+        for edge in existing:
+            self.disconnect(edge.producer, edge.consumer, edge.port)
+        already_fed = any(
+            c.producer == producer and c.consumer == component.name
+            for c in self._connections
+        )
+        if not already_fed:
+            # Splicing the same component into several edges of one
+            # producer (insert_after) shares a single feeding connection.
+            self.connect(producer, component.name)
+        for edge in existing:
+            self.connect(component.name, edge.consumer, edge.port)
+
+    # -- traversal --------------------------------------------------------------
+
+    def upstream(self, name: str) -> List[str]:
+        """Direct producers feeding ``name``."""
+        self.component(name)
+        return [c.producer for c in self._connections if c.consumer == name]
+
+    def downstream(self, name: str) -> List[str]:
+        """Direct consumers of ``name``'s output."""
+        self.component(name)
+        return [c.consumer for c in self._connections if c.producer == name]
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All transitive producers feeding ``name``."""
+        seen: Set[str] = set()
+        frontier = list(self.upstream(name))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self.upstream(node))
+        return seen
+
+    def descendants(self, name: str) -> Set[str]:
+        """All transitive consumers of ``name``'s output."""
+        seen: Set[str] = set()
+        frontier = list(self.downstream(name))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self.downstream(node))
+        return seen
+
+    def sources(self) -> List[ProcessingComponent]:
+        """Leaf nodes: components with no inbound connections."""
+        consumers = {c.consumer for c in self._connections}
+        have_inputs = {
+            name
+            for name, comp in self._components.items()
+            if comp.input_ports
+        }
+        return [
+            comp
+            for name, comp in self._components.items()
+            if name not in consumers or name not in have_inputs
+            if not self.upstream(name)
+        ]
+
+    def sinks(self) -> List[ProcessingComponent]:
+        """Root nodes: components with no outbound connections."""
+        producers = {c.producer for c in self._connections}
+        return [
+            comp
+            for name, comp in self._components.items()
+            if name not in producers
+        ]
+
+    def merge_points(self) -> List[ProcessingComponent]:
+        """Components combining data from two or more producers."""
+        return [
+            comp
+            for name, comp in self._components.items()
+            if len(self.upstream(name)) >= 2
+        ]
+
+    # -- delivery -----------------------------------------------------------------
+
+    def _route(self, producer: str, datum: Datum) -> None:
+        for connection in list(self._connections):
+            if connection.producer != producer:
+                continue
+            consumer = self._components.get(connection.consumer)
+            if consumer is None:
+                continue
+            port = consumer.input_port(connection.port)
+            if port.accepts_kind(datum.kind):
+                consumer.receive(connection.port, datum)
+
+    # -- observation ----------------------------------------------------------------
+
+    def add_observer(self, observer: GraphObserver) -> Callable[[], None]:
+        """Subscribe to graph events; returns an unsubscribe callable."""
+        self._observers.append(observer)
+
+        def _remove() -> None:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+        return _remove
+
+    def data_consumed(
+        self, component: ProcessingComponent, port_name: str, datum: Datum
+    ) -> None:
+        """Component callback: fan the consume event out to observers."""
+        for observer in list(self._observers):
+            observer.data_consumed(component, port_name, datum)
+
+    def data_produced(
+        self, component: ProcessingComponent, datum: Datum
+    ) -> None:
+        """Component callback: fan the produce event out to observers."""
+        for observer in list(self._observers):
+            observer.data_produced(component, datum)
+
+    def _notify_topology(self) -> None:
+        for observer in list(self._observers):
+            observer.topology_changed(self)
+
+    # -- display -----------------------------------------------------------------------
+
+    def render_tree(self, root: Optional[str] = None, indent: str = "") -> str:
+        """ASCII rendering of the processing tree, root at the top.
+
+        Matches the paper's presentation of the graph "as a tree where
+        data is traveling from leaf nodes toward the root".
+        """
+        roots = [root] if root else [c.name for c in self.sinks()]
+        lines: List[str] = []
+
+        def _walk(name: str, depth: int) -> None:
+            comp = self._components[name]
+            feature_note = (
+                " [" + ", ".join(f.name for f in comp.features) + "]"
+                if comp.features
+                else ""
+            )
+            lines.append("  " * depth + f"{name}{feature_note}")
+            for producer in sorted(self.upstream(name)):
+                _walk(producer, depth + 1)
+
+        for r in sorted(roots):
+            _walk(r, 0)
+        return "\n".join(lines)

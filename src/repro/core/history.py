@@ -1,0 +1,195 @@
+"""Track history: a utility service of the Positioning Layer.
+
+Paper §2.3 lists "a selection of services that can be leveraged for the
+development of location-aware applications" among the high-level
+offerings (detailed in the companion COM.Geo paper).  The one every
+location application ends up writing is track history; this module
+provides it as a middleware service: it subscribes to providers, retains
+a bounded per-track position history, and answers the standard queries
+-- trace windows, distance travelled, average speed, bounding box.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.data import Datum, Kind
+from repro.core.positioning import LocationProvider
+from repro.geo.wgs84 import Wgs84Position
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One retained position sample."""
+
+    timestamp: float
+    position: Wgs84Position
+
+
+class TrackHistoryService:
+    """Bounded position history per track with spatial/temporal queries.
+
+    ``retention`` bounds points kept per track (oldest dropped first).
+    Tracks are created implicitly on first append or subscription.
+    """
+
+    def __init__(self, retention: int = 10_000) -> None:
+        if retention <= 0:
+            raise ValueError("retention must be positive")
+        self.retention = retention
+        self._tracks: Dict[str, List[TrackPoint]] = {}
+        self._unsubscribers: List[Callable[[], None]] = []
+        #: Count of points that arrived out of timestamp order (a seam).
+        self.out_of_order = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def follow_provider(
+        self, provider: LocationProvider, track: Optional[str] = None
+    ) -> str:
+        """Record every WGS84 position the provider delivers."""
+        name = track or provider.name
+        self._tracks.setdefault(name, [])
+
+        def _on_position(datum: Datum) -> None:
+            position = datum.payload
+            if isinstance(position, Wgs84Position):
+                self.append(name, datum.timestamp, position)
+
+        self._unsubscribers.append(
+            provider.add_listener(_on_position, kind=Kind.POSITION_WGS84)
+        )
+        return name
+
+    def append(
+        self, track: str, timestamp: float, position: Wgs84Position
+    ) -> None:
+        """Record one point, keeping the track timestamp-ordered.
+
+        Fusion points interleave sensors with different sampling phases,
+        so points can arrive slightly out of order; they are inserted at
+        their temporal position (the common in-order case is O(1)).
+        """
+        points = self._tracks.setdefault(track, [])
+        point = TrackPoint(timestamp, position)
+        if points and timestamp < points[-1].timestamp:
+            times = [p.timestamp for p in points]
+            points.insert(bisect_right(times, timestamp), point)
+            self.out_of_order += 1
+        else:
+            points.append(point)
+        if len(points) > self.retention:
+            del points[: len(points) - self.retention]
+
+    def close(self) -> None:
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def tracks(self) -> List[str]:
+        return sorted(self._tracks)
+
+    def size(self, track: str) -> int:
+        return len(self._points(track))
+
+    def latest(self, track: str) -> Optional[TrackPoint]:
+        points = self._points(track)
+        return points[-1] if points else None
+
+    def trace(
+        self,
+        track: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> List[TrackPoint]:
+        """Points with ``start <= timestamp <= end`` (binary search)."""
+        points = self._points(track)
+        times = [p.timestamp for p in points]
+        lo = bisect_left(times, start)
+        hi = bisect_right(times, end)
+        return points[lo:hi]
+
+    def distance_travelled(
+        self,
+        track: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> float:
+        """Sum of leg distances over the window, in metres."""
+        window = self.trace(track, start, end)
+        return sum(
+            a.position.distance_to(b.position)
+            for a, b in zip(window, window[1:])
+        )
+
+    def average_speed(
+        self,
+        track: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> Optional[float]:
+        """Distance over elapsed time for the window; None if undefined."""
+        window = self.trace(track, start, end)
+        if len(window) < 2:
+            return None
+        elapsed = window[-1].timestamp - window[0].timestamp
+        if elapsed <= 0:
+            return None
+        return self.distance_travelled(track, start, end) / elapsed
+
+    def bounding_box(
+        self, track: str
+    ) -> Optional[Tuple[float, float, float, float]]:
+        """``(min_lat, min_lon, max_lat, max_lon)`` of the whole track."""
+        points = self._points(track)
+        if not points:
+            return None
+        lats = [p.position.latitude_deg for p in points]
+        lons = [p.position.longitude_deg for p in points]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+    def position_at(
+        self, track: str, timestamp: float
+    ) -> Optional[Wgs84Position]:
+        """Nearest recorded position at or before ``timestamp``."""
+        points = self._points(track)
+        times = [p.timestamp for p in points]
+        index = bisect_right(times, timestamp) - 1
+        return points[index].position if index >= 0 else None
+
+    # -- export ------------------------------------------------------------------
+
+    def export_geojson(self, track: str) -> Dict:
+        """The track as a GeoJSON LineString feature (dict).
+
+        Coordinates follow GeoJSON order (longitude, latitude); the
+        per-point timestamps ride along in ``properties.timestamps``.
+        Suits the §1 infrastructure-visualization use case: any mapping
+        tool can render the output directly.
+        """
+        points = self._points(track)
+        return {
+            "type": "Feature",
+            "geometry": {
+                "type": "LineString",
+                "coordinates": [
+                    [p.position.longitude_deg, p.position.latitude_deg]
+                    for p in points
+                ],
+            },
+            "properties": {
+                "track": track,
+                "timestamps": [p.timestamp for p in points],
+                "points": len(points),
+            },
+        }
+
+    def _points(self, track: str) -> List[TrackPoint]:
+        try:
+            return self._tracks[track]
+        except KeyError:
+            raise KeyError(f"no track {track!r}") from None

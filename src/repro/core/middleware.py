@@ -1,0 +1,149 @@
+"""The PerPos middleware facade.
+
+Ties the pieces together the way the paper's platform does: one
+processing graph exposed through the three abstraction layers (PSL, PCL,
+Positioning), an OSGi-style framework in which the layers are registered
+as services, a simulation clock, and sensor pumping that feeds
+:class:`~repro.sensors.base.SimulatedSensor` readings into source
+components.
+
+Pipelines (which concrete components to chain for GPS, WiFi, ...) live in
+:mod:`repro.processing.pipelines`; the facade stays policy-free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.clock import SimulationClock
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum, Kind
+from repro.core.graph import ProcessingGraph
+from repro.core.pcl import ProcessChannelLayer
+from repro.core.positioning import (
+    Criteria,
+    LocationProvider,
+    PositioningLayer,
+)
+from repro.core.psl import ProcessStructureLayer
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.services.bundle import Framework
+
+#: Maps a SensorReading's declared format to a graph data kind.
+DEFAULT_KIND_MAP: Dict[str, str] = {
+    "nmea-raw": Kind.NMEA_RAW,
+    "wifi-scan": Kind.WIFI_SCAN,
+    "beacon-scan": Kind.BEACON_SCAN,
+    "accel-variance": Kind.ACCEL_VARIANCE,
+}
+
+
+class PerPos:
+    """One middleware instance: graph + layers + clock + sensor pumping."""
+
+    def __init__(self, clock: Optional[SimulationClock] = None) -> None:
+        self.clock = clock or SimulationClock()
+        self.graph = ProcessingGraph()
+        self.psl = ProcessStructureLayer(self.graph)
+        self.pcl = ProcessChannelLayer(self.graph)
+        self.positioning = PositioningLayer()
+        self.framework = Framework()
+        self._sensors: List[Tuple[SimulatedSensor, SourceComponent, Callable]] = []
+        # The layers are themselves services, as in the OSGi realisation.
+        registry = self.framework.registry
+        registry.register("perpos.ProcessingGraph", self.graph)
+        registry.register("perpos.ProcessStructureLayer", self.psl)
+        registry.register("perpos.ProcessChannelLayer", self.pcl)
+        registry.register("perpos.PositioningLayer", self.positioning)
+
+    # -- sensors ---------------------------------------------------------------
+
+    def attach_sensor(
+        self,
+        sensor: SimulatedSensor,
+        capabilities: Sequence[str],
+        kind_of: Optional[Callable[[SensorReading], str]] = None,
+        source_name: Optional[str] = None,
+    ) -> SourceComponent:
+        """Wrap a simulated sensor as a source component in the graph.
+
+        ``kind_of`` maps each reading to a data kind; by default the
+        reading's ``attributes['format']`` is looked up in
+        :data:`DEFAULT_KIND_MAP`.  The emulator sensor of §3.2 plugs in
+        through exactly this method, "taking the place of the sensors".
+        """
+        name = source_name or sensor.sensor_id
+        source = SourceComponent(name, capabilities)
+        self.graph.add(source)
+
+        def _default_kind(reading: SensorReading) -> str:
+            fmt = reading.attributes.get("format", "")
+            try:
+                return DEFAULT_KIND_MAP[fmt]
+            except KeyError:
+                raise ValueError(
+                    f"reading from {reading.sensor_id} has unmapped format"
+                    f" {fmt!r}; pass kind_of explicitly"
+                ) from None
+
+        self._sensors.append((sensor, source, kind_of or _default_kind))
+        return source
+
+    def detach_sensor(self, source_name: str) -> None:
+        """Remove a sensor and its source component from the graph."""
+        for entry in list(self._sensors):
+            if entry[1].name == source_name:
+                self._sensors.remove(entry)
+                self.graph.remove(source_name)
+                return
+        raise KeyError(f"no sensor attached as {source_name!r}")
+
+    def pump(self, now: Optional[float] = None) -> int:
+        """Sample every sensor and inject due readings into the graph.
+
+        Returns the number of readings injected.  ``now`` defaults to the
+        middleware clock's current time.
+        """
+        t = self.clock.now if now is None else now
+        injected = 0
+        for sensor, source, kind_of in list(self._sensors):
+            for reading in sensor.sample(t):
+                source.inject(
+                    Datum(
+                        kind=kind_of(reading),
+                        payload=reading.payload,
+                        timestamp=reading.timestamp,
+                        producer=source.name,
+                        attributes=reading.attributes,
+                    )
+                )
+                injected += 1
+        return injected
+
+    def run_until(self, deadline: float, step_s: float = 1.0) -> None:
+        """Advance the clock to ``deadline``, pumping sensors every step."""
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        while self.clock.now < deadline:
+            target = min(self.clock.now + step_s, deadline)
+            self.clock.run_until(target)
+            self.pump()
+
+    # -- positioning layer conveniences ----------------------------------------
+
+    def create_provider(
+        self,
+        name: str,
+        accepts: Sequence[str],
+        technologies: Sequence[str] = (),
+    ) -> LocationProvider:
+        """Create an application sink + provider and register both."""
+        sink = ApplicationSink(name, accepts)
+        self.graph.add(sink)
+        provider = LocationProvider(name, sink, self.pcl, technologies)
+        self.positioning.register_provider(provider)
+        return provider
+
+    def get_provider(self, criteria: Criteria) -> LocationProvider:
+        """JSR-179-style provider lookup by criteria."""
+        return self.positioning.get_provider(criteria)

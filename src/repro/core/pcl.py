@@ -1,0 +1,149 @@
+"""The Process Channel Layer (paper §2.2).
+
+"The middle layer is called the Process Channel Layer (PCL) and it is a
+view of the position processing where only data sources and merging
+processing components and the data-flow between them are represented."
+
+The PCL derives :class:`~repro.core.channel.Channel` objects from the
+current graph: one channel per single-strained flow from a PCL node (a
+data source or a merge component) to the next PCL node or application.
+Channels are "dynamically created when the PerPos middleware assembles
+the Processing Components" -- here, recomputed on every topology change,
+preserving the channel objects (their logical-time state and attached
+Channel Features) whose member chain is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.channel import Channel, ChannelFeature
+from repro.core.graph import GraphError, GraphObserver, ProcessingGraph
+
+ChannelKey = Tuple[Tuple[str, ...], str]
+
+
+class ProcessChannelLayer(GraphObserver):
+    """Maintains the channel decomposition of the processing graph."""
+
+    def __init__(self, graph: ProcessingGraph) -> None:
+        self.graph = graph
+        self._channels: Dict[ChannelKey, Channel] = {}
+        self._unsubscribe = graph.add_observer(self)
+        self._rebuild()
+
+    def close(self) -> None:
+        """Stop observing the graph and close every channel."""
+        self._unsubscribe()
+        for channel in self._channels.values():
+            channel.close()
+        self._channels.clear()
+
+    # -- channel derivation -----------------------------------------------------
+
+    def topology_changed(self, graph: ProcessingGraph) -> None:
+        """Graph observation: re-derive the channel decomposition."""
+        self._rebuild()
+
+    def _is_pcl_node(self, name: str) -> bool:
+        """PCL nodes: data sources, merge components, and applications.
+
+        Components flagged ``pcl_node`` (fusion by role) count as merge
+        components regardless of their current in-degree.
+        """
+        if self.graph.component(name).pcl_node:
+            return True
+        upstream = self.graph.upstream(name)
+        if len(upstream) != 1:
+            return True  # source (0) or merge (>= 2)
+        return not self.graph.downstream(name)  # application/sink
+
+    def _derive_keys(self) -> List[ChannelKey]:
+        keys = []
+        for component in self.graph.components():
+            name = component.name
+            if not self._is_pcl_node(name) or not self.graph.upstream(name):
+                continue
+            # Walk each inbound strand up to the previous PCL node.
+            for producer in self.graph.upstream(name):
+                chain = [producer]
+                node = producer
+                while not self._is_pcl_node(node):
+                    ups = self.graph.upstream(node)
+                    node = ups[0]
+                    chain.append(node)
+                keys.append((tuple(reversed(chain)), name))
+        return keys
+
+    def _rebuild(self) -> None:
+        wanted = set(self._derive_keys())
+        current = set(self._channels)
+        for key in current - wanted:
+            self._channels.pop(key).close()
+        for key in wanted - current:
+            member_names, endpoint = key
+            members = [self.graph.component(n) for n in member_names]
+            self._channels[key] = Channel(self.graph, members, endpoint)
+
+    # -- inspection ----------------------------------------------------------------
+
+    def channels(self) -> List[Channel]:
+        """All channels, ordered by id for deterministic iteration."""
+        return sorted(self._channels.values(), key=lambda c: c.id)
+
+    def channel(self, channel_id: str) -> Channel:
+        """Look a channel up by its ``source->endpoint`` id."""
+        for ch in self._channels.values():
+            if ch.id == channel_id:
+                return ch
+        raise GraphError(f"no channel {channel_id!r}")
+
+    def channels_into(self, endpoint: str) -> List[Channel]:
+        """Channels delivering into the named PCL node."""
+        return sorted(
+            (c for c in self._channels.values() if c.endpoint == endpoint),
+            key=lambda c: c.id,
+        )
+
+    def channel_delivering(
+        self, consumer: str, producer: str
+    ) -> Optional[Channel]:
+        """The channel whose last member is ``producer`` feeding ``consumer``.
+
+        This resolves the paper's "current input port" to its channel:
+        when a merge component receives a datum it can ask which channel
+        carried it (Fig. 5 snippet 1) and fetch that channel's features.
+        """
+        for ch in self._channels.values():
+            if ch.endpoint == consumer and ch.last_component.name == producer:
+                return ch
+        return None
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Reflective summary of the channel view (Fig. 2, middle layer)."""
+        return [ch.describe() for ch in self.channels()]
+
+    def render(self) -> str:
+        """ASCII rendering of the channel view."""
+        lines = []
+        for ch in self.channels():
+            features = (
+                " [" + ", ".join(f.name for f in ch.features) + "]"
+                if ch.features
+                else ""
+            )
+            path = " -> ".join(m.name for m in ch.members)
+            lines.append(f"{path} ==> {ch.endpoint}{features}")
+        return "\n".join(lines)
+
+    # -- channel features --------------------------------------------------------------
+
+    def attach_feature(self, channel_id: str, feature: ChannelFeature) -> None:
+        """Attach a Channel Feature to the identified channel."""
+        self.channel(channel_id).attach_feature(feature)
+
+    def detach_feature(
+        self, channel_id: str, feature_name: str
+    ) -> ChannelFeature:
+        """Detach a Channel Feature from the identified channel."""
+        return self.channel(channel_id).detach_feature(feature_name)

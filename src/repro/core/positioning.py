@@ -1,0 +1,442 @@
+"""The Positioning Layer: the traditional high-level API (paper §2.3).
+
+"The top layer of the PerPos middleware exposes high-level position data
+... It presents a view of the position data processing that contains the
+Channel end-points including their features."  The API follows the shape
+of JSR-179: applications request a :class:`LocationProvider` matching a
+:class:`Criteria`, then pull positions, subscribe for push delivery, and
+set up proximity notifications.
+
+What distinguishes PerPos from a closed middleware is that adaptations
+made below remain reachable here: :meth:`LocationProvider.get_feature`
+surfaces Channel Features and Component Features of the channels that end
+at the provider, with the logical-time coupling to the concrete position
+handled by the layers below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.component import ApplicationSink
+from repro.core.data import Datum, Kind
+from repro.core.pcl import ProcessChannelLayer
+from repro.geo.wgs84 import Wgs84Position
+
+
+class PositioningError(Exception):
+    """Raised when no provider satisfies a criteria, or on bad use."""
+
+
+@dataclass(frozen=True)
+class Criteria:
+    """Functional requirements for a location provider (JSR-179 style).
+
+    ``kind`` is the output data kind the application wants; ``technology``
+    restricts to providers fed by a given sensing technology;
+    ``required_features`` names features (channel or component) that must
+    be reachable through the provider; ``horizontal_accuracy_m`` requires
+    the provider's most recent fix to carry an accuracy estimate at or
+    below the bound (providers without a fix yet do not match -- JSR-179
+    lets selection fail rather than guess).
+    """
+
+    kind: str = Kind.POSITION_WGS84
+    technology: Optional[str] = None
+    required_features: Tuple[str, ...] = ()
+    horizontal_accuracy_m: Optional[float] = None
+
+
+@dataclass
+class _ProximityWatch:
+    center: Wgs84Position
+    radius_m: float
+    callback: Callable[[str, Datum], None]
+    inside: Optional[bool] = None
+
+
+class LocationProvider:
+    """Push/pull access to positions delivered to one application sink."""
+
+    def __init__(
+        self,
+        name: str,
+        sink: ApplicationSink,
+        pcl: ProcessChannelLayer,
+        technologies: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.sink = sink
+        self.pcl = pcl
+        self.technologies = tuple(technologies)
+        self._watches: List[_ProximityWatch] = []
+        self.sink.add_listener(self._check_proximity)
+
+    # -- pull ------------------------------------------------------------------
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(self.sink.input_port("in").accepts)
+
+    def last_known(self, kind: Optional[str] = None) -> Optional[Datum]:
+        """Most recent datum delivered, optionally filtered by kind."""
+        return self.sink.last(kind)
+
+    def last_position(self) -> Optional[Wgs84Position]:
+        """Most recent WGS84 position payload, or None before first fix."""
+        datum = self.sink.last(Kind.POSITION_WGS84)
+        return datum.payload if datum else None
+
+    # -- push ------------------------------------------------------------------
+
+    def add_listener(
+        self,
+        callback: Callable[[Datum], None],
+        kind: Optional[str] = None,
+    ) -> Callable[[], None]:
+        """Invoke ``callback`` for every delivered datum (of ``kind``)."""
+        if kind is None:
+            return self.sink.add_listener(callback)
+
+        def _filtered(datum: Datum) -> None:
+            if datum.kind == kind:
+                callback(datum)
+
+        return self.sink.add_listener(_filtered)
+
+    def add_interval_listener(
+        self,
+        clock: "SimulationClock",
+        interval_s: float,
+        callback: Callable[[Optional[Datum]], None],
+    ) -> Callable[[], None]:
+        """JSR-179-style periodic delivery of the last known position.
+
+        Every ``interval_s`` simulated seconds ``callback`` receives the
+        freshest WGS84 datum, or ``None`` when no fix exists yet --
+        JSR-179 delivers explicitly invalid locations in that case, and
+        hiding the gap would bury a seam.
+        """
+        if interval_s <= 0:
+            raise PositioningError("interval must be positive")
+
+        def _tick(_now: float) -> None:
+            callback(self.last_known(Kind.POSITION_WGS84))
+
+        return clock.call_every(interval_s, _tick)
+
+    # -- proximity notifications (JSR-179 style) ----------------------------------
+
+    def add_proximity_listener(
+        self,
+        center: Wgs84Position,
+        radius_m: float,
+        callback: Callable[[str, Datum], None],
+    ) -> Callable[[], None]:
+        """Notify ``callback('entered'|'left', datum)`` on boundary crossing."""
+        if radius_m <= 0:
+            raise PositioningError("radius must be positive")
+        watch = _ProximityWatch(center, radius_m, callback)
+        self._watches.append(watch)
+
+        def _remove() -> None:
+            if watch in self._watches:
+                self._watches.remove(watch)
+
+        return _remove
+
+    def _check_proximity(self, datum: Datum) -> None:
+        if datum.kind != Kind.POSITION_WGS84:
+            return
+        position = datum.payload
+        if not isinstance(position, Wgs84Position):
+            return
+        for watch in list(self._watches):
+            inside = (
+                watch.center.distance_to(position) <= watch.radius_m
+            )
+            if watch.inside is None:
+                watch.inside = inside
+                if inside:
+                    watch.callback("entered", datum)
+            elif inside and not watch.inside:
+                watch.inside = True
+                watch.callback("entered", datum)
+            elif not inside and watch.inside:
+                watch.inside = False
+                watch.callback("left", datum)
+
+    def add_geofence_listener(
+        self,
+        polygon: Sequence[Tuple[float, float]],
+        grid,
+        callback: Callable[[str, Datum], None],
+        floor: int = 0,
+    ) -> Callable[[], None]:
+        """Polygon geofence in building-grid coordinates.
+
+        ``polygon`` is a sequence of ``(x, y)`` grid vertices (e.g. a
+        room outline); each delivered WGS84 position is projected through
+        ``grid`` and tested for containment.  Boundary crossings fire
+        ``callback('entered'|'left', datum)``.
+        """
+        from repro.model.geometry import point_in_polygon
+
+        if len(polygon) < 3:
+            raise PositioningError("a geofence needs at least 3 vertices")
+        state: Dict[str, Optional[bool]] = {"inside": None}
+
+        def _on_position(datum: Datum) -> None:
+            position = datum.payload
+            if not isinstance(position, Wgs84Position):
+                return
+            projected = grid.to_grid(position)
+            inside = projected.floor == floor and point_in_polygon(
+                projected.x_m, projected.y_m, polygon
+            )
+            previous = state["inside"]
+            state["inside"] = inside
+            if previous is None:
+                if inside:
+                    callback("entered", datum)
+            elif inside and not previous:
+                callback("entered", datum)
+            elif not inside and previous:
+                callback("left", datum)
+
+        return self.add_listener(_on_position, kind=Kind.POSITION_WGS84)
+
+    # -- translucency: reach features from the top layer ----------------------------
+
+    def channels(self):
+        """Every channel in the process feeding this provider's sink.
+
+        Traversal is transitive: channels into the sink, then channels
+        into each of those channels' source nodes, and so on -- the
+        whole tree of strands behind the application.
+        """
+        collected = []
+        seen_endpoints = set()
+        frontier = [self.sink.name]
+        while frontier:
+            endpoint = frontier.pop()
+            if endpoint in seen_endpoints:
+                continue
+            seen_endpoints.add(endpoint)
+            for channel in self.pcl.channels_into(endpoint):
+                collected.append(channel)
+                frontier.append(channel.source.name)
+        return collected
+
+    def get_feature(self, key: Union[str, type]) -> Optional[Any]:
+        """Find a feature by name or class on any channel ending here.
+
+        Channel Features are searched first, then Component Features of
+        the channels' members -- "all the features originally implemented
+        in the PerPos middleware are visible as well as all available
+        Channel Features" (paper §2.3).
+        """
+        for channel in self.channels():
+            feature = channel.get_feature(key)
+            if feature is not None:
+                return feature
+        for channel in self.channels():
+            for member in channel.members:
+                feature = member.get_feature(key)
+                if feature is not None:
+                    return feature
+        return None
+
+    def available_features(self) -> List[str]:
+        """Names of every feature reachable through this provider."""
+        names: List[str] = []
+        for channel in self.channels():
+            names.extend(f.name for f in channel.features)
+            for member in channel.members:
+                names.extend(f.name for f in member.features)
+        return sorted(set(names))
+
+    def describe(self) -> Dict[str, Any]:
+        """Reflective summary of this provider."""
+        return {
+            "name": self.name,
+            "kinds": list(self.kinds),
+            "technologies": list(self.technologies),
+            "features": self.available_features(),
+            "channels": [c.id for c in self.channels()],
+        }
+
+
+class Target:
+    """A tracked entity that may have several providers attached.
+
+    Paper §2.3: the layer supports "definition of tracked targets, which
+    may have several sensors attached to them".
+    """
+
+    def __init__(self, target_id: str) -> None:
+        self.target_id = target_id
+        self._providers: List[LocationProvider] = []
+
+    def attach_provider(self, provider: LocationProvider) -> None:
+        if provider not in self._providers:
+            self._providers.append(provider)
+
+    @property
+    def providers(self) -> List[LocationProvider]:
+        return list(self._providers)
+
+    def last_position_datum(self) -> Optional[Datum]:
+        """Freshest WGS84 datum over all attached providers."""
+        freshest: Optional[Datum] = None
+        for provider in self._providers:
+            datum = provider.last_known(Kind.POSITION_WGS84)
+            if datum is None:
+                continue
+            if freshest is None or datum.timestamp > freshest.timestamp:
+                freshest = datum
+        return freshest
+
+    def last_position(self) -> Optional[Wgs84Position]:
+        datum = self.last_position_datum()
+        return datum.payload if datum else None
+
+
+class PositioningLayer:
+    """Registry of providers and targets; provider lookup by criteria."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, LocationProvider] = {}
+        self._targets: Dict[str, Target] = {}
+
+    # -- providers ----------------------------------------------------------------
+
+    def register_provider(self, provider: LocationProvider) -> None:
+        """Add a provider to the layer's registry."""
+        if provider.name in self._providers:
+            raise PositioningError(
+                f"provider {provider.name!r} already registered"
+            )
+        self._providers[provider.name] = provider
+
+    def providers(self) -> List[LocationProvider]:
+        """All registered providers, name-ordered."""
+        return [self._providers[k] for k in sorted(self._providers)]
+
+    def provider(self, name: str) -> LocationProvider:
+        """Look a provider up by name."""
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise PositioningError(f"no provider {name!r}") from None
+
+    def get_provider(self, criteria: Criteria) -> LocationProvider:
+        """First registered provider matching the criteria.
+
+        Raises :class:`PositioningError` when nothing matches -- the
+        JSR-179 contract for unsatisfiable criteria.
+        """
+        for provider in self.providers():
+            if criteria.kind not in provider.kinds:
+                continue
+            if (
+                criteria.technology is not None
+                and criteria.technology not in provider.technologies
+            ):
+                continue
+            if any(
+                provider.get_feature(f) is None
+                for f in criteria.required_features
+            ):
+                continue
+            if criteria.horizontal_accuracy_m is not None:
+                position = provider.last_position()
+                if (
+                    position is None
+                    or position.accuracy_m is None
+                    or position.accuracy_m > criteria.horizontal_accuracy_m
+                ):
+                    continue
+            return provider
+        raise PositioningError(f"no provider satisfies {criteria}")
+
+    # -- targets --------------------------------------------------------------------
+
+    def define_target(self, target_id: str) -> Target:
+        """Create a tracked target (paper §2.3)."""
+        if target_id in self._targets:
+            raise PositioningError(f"target {target_id!r} already defined")
+        target = Target(target_id)
+        self._targets[target_id] = target
+        return target
+
+    def target(self, target_id: str) -> Target:
+        """Look a target up by id."""
+        try:
+            return self._targets[target_id]
+        except KeyError:
+            raise PositioningError(f"no target {target_id!r}") from None
+
+    def targets(self) -> List[Target]:
+        """All defined targets, id-ordered."""
+        return [self._targets[k] for k in sorted(self._targets)]
+
+    def watch_target_proximity(
+        self,
+        observer: LocationProvider,
+        target: Target,
+        radius_m: float,
+        callback: Callable[[str, Datum], None],
+    ) -> Callable[[], None]:
+        """Notify on proximity between a provider and a tracked target.
+
+        Paper §2.3: notifications "based on proximity to a point or
+        target".  Unlike point proximity the reference moves: each
+        position delivered to ``observer`` is compared against the
+        target's *latest* position; crossings fire
+        ``callback('entered'|'left', datum)``.  Targets with no position
+        yet produce no events.
+        """
+        if radius_m <= 0:
+            raise PositioningError("radius must be positive")
+        state: Dict[str, Optional[bool]] = {"inside": None}
+
+        def _on_position(datum: Datum) -> None:
+            position = datum.payload
+            if not isinstance(position, Wgs84Position):
+                return
+            anchor = target.last_position()
+            if anchor is None:
+                return
+            inside = anchor.distance_to(position) <= radius_m
+            previous = state["inside"]
+            state["inside"] = inside
+            if previous is None:
+                if inside:
+                    callback("entered", datum)
+            elif inside and not previous:
+                callback("entered", datum)
+            elif not inside and previous:
+                callback("left", datum)
+
+        return observer.add_listener(_on_position, kind=Kind.POSITION_WGS84)
+
+    def k_nearest_targets(
+        self, reference: Wgs84Position, k: int
+    ) -> List[Tuple[Target, float]]:
+        """The k targets nearest ``reference`` with their distances.
+
+        Targets with no position yet are excluded (another "seam" the
+        high-level API chooses to expose rather than hide).
+        """
+        if k <= 0:
+            raise PositioningError("k must be positive")
+        scored = []
+        for target in self.targets():
+            position = target.last_position()
+            if position is None:
+                continue
+            scored.append((target, reference.distance_to(position)))
+        scored.sort(key=lambda pair: pair[1])
+        return scored[:k]

@@ -1,0 +1,156 @@
+"""The Process Structure Layer (paper §2.1).
+
+"The layer exposing the structure of the positioning process ... is
+called the Process Structure Layer (PSL) and represents the most detailed
+level of interaction provided by the PerPos middleware.  This layer is
+responsible for reifying the actual positioning process as a tree
+structure and maintaining a causal connection between the positioning
+system and the tree."
+
+The PSL is a thin, *designed* facade over the live
+:class:`~repro.core.graph.ProcessingGraph`: insert/delete/connect,
+feature attachment, and reflective inspection -- including invocation of
+component and feature methods by name, which is what lets applications
+"create complex high-level functionality by combining the ability to
+traverse the nodes of the processing tree with ... state manipulation
+features."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.component import ProcessingComponent
+from repro.core.features import ComponentFeature, FeatureError
+from repro.core.graph import Connection, GraphError, ProcessingGraph
+
+
+class ProcessStructureLayer:
+    """Structured manipulation and inspection of the processing graph."""
+
+    def __init__(self, graph: ProcessingGraph) -> None:
+        self.graph = graph
+
+    # -- inspection ---------------------------------------------------------
+
+    def components(self) -> List[str]:
+        """Names of every component in the reified process."""
+        return sorted(c.name for c in self.graph.components())
+
+    def component(self, name: str) -> ProcessingComponent:
+        """Direct access to a live component by name."""
+        return self.graph.component(name)
+
+    def describe(self, name: str) -> Dict[str, Any]:
+        """Full reflective summary of one component."""
+        return self.graph.component(name).describe()
+
+    def connections(self) -> List[Connection]:
+        """All edges of the reified process."""
+        return self.graph.connections()
+
+    def structure(self) -> str:
+        """ASCII tree of the whole process, applications at the roots."""
+        return self.graph.render_tree()
+
+    def methods_of(self, name: str) -> List[str]:
+        """Public methods of a component, including feature-provided ones.
+
+        Paper §2.1: "The PSL API supports inspection of the reified
+        processing graph including access to all methods available on the
+        implementing classes of the Processing Components" -- and features
+        change "the set of available methods".
+        """
+        return self.graph.component(name).public_methods()
+
+    # -- manipulation -------------------------------------------------------
+
+    def insert(self, component: ProcessingComponent) -> None:
+        """Add a new component to the process (initially unconnected)."""
+        self.graph.add(component)
+
+    def delete(self, name: str, reconnect: bool = True) -> None:
+        """Remove a component, splicing its neighbours by default."""
+        self.graph.remove(name, reconnect=reconnect)
+
+    def connect(
+        self, producer: str, consumer: str, port: Optional[str] = None
+    ) -> Connection:
+        """Connect two components (validated by the graph)."""
+        return self.graph.connect(producer, consumer, port)
+
+    def disconnect(
+        self, producer: str, consumer: str, port: Optional[str] = None
+    ) -> None:
+        """Remove a connection."""
+        self.graph.disconnect(producer, consumer, port)
+
+    def insert_between(
+        self,
+        producer: str,
+        consumer: str,
+        component: ProcessingComponent,
+    ) -> None:
+        """Splice a component into an existing edge (§3.1's operation)."""
+        self.graph.insert_between(producer, consumer, component)
+
+    def insert_after(
+        self, producer: str, component: ProcessingComponent
+    ) -> None:
+        """Splice a component into *every* outgoing edge of ``producer``."""
+        consumers = self.graph.downstream(producer)
+        if not consumers:
+            raise GraphError(
+                f"{producer} has no outgoing connections to splice into"
+            )
+        if component.name not in self.graph:
+            self.graph.add(component)
+        for consumer in consumers:
+            self.graph.insert_between(producer, consumer, component)
+
+    # -- component features ---------------------------------------------------
+
+    def attach_feature(self, name: str, feature: ComponentFeature) -> None:
+        """Attach a Component Feature to the named component."""
+        self.graph.component(name).attach_feature(feature)
+
+    def detach_feature(
+        self, name: str, feature_name: str
+    ) -> ComponentFeature:
+        """Detach a Component Feature from the named component."""
+        return self.graph.component(name).detach_feature(feature_name)
+
+    def find_feature(self, feature_name: str) -> List[str]:
+        """Names of components currently providing ``feature_name``."""
+        return sorted(
+            c.name
+            for c in self.graph.components()
+            if c.has_feature(feature_name)
+        )
+
+    # -- reflective invocation --------------------------------------------------
+
+    def invoke(self, name: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call a method on a component or one of its features.
+
+        ``method`` is either a plain component method name or a dotted
+        ``"FeatureName.method"`` path for feature-provided methods.
+        """
+        component = self.graph.component(name)
+        if "." in method:
+            feature_name, method_name = method.split(".", 1)
+            feature = component.get_feature(feature_name)
+            if feature is None:
+                raise FeatureError(
+                    f"component {name} has no feature {feature_name!r}"
+                )
+            target = feature
+        else:
+            target = component
+            method_name = method
+        fn = getattr(target, method_name, None)
+        if not callable(fn) or method_name.startswith("_"):
+            raise AttributeError(
+                f"{name} has no public method {method!r}"
+            )
+        return fn(*args, **kwargs)

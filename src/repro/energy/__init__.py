@@ -1,0 +1,30 @@
+"""Energy-aware tracking (system S12): the EnTracked re-implementation.
+
+Paper §3.3 reimplements "key parts of the EnTracked system using the
+processing graph abstractions": a client-side updating scheme exposed as
+the **Power Strategy** Component Feature on the mobile Sensor Wrapper,
+and a server-side controller implemented as the **EnTracked** Channel
+Feature monitoring the Interpreter's output.  The device energy model
+(:mod:`repro.energy.power`) substitutes for the paper's phone
+measurements (DESIGN.md §4).
+"""
+
+from repro.energy.entracked import (
+    EnTrackedChannelFeature,
+    EnTrackedResult,
+    EnTrackedSystem,
+    NetworkLinkComponent,
+    PowerStrategyFeature,
+    SensorWrapperComponent,
+)
+from repro.energy.power import DeviceEnergyModel
+
+__all__ = [
+    "DeviceEnergyModel",
+    "PowerStrategyFeature",
+    "SensorWrapperComponent",
+    "NetworkLinkComponent",
+    "EnTrackedChannelFeature",
+    "EnTrackedSystem",
+    "EnTrackedResult",
+]

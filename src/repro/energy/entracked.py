@@ -1,0 +1,459 @@
+"""EnTracked on PerPos (paper §3.3, Fig. 7).
+
+Fig. 7's processing graph: ``GPS -> Sensor Wrapper`` on the mobile device,
+``Parser -> Interpreter -> Application`` on a server, the mobile-to-server
+edge crossing the network.  Two adaptations recreate EnTracked's
+behaviour using only the extension mechanisms of §2:
+
+* :class:`PowerStrategyFeature` -- a Component Feature on the Sensor
+  Wrapper "provid[ing] methods for controlling the operation mode of the
+  updating scheme": motion-gated duty cycling of the GPS, with sleep
+  intervals derived from speed and the error threshold;
+* :class:`EnTrackedChannelFeature` -- a Channel Feature that "continuously
+  monitors the output of the Interpreter component and calls the
+  appropriate methods on the Power Strategy feature" -- through a remote
+  proxy, since strategy and monitor live on different hosts.
+
+:class:`EnTrackedSystem` assembles the whole figure over two simulated
+hosts and runs it against a trajectory, reporting energy and error; the
+``"periodic"`` mode is the always-on baseline EnTracked is compared to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.channel import ChannelFeature
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.core.datatree import DataTree
+from repro.core.features import ComponentFeature
+from repro.core.middleware import PerPos
+from repro.energy.power import DeviceEnergyModel
+from repro.geo.wgs84 import Wgs84Position
+from repro.processing.interpreter import NmeaInterpreterComponent
+from repro.processing.parser import NmeaParserComponent
+from repro.sensors.gps import GpsReceiver, OPEN_SKY, constant_environment
+from repro.sensors.nmea import RmcSentence
+from repro.sensors.inertial import Accelerometer, AccelerometerReading
+from repro.sensors.trajectory import Trajectory
+from repro.services.remote import Host, Network
+
+
+class PowerStrategyFeature(ComponentFeature):
+    """The client-side updating scheme as a Component Feature.
+
+    Modes:
+
+    * ``"continuous"`` -- GPS always on (the periodic baseline);
+    * ``"entracked"`` -- motion-gated duty cycling: GPS off while the
+      accelerometer reports stillness; while moving, after each reported
+      fix the GPS sleeps for as long as the error threshold cannot be
+      exceeded at the current speed estimate, minus re-acquisition time.
+    """
+
+    name = "PowerStrategy"
+
+    def __init__(
+        self,
+        threshold_m: float = 50.0,
+        mode: str = "entracked",
+        acquisition_time_s: float = 6.0,
+        min_sleep_s: float = 5.0,
+        max_sleep_s: float = 300.0,
+        fallback_speed_mps: float = 1.4,
+    ) -> None:
+        super().__init__()
+        if threshold_m <= 0:
+            raise ValueError("threshold_m must be positive")
+        self._threshold_m = threshold_m
+        self._mode = mode
+        self._acquisition_time_s = acquisition_time_s
+        self._min_sleep_s = min_sleep_s
+        self._max_sleep_s = max_sleep_s
+        self._speed_mps = fallback_speed_mps
+        self._moving = True
+        self._next_fix_time = 0.0
+        self._had_fix = False
+
+    # -- control surface (callable locally or through a remote proxy) --------
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in ("continuous", "entracked"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self._mode = mode
+
+    def get_mode(self) -> str:
+        return self._mode
+
+    def set_threshold(self, threshold_m: float) -> None:
+        if threshold_m <= 0:
+            raise ValueError("threshold_m must be positive")
+        self._threshold_m = threshold_m
+
+    def get_threshold(self) -> float:
+        return self._threshold_m
+
+    def update_speed(self, speed_mps: float) -> None:
+        """Server-side speed estimate push (the EnTracked feature calls it)."""
+        self._speed_mps = max(0.05, speed_mps)
+
+    def set_moving(self, moving: bool, now: float) -> None:
+        """Accelerometer verdict from the Sensor Wrapper."""
+        if moving and not self._moving:
+            # Waking from stillness: fix as soon as the GPS re-acquires.
+            self._next_fix_time = now
+        self._moving = moving
+
+    def notify_fix_sent(self, now: float) -> None:
+        """A fix was reported; schedule the next one and sleep the GPS."""
+        self._had_fix = True
+        if self._mode != "entracked":
+            return
+        travel_time = self._threshold_m / self._speed_mps
+        sleep = min(
+            self._max_sleep_s, max(self._min_sleep_s, travel_time)
+        )
+        self._next_fix_time = now + sleep
+
+    # -- duty-cycle decision --------------------------------------------------
+
+    def gps_should_be_on(self, now: float) -> bool:
+        if self._mode == "continuous":
+            return True
+        if not self._had_fix:
+            return True  # initial fix always required
+        if not self._moving:
+            return False
+        # Wake early enough to finish acquisition by the scheduled time.
+        return now >= self._next_fix_time - self._acquisition_time_s
+
+
+class SensorWrapperComponent(ProcessingComponent):
+    """The mobile-side component of Fig. 7.
+
+    Receives raw GPS output and accelerometer readings; forwards GPS data
+    to the server side only when the Power Strategy (if attached) has the
+    GPS on and acquired, and informs the strategy about detected motion
+    and reported fixes.
+    """
+
+    def __init__(
+        self,
+        energy_model: Optional[DeviceEnergyModel] = None,
+        name: str = "sensor-wrapper",
+        motion_variance_threshold: float = 0.3,
+    ) -> None:
+        super().__init__(
+            name,
+            inputs=(
+                InputPort("gps", (Kind.NMEA_RAW,)),
+                InputPort("accel", (Kind.ACCEL_VARIANCE,)),
+            ),
+            output=OutputPort((Kind.NMEA_RAW,)),
+        )
+        self.energy_model = energy_model
+        self.motion_variance_threshold = motion_variance_threshold
+        self.forwarded = 0
+        self.suppressed = 0
+        self._last_forward_epoch: Optional[float] = None
+        # The duty-cycle decision is made once per sensor epoch and cached:
+        # all serial fragments of one epoch share its fate, otherwise the
+        # fix-sent notification would truncate the epoch mid-sentence.
+        self._epoch_decision: Optional[Tuple[float, bool]] = None
+
+    def _strategy(self) -> Optional[PowerStrategyFeature]:
+        feature = self.get_feature("PowerStrategy")
+        return feature if isinstance(feature, PowerStrategyFeature) else None
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        strategy = self._strategy()
+        if port_name == "accel":
+            reading = datum.payload
+            if isinstance(reading, AccelerometerReading) and strategy:
+                strategy.set_moving(
+                    reading.variance > self.motion_variance_threshold,
+                    datum.timestamp,
+                )
+            return
+        # GPS path: apply the duty cycle.
+        now = datum.timestamp
+        if strategy is not None:
+            if (
+                self._epoch_decision is None
+                or self._epoch_decision[0] != now
+            ):
+                on = strategy.gps_should_be_on(now)
+                if self.energy_model is not None:
+                    if on:
+                        self.energy_model.gps_on(now)
+                    else:
+                        self.energy_model.gps_off(now)
+                ready = (
+                    self.energy_model.gps_ready(now)
+                    if self.energy_model is not None
+                    else on
+                )
+                self._epoch_decision = (now, on and ready)
+            if not self._epoch_decision[1]:
+                self.suppressed += 1
+                return
+        self.forwarded += 1
+        is_new_epoch = self._last_forward_epoch != now
+        self._last_forward_epoch = now
+        self.produce(
+            datum.from_producer(self.name).annotated(new_epoch=is_new_epoch)
+        )
+        if strategy is not None and is_new_epoch:
+            strategy.notify_fix_sent(now)
+
+    # -- inspection -------------------------------------------------------------
+
+    def forward_rate(self) -> float:
+        total = self.forwarded + self.suppressed
+        return self.forwarded / total if total else 0.0
+
+
+class NetworkLinkComponent(ProcessingComponent):
+    """A graph edge that crosses the (simulated) network.
+
+    Plays D-OSGi's role in Fig. 7: the processing graph spans hosts, and
+    every datum forwarded here is recorded as traffic on the network and
+    charged to the mobile energy model (one radio burst per sensor
+    epoch, plus size-proportional energy).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        source_host: str,
+        target_host: str,
+        kinds: Tuple[str, ...] = (Kind.NMEA_RAW,),
+        energy_model: Optional[DeviceEnergyModel] = None,
+        name: str = "uplink",
+    ) -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", kinds),),
+            output=OutputPort(kinds),
+        )
+        self.network = network
+        self.source_host = source_host
+        self.target_host = target_host
+        self.energy_model = energy_model
+        self._burst_epoch: Optional[float] = None
+        self._burst_bytes = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        size = len(repr(datum.payload))
+        self.network.record(
+            self.source_host,
+            self.target_host,
+            datum.payload,
+            f"{self.name}:{datum.kind}",
+        )
+        if self.energy_model is not None:
+            if datum.timestamp != self._burst_epoch:
+                # New epoch: new radio burst.
+                self._burst_epoch = datum.timestamp
+                self.energy_model.record_transmission(size)
+            else:
+                # Same burst: charge only the marginal bytes.
+                self.energy_model._joules["radio"] += (
+                    self.energy_model.constants.radio_j_per_kb
+                    * size
+                    / 1024.0
+                )
+        self.produce(datum.from_producer(self.name))
+
+
+class EnTrackedChannelFeature(ChannelFeature):
+    """The server-side controller as a Channel Feature.
+
+    Monitors the positions the channel delivers, estimates target speed
+    from consecutive updates, and drives the mobile Power Strategy --
+    pushing speed estimates and, when the observed inter-update distance
+    exceeds the configured threshold, re-arming an immediate fix.
+    """
+
+    name = "EnTracked"
+
+    def __init__(self, strategy, threshold_m: float = 50.0) -> None:
+        """``strategy`` is the PowerStrategy feature or a remote proxy."""
+        super().__init__()
+        self.strategy = strategy
+        self.threshold_m = threshold_m
+        self._last: Optional[Wgs84Position] = None
+        self._last_time: Optional[float] = None
+        self.threshold_violations = 0
+
+    def apply(self, data_tree: DataTree) -> None:
+        position = data_tree.root.datum.payload
+        if not isinstance(position, Wgs84Position):
+            return
+        now = data_tree.root.datum.timestamp
+        # Translucency at work: the data tree carries the low-level NMEA
+        # sentences behind this position, and RMC reports *instantaneous*
+        # ground speed -- far better for sleep scheduling than dividing
+        # displacement by the (sleep-inflated) inter-report interval.
+        speed = self._instantaneous_speed(data_tree)
+        if (
+            speed is None
+            and self._last is not None
+            and self._last_time is not None
+            and now > self._last_time
+        ):
+            speed = self._last.distance_to(position) / (
+                now - self._last_time
+            )
+        if speed is not None:
+            self.strategy.update_speed(speed)
+        if self._last is not None:
+            if self._last.distance_to(position) > self.threshold_m:
+                self.threshold_violations += 1
+        self._last = position
+        self._last_time = now
+
+    @staticmethod
+    def _instantaneous_speed(data_tree: DataTree) -> Optional[float]:
+        """Ground speed in m/s from the tree's RMC sentences, if any."""
+        speeds = [
+            sentence.speed_knots * 0.514444
+            for _producer, sentence in data_tree.get_data(
+                Kind.NMEA_SENTENCE
+            )
+            if isinstance(sentence, RmcSentence)
+        ]
+        return max(speeds) if speeds else None
+
+
+@dataclass
+class EnTrackedResult:
+    """Outcome of one tracking run."""
+
+    mode: str
+    threshold_m: float
+    duration_s: float
+    energy_j: float
+    energy_breakdown: Dict[str, float]
+    average_power_w: float
+    gps_on_fraction: float
+    transmissions: int
+    positions_reported: int
+    mean_error_m: float
+    p95_error_m: float
+    max_error_m: float
+
+
+class EnTrackedSystem:
+    """Builds and runs the Fig. 7 configuration over two hosts."""
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        threshold_m: float = 50.0,
+        mode: str = "entracked",
+        seed: int = 0,
+    ) -> None:
+        if mode not in ("entracked", "periodic"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.trajectory = trajectory
+        self.threshold_m = threshold_m
+        self.mode = mode
+
+        self.middleware = PerPos()
+        self.network = Network(clock=self.middleware.clock)
+        self.mobile = Host("mobile", self.network)
+        self.server = Host("server", self.network)
+        self.energy = DeviceEnergyModel()
+
+        gps = GpsReceiver(
+            "gps-device",
+            trajectory,
+            constant_environment(OPEN_SKY),
+            seed=seed,
+        )
+        accel = Accelerometer("accel-device", trajectory, seed=seed + 1)
+        self.middleware.attach_sensor(
+            gps, (Kind.NMEA_RAW,), source_name="gps"
+        )
+        self.middleware.attach_sensor(
+            accel, (Kind.ACCEL_VARIANCE,), source_name="accel"
+        )
+
+        self.wrapper = SensorWrapperComponent(energy_model=self.energy)
+        self.strategy = PowerStrategyFeature(
+            threshold_m=threshold_m,
+            mode="continuous" if mode == "periodic" else "entracked",
+        )
+        self.wrapper.attach_feature(self.strategy)
+        self.uplink = NetworkLinkComponent(
+            self.network, "mobile", "server", energy_model=self.energy
+        )
+        parser = NmeaParserComponent(name="parser")
+        interpreter = NmeaInterpreterComponent(name="interpreter")
+
+        graph = self.middleware.graph
+        for component in (self.wrapper, self.uplink, parser, interpreter):
+            graph.add(component)
+        graph.connect("gps", self.wrapper.name, "gps")
+        graph.connect("accel", self.wrapper.name, "accel")
+        graph.connect(self.wrapper.name, self.uplink.name)
+        graph.connect(self.uplink.name, parser.name)
+        graph.connect(parser.name, interpreter.name)
+        self.provider = self.middleware.create_provider(
+            "tracking-app", accepts=(Kind.POSITION_WGS84,)
+        )
+        graph.connect(interpreter.name, self.provider.sink.name)
+
+        # Export the strategy on the mobile host; the server-side channel
+        # feature controls it through the counted remote proxy (D-OSGi).
+        self.mobile.export("perpos.PowerStrategy", self.strategy)
+        strategy_proxy = self.server.import_service(
+            self.mobile, "perpos.PowerStrategy"
+        )
+        self.entracked_feature = EnTrackedChannelFeature(
+            strategy_proxy, threshold_m=threshold_m
+        )
+        channel = self.middleware.pcl.channel_delivering(
+            self.provider.sink.name, interpreter.name
+        )
+        channel.attach_feature(self.entracked_feature)
+
+    def run(self, duration_s: float, step_s: float = 1.0) -> EnTrackedResult:
+        """Run the scenario and collect energy/error statistics."""
+        errors: List[float] = []
+        position_count = [0]
+        self.provider.add_listener(
+            lambda _d: position_count.__setitem__(0, position_count[0] + 1),
+            kind=Kind.POSITION_WGS84,
+        )
+        clock = self.middleware.clock
+        while clock.now < duration_s:
+            target = min(clock.now + step_s, duration_s)
+            clock.run_until(target)
+            self.middleware.pump()
+            self.energy.advance(clock.now)
+            truth = self.trajectory.position_at(clock.now)
+            reported = self.provider.last_position()
+            if reported is not None:
+                errors.append(truth.distance_to(reported))
+        errors.sort()
+        positions = position_count[0]
+        mean_error = sum(errors) / len(errors) if errors else float("nan")
+        p95 = errors[int(0.95 * (len(errors) - 1))] if errors else float("nan")
+        return EnTrackedResult(
+            mode=self.mode,
+            threshold_m=self.threshold_m,
+            duration_s=duration_s,
+            energy_j=self.energy.total_joules(),
+            energy_breakdown=self.energy.breakdown(),
+            average_power_w=self.energy.average_power_w(),
+            gps_on_fraction=self.energy.gps_on_seconds / duration_s,
+            transmissions=self.energy.transmissions,
+            positions_reported=positions,
+            mean_error_m=mean_error,
+            p95_error_m=p95,
+            max_error_m=errors[-1] if errors else float("nan"),
+        )

@@ -1,0 +1,142 @@
+"""A parametric mobile-device energy model.
+
+Substitution (DESIGN.md §4) for EnTracked's physical phone measurements:
+a state-machine integrator with power constants in the range published
+for the Nokia N95 class of devices EnTracked targeted.  What the
+experiments depend on is the *structure* -- GPS tracking is expensive,
+re-acquisition after sleep costs time and energy, the accelerometer is
+cheap, every radio report costs a burst -- not the absolute milliwatts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerConstants:
+    """Power draw and event costs of the modelled device."""
+
+    gps_tracking_w: float = 0.35
+    gps_acquiring_w: float = 0.55
+    gps_acquisition_time_s: float = 6.0
+    accelerometer_w: float = 0.05
+    radio_burst_j: float = 1.5
+    radio_j_per_kb: float = 0.3
+
+
+class DeviceEnergyModel:
+    """Integrates device energy over simulation time.
+
+    Drive it with :meth:`gps_on` / :meth:`gps_off` state changes,
+    :meth:`record_transmission` radio events, and :meth:`advance` to
+    integrate elapsed time.  All figures in joules.
+    """
+
+    GPS_OFF = "off"
+    GPS_ACQUIRING = "acquiring"
+    GPS_TRACKING = "tracking"
+
+    def __init__(
+        self,
+        constants: PowerConstants = PowerConstants(),
+        accelerometer_on: bool = True,
+        start_time: float = 0.0,
+    ) -> None:
+        self.constants = constants
+        self.accelerometer_on = accelerometer_on
+        self._now = start_time
+        self._gps_state = self.GPS_OFF
+        self._acquire_started = 0.0
+        self._joules: Dict[str, float] = {
+            "gps": 0.0,
+            "accelerometer": 0.0,
+            "radio": 0.0,
+        }
+        self.gps_on_seconds = 0.0
+        self.acquisitions = 0
+        self.transmissions = 0
+
+    # -- state transitions ---------------------------------------------------
+
+    @property
+    def gps_state(self) -> str:
+        return self._gps_state
+
+    def gps_on(self, now: float) -> None:
+        """Power the GPS up; it acquires before it can fix."""
+        self.advance(now)
+        if self._gps_state == self.GPS_OFF:
+            self._gps_state = self.GPS_ACQUIRING
+            self._acquire_started = now
+            self.acquisitions += 1
+
+    def gps_off(self, now: float) -> None:
+        self.advance(now)
+        self._gps_state = self.GPS_OFF
+
+    def gps_ready(self, now: float) -> bool:
+        """Whether the GPS has finished acquiring and can deliver fixes."""
+        if self._gps_state == self.GPS_TRACKING:
+            return True
+        if self._gps_state == self.GPS_ACQUIRING:
+            return (
+                now - self._acquire_started
+                >= self.constants.gps_acquisition_time_s
+            )
+        return False
+
+    def record_transmission(self, size_bytes: int) -> None:
+        """One radio report: burst cost plus size-proportional energy."""
+        self._joules["radio"] += (
+            self.constants.radio_burst_j
+            + self.constants.radio_j_per_kb * size_bytes / 1024.0
+        )
+        self.transmissions += 1
+
+    # -- integration ------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Integrate power draw from the last advance up to ``now``."""
+        dt = now - self._now
+        if dt < 0:
+            raise ValueError("energy model cannot move backwards in time")
+        if dt == 0:
+            return
+        if self._gps_state == self.GPS_ACQUIRING:
+            # Split the interval at the acquisition -> tracking boundary.
+            boundary = (
+                self._acquire_started
+                + self.constants.gps_acquisition_time_s
+            )
+            acquiring_dt = min(dt, max(0.0, boundary - self._now))
+            tracking_dt = dt - acquiring_dt
+            self._joules["gps"] += (
+                acquiring_dt * self.constants.gps_acquiring_w
+                + tracking_dt * self.constants.gps_tracking_w
+            )
+            self.gps_on_seconds += dt
+            if now >= boundary:
+                self._gps_state = self.GPS_TRACKING
+        elif self._gps_state == self.GPS_TRACKING:
+            self._joules["gps"] += dt * self.constants.gps_tracking_w
+            self.gps_on_seconds += dt
+        if self.accelerometer_on:
+            self._joules["accelerometer"] += (
+                dt * self.constants.accelerometer_w
+            )
+        self._now = now
+
+    # -- reporting ----------------------------------------------------------------
+
+    def total_joules(self) -> float:
+        return sum(self._joules.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        return dict(self._joules)
+
+    def average_power_w(self) -> float:
+        if self._now <= 0:
+            return 0.0
+        return self.total_joules() / self._now

@@ -1,0 +1,49 @@
+"""Coordinate substrate for the PerPos reproduction (system S1 in DESIGN.md).
+
+The PerPos middleware moves position data between several reference systems:
+raw sensor output lives in device- or building-local frames, the Interpreter
+component produces WGS84 geodetic positions (paper Fig. 1), and the Resolver
+maps positions into symbolic building space.  This package provides those
+reference systems and the conversions between them:
+
+* :mod:`repro.geo.wgs84` -- geodetic positions, great-circle geometry;
+* :mod:`repro.geo.ellipsoid` -- the WGS84 ellipsoid and ECEF conversion;
+* :mod:`repro.geo.enu` -- local tangent-plane (east/north/up) frames;
+* :mod:`repro.geo.grid` -- affine building-local grids;
+* :mod:`repro.geo.transforms` -- a registry that finds conversion paths
+  between named reference systems.
+"""
+
+from repro.geo.wgs84 import (
+    EARTH_RADIUS_M,
+    Wgs84Position,
+    destination_point,
+    haversine_m,
+    initial_bearing_deg,
+)
+from repro.geo.ellipsoid import WGS84_ELLIPSOID, EcefPosition, Ellipsoid
+from repro.geo.enu import EnuFrame, EnuPosition
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.geo.transforms import (
+    ReferenceSystem,
+    TransformError,
+    TransformRegistry,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "Wgs84Position",
+    "haversine_m",
+    "initial_bearing_deg",
+    "destination_point",
+    "Ellipsoid",
+    "WGS84_ELLIPSOID",
+    "EcefPosition",
+    "EnuFrame",
+    "EnuPosition",
+    "LocalGrid",
+    "GridPosition",
+    "ReferenceSystem",
+    "TransformRegistry",
+    "TransformError",
+]

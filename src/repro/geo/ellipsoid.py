@@ -1,0 +1,108 @@
+"""The WGS84 reference ellipsoid and Earth-centred Earth-fixed coordinates.
+
+ECEF is the hub frame for exact conversions: geodetic positions convert to
+ECEF and from there into any local tangent-plane frame
+(:mod:`repro.geo.enu`).  The closed-form geodetic->ECEF conversion and
+Bowring's method for the inverse are implemented here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.wgs84 import Wgs84Position
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """A reference ellipsoid defined by semi-major axis and flattening."""
+
+    name: str
+    semi_major_m: float
+    inverse_flattening: float
+
+    @property
+    def flattening(self) -> float:
+        return 1.0 / self.inverse_flattening
+
+    @property
+    def semi_minor_m(self) -> float:
+        return self.semi_major_m * (1.0 - self.flattening)
+
+    @property
+    def eccentricity_sq(self) -> float:
+        f = self.flattening
+        return f * (2.0 - f)
+
+    def prime_vertical_radius(self, latitude_rad: float) -> float:
+        """Radius of curvature in the prime vertical, N(phi)."""
+        s = math.sin(latitude_rad)
+        return self.semi_major_m / math.sqrt(
+            1.0 - self.eccentricity_sq * s * s
+        )
+
+
+#: The WGS84 ellipsoid (NIMA TR8350.2 defining parameters).
+WGS84_ELLIPSOID = Ellipsoid(
+    name="WGS84", semi_major_m=6_378_137.0, inverse_flattening=298.257223563
+)
+
+
+@dataclass(frozen=True)
+class EcefPosition:
+    """A position in the Earth-centred, Earth-fixed Cartesian frame."""
+
+    x_m: float
+    y_m: float
+    z_m: float
+
+    @classmethod
+    def from_geodetic(
+        cls, position: Wgs84Position, ellipsoid: Ellipsoid = WGS84_ELLIPSOID
+    ) -> "EcefPosition":
+        """Closed-form geodetic to ECEF conversion."""
+        phi = math.radians(position.latitude_deg)
+        lam = math.radians(position.longitude_deg)
+        h = position.altitude_m
+        n = ellipsoid.prime_vertical_radius(phi)
+        x = (n + h) * math.cos(phi) * math.cos(lam)
+        y = (n + h) * math.cos(phi) * math.sin(lam)
+        z = (n * (1.0 - ellipsoid.eccentricity_sq) + h) * math.sin(phi)
+        return cls(x, y, z)
+
+    def to_geodetic(
+        self, ellipsoid: Ellipsoid = WGS84_ELLIPSOID
+    ) -> Wgs84Position:
+        """ECEF to geodetic via Bowring's single-iteration method.
+
+        Accurate to well below a millimetre for terrestrial altitudes,
+        which is far beyond the needs of a positioning middleware.
+        """
+        a = ellipsoid.semi_major_m
+        b = ellipsoid.semi_minor_m
+        e2 = ellipsoid.eccentricity_sq
+        ep2 = (a * a - b * b) / (b * b)
+        p = math.hypot(self.x_m, self.y_m)
+        if p < 1e-9:
+            # On the polar axis: longitude is degenerate, pick 0.
+            lat = math.copysign(math.pi / 2.0, self.z_m)
+            alt = abs(self.z_m) - b
+            return Wgs84Position(math.degrees(lat), 0.0, alt)
+        theta = math.atan2(self.z_m * a, p * b)
+        lat = math.atan2(
+            self.z_m + ep2 * b * math.sin(theta) ** 3,
+            p - e2 * a * math.cos(theta) ** 3,
+        )
+        lon = math.atan2(self.y_m, self.x_m)
+        n = ellipsoid.prime_vertical_radius(lat)
+        alt = p / math.cos(lat) - n
+        return Wgs84Position(math.degrees(lat), math.degrees(lon), alt)
+
+    def distance_to(self, other: "EcefPosition") -> float:
+        """Straight-line (chord) distance in metres."""
+        return math.sqrt(
+            (self.x_m - other.x_m) ** 2
+            + (self.y_m - other.y_m) ** 2
+            + (self.z_m - other.z_m) ** 2
+        )

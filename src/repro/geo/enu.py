@@ -1,0 +1,98 @@
+"""Local tangent-plane (east/north/up) frames.
+
+Indoor positioning components in the reproduction -- the building model,
+the WiFi positioning engine, and the particle filter -- work in a metric
+local frame anchored at a reference geodetic point.  :class:`EnuFrame`
+provides exact conversions between WGS84 and that frame via ECEF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.ellipsoid import EcefPosition, WGS84_ELLIPSOID, Ellipsoid
+from repro.geo.wgs84 import Wgs84Position
+
+
+@dataclass(frozen=True)
+class EnuPosition:
+    """Cartesian coordinates in a local east/north/up frame, metres."""
+
+    east_m: float
+    north_m: float
+    up_m: float = 0.0
+
+    def distance_to(self, other: "EnuPosition") -> float:
+        return math.sqrt(
+            (self.east_m - other.east_m) ** 2
+            + (self.north_m - other.north_m) ** 2
+            + (self.up_m - other.up_m) ** 2
+        )
+
+    def horizontal_distance_to(self, other: "EnuPosition") -> float:
+        return math.hypot(
+            self.east_m - other.east_m, self.north_m - other.north_m
+        )
+
+
+class EnuFrame:
+    """A local tangent plane anchored at a geodetic origin.
+
+    The rotation matrix from ECEF deltas to ENU coordinates is computed
+    once at construction; conversions are then two matrix products plus an
+    ECEF conversion.
+    """
+
+    def __init__(
+        self,
+        origin: Wgs84Position,
+        ellipsoid: Ellipsoid = WGS84_ELLIPSOID,
+    ) -> None:
+        self.origin = origin
+        self._ellipsoid = ellipsoid
+        self._origin_ecef = EcefPosition.from_geodetic(origin, ellipsoid)
+        phi = math.radians(origin.latitude_deg)
+        lam = math.radians(origin.longitude_deg)
+        sp, cp = math.sin(phi), math.cos(phi)
+        sl, cl = math.sin(lam), math.cos(lam)
+        # Rows are the ENU basis vectors expressed in ECEF.
+        self._rot = (
+            (-sl, cl, 0.0),
+            (-sp * cl, -sp * sl, cp),
+            (cp * cl, cp * sl, sp),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EnuFrame(origin=({self.origin.latitude_deg:.6f}, "
+            f"{self.origin.longitude_deg:.6f}))"
+        )
+
+    def to_enu(self, position: Wgs84Position) -> EnuPosition:
+        """Convert a geodetic position into this frame."""
+        ecef = EcefPosition.from_geodetic(position, self._ellipsoid)
+        dx = ecef.x_m - self._origin_ecef.x_m
+        dy = ecef.y_m - self._origin_ecef.y_m
+        dz = ecef.z_m - self._origin_ecef.z_m
+        r = self._rot
+        return EnuPosition(
+            east_m=r[0][0] * dx + r[0][1] * dy + r[0][2] * dz,
+            north_m=r[1][0] * dx + r[1][1] * dy + r[1][2] * dz,
+            up_m=r[2][0] * dx + r[2][1] * dy + r[2][2] * dz,
+        )
+
+    def to_wgs84(self, position: EnuPosition) -> Wgs84Position:
+        """Convert local coordinates back to a geodetic position."""
+        r = self._rot
+        e, n, u = position.east_m, position.north_m, position.up_m
+        # The rotation is orthonormal, so the inverse is the transpose.
+        dx = r[0][0] * e + r[1][0] * n + r[2][0] * u
+        dy = r[0][1] * e + r[1][1] * n + r[2][1] * u
+        dz = r[0][2] * e + r[1][2] * n + r[2][2] * u
+        ecef = EcefPosition(
+            self._origin_ecef.x_m + dx,
+            self._origin_ecef.y_m + dy,
+            self._origin_ecef.z_m + dz,
+        )
+        return ecef.to_geodetic(self._ellipsoid)

@@ -1,0 +1,75 @@
+"""Affine building-local grids.
+
+The paper's Fig. 1 shows the WiFi positioning system delivering "raw data
+(local coordinate system)".  Real deployments express indoor positions in
+a building grid -- metres along the building's own axes, which are usually
+rotated relative to true north.  :class:`LocalGrid` models such a grid as a
+rotation + translation on top of an ENU frame.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.enu import EnuFrame, EnuPosition
+from repro.geo.wgs84 import Wgs84Position
+
+
+@dataclass(frozen=True)
+class GridPosition:
+    """Coordinates in a building-local grid, metres."""
+
+    x_m: float
+    y_m: float
+    floor: int = 0
+
+    def distance_to(self, other: "GridPosition") -> float:
+        return math.hypot(self.x_m - other.x_m, self.y_m - other.y_m)
+
+
+class LocalGrid:
+    """A building grid: an ENU frame rotated by the building azimuth.
+
+    Parameters
+    ----------
+    origin:
+        WGS84 position of the grid origin (building corner).
+    rotation_deg:
+        Azimuth of the grid's y axis measured clockwise from true north.
+        ``0`` means grid-y points north and grid-x points east.
+    floor_height_m:
+        Vertical distance between consecutive floors, used to map the ENU
+        "up" coordinate onto integer floor numbers.
+    """
+
+    def __init__(
+        self,
+        origin: Wgs84Position,
+        rotation_deg: float = 0.0,
+        floor_height_m: float = 3.0,
+    ) -> None:
+        if floor_height_m <= 0:
+            raise ValueError("floor_height_m must be positive")
+        self.origin = origin
+        self.rotation_deg = rotation_deg % 360.0
+        self.floor_height_m = floor_height_m
+        self._frame = EnuFrame(origin)
+        theta = math.radians(self.rotation_deg)
+        self._cos = math.cos(theta)
+        self._sin = math.sin(theta)
+
+    def to_grid(self, position: Wgs84Position) -> GridPosition:
+        """Project a geodetic position into grid coordinates."""
+        enu = self._frame.to_enu(position)
+        x = self._cos * enu.east_m - self._sin * enu.north_m
+        y = self._sin * enu.east_m + self._cos * enu.north_m
+        floor = int(math.floor(enu.up_m / self.floor_height_m + 0.5))
+        return GridPosition(x, y, floor)
+
+    def to_wgs84(self, position: GridPosition) -> Wgs84Position:
+        """Lift grid coordinates back to a geodetic position."""
+        east = self._cos * position.x_m + self._sin * position.y_m
+        north = -self._sin * position.x_m + self._cos * position.y_m
+        up = position.floor * self.floor_height_m
+        return self._frame.to_wgs84(EnuPosition(east, north, up))

@@ -1,0 +1,109 @@
+"""A registry of named reference systems and conversions between them.
+
+PerPos "encapsulates ... the conversion between various coordinate
+systems" (paper §1).  Processing components declare the reference system
+of the positions they produce; when an application requests positions in a
+different system the middleware inserts a conversion.  The registry stores
+direct conversion functions between named systems and composes them along
+the shortest path when no direct conversion exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+
+class TransformError(Exception):
+    """No conversion path exists between two reference systems."""
+
+
+@dataclass(frozen=True)
+class ReferenceSystem:
+    """A named coordinate reference system.
+
+    ``kind`` is a coarse category ("geodetic", "local", "symbolic") used by
+    components to sanity-check their inputs; equality is by name only so
+    that independently constructed descriptions of the same system match.
+    """
+
+    name: str
+    kind: str = "geodetic"
+    metadata: Tuple[Tuple[str, Any], ...] = field(default=(), compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class TransformRegistry:
+    """Registry of conversions between reference systems.
+
+    Conversions are unary callables.  ``convert`` composes registered
+    conversions along a breadth-first shortest path, so registering
+    WGS84<->ENU and ENU<->grid is enough to convert WGS84->grid.
+    """
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Dict[str, Callable[[Any], Any]]] = {}
+
+    def register(
+        self,
+        source: ReferenceSystem,
+        target: ReferenceSystem,
+        forward: Callable[[Any], Any],
+        inverse: Callable[[Any], Any] = None,
+    ) -> None:
+        """Register a conversion, and optionally its inverse."""
+        self._edges.setdefault(source.name, {})[target.name] = forward
+        if inverse is not None:
+            self._edges.setdefault(target.name, {})[source.name] = inverse
+
+    def systems(self) -> List[str]:
+        """Names of all systems that appear in any registered conversion."""
+        names = set(self._edges)
+        for targets in self._edges.values():
+            names.update(targets)
+        return sorted(names)
+
+    def path(self, source: str, target: str) -> List[str]:
+        """Shortest conversion path as a list of system names.
+
+        Raises :class:`TransformError` when the systems are not connected.
+        """
+        if source == target:
+            return [source]
+        visited = {source}
+        queue = deque([[source]])
+        while queue:
+            route = queue.popleft()
+            for nxt in self._edges.get(route[-1], {}):
+                if nxt in visited:
+                    continue
+                if nxt == target:
+                    return route + [nxt]
+                visited.add(nxt)
+                queue.append(route + [nxt])
+        raise TransformError(f"no conversion path {source!r} -> {target!r}")
+
+    def convert(self, value: Any, source: str, target: str) -> Any:
+        """Convert ``value`` from ``source`` to ``target`` coordinates."""
+        route = self.path(source, target)
+        for here, there in zip(route, route[1:]):
+            value = self._edges[here][there](value)
+        return value
+
+    def converter(self, source: str, target: str) -> Callable[[Any], Any]:
+        """Return a composed conversion callable (path resolved eagerly)."""
+        route = self.path(source, target)
+        steps = [
+            self._edges[here][there]
+            for here, there in zip(route, route[1:])
+        ]
+
+        def _convert(value: Any) -> Any:
+            for step in steps:
+                value = step(value)
+            return value
+
+        return _convert

@@ -1,0 +1,147 @@
+"""WGS84 geodetic positions and spherical geometry.
+
+The Interpreter component of the paper's example pipeline (Fig. 1) turns
+NMEA measurements into "Positions (WGS84)".  This module provides the
+position value type and the great-circle geometry used throughout the
+reproduction: distances for error metrics, bearings and destination points
+for trace generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: Mean Earth radius in metres (IUGG), used for spherical approximations.
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class Wgs84Position:
+    """A geodetic position on the WGS84 datum.
+
+    Parameters
+    ----------
+    latitude_deg:
+        Geodetic latitude in decimal degrees, in ``[-90, 90]``.
+    longitude_deg:
+        Longitude in decimal degrees, normalised to ``(-180, 180]``.
+    altitude_m:
+        Height above the ellipsoid in metres.
+    accuracy_m:
+        Optional 1-sigma horizontal accuracy estimate in metres.  ``None``
+        means the producing sensor offered no estimate.
+    timestamp:
+        Optional wall-clock time of the fix, in seconds.
+    """
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float = 0.0
+    accuracy_m: Optional[float] = None
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ValueError(
+                f"latitude {self.latitude_deg} outside [-90, 90]"
+            )
+        if math.isnan(self.longitude_deg):
+            raise ValueError("longitude is NaN")
+        lon = _normalise_longitude(self.longitude_deg)
+        object.__setattr__(self, "longitude_deg", lon)
+        if self.accuracy_m is not None and self.accuracy_m < 0:
+            raise ValueError(f"negative accuracy {self.accuracy_m}")
+
+    def distance_to(self, other: "Wgs84Position") -> float:
+        """Great-circle distance to ``other`` in metres."""
+        return haversine_m(
+            self.latitude_deg,
+            self.longitude_deg,
+            other.latitude_deg,
+            other.longitude_deg,
+        )
+
+    def bearing_to(self, other: "Wgs84Position") -> float:
+        """Initial great-circle bearing towards ``other`` in degrees."""
+        return initial_bearing_deg(
+            self.latitude_deg,
+            self.longitude_deg,
+            other.latitude_deg,
+            other.longitude_deg,
+        )
+
+    def moved(self, bearing_deg: float, distance_m: float) -> "Wgs84Position":
+        """Return the position ``distance_m`` along ``bearing_deg``."""
+        lat, lon = destination_point(
+            self.latitude_deg, self.longitude_deg, bearing_deg, distance_m
+        )
+        return Wgs84Position(
+            lat, lon, self.altitude_m, self.accuracy_m, self.timestamp
+        )
+
+
+def _normalise_longitude(lon: float) -> float:
+    """Fold a longitude into ``(-180, 180]``."""
+    lon = math.fmod(lon, 360.0)
+    if lon > 180.0:
+        lon -= 360.0
+    elif lon <= -180.0:
+        lon += 360.0
+    return lon
+
+
+def haversine_m(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """Great-circle distance between two points, in metres.
+
+    Uses the haversine formulation, numerically stable for the short
+    distances that dominate indoor positioning workloads.
+    """
+    phi1 = math.radians(lat1_deg)
+    phi2 = math.radians(lat2_deg)
+    dphi = math.radians(lat2_deg - lat1_deg)
+    dlam = math.radians(lon2_deg - lon1_deg)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def initial_bearing_deg(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """Initial bearing from point 1 to point 2, degrees in ``[0, 360)``."""
+    phi1 = math.radians(lat1_deg)
+    phi2 = math.radians(lat2_deg)
+    dlam = math.radians(lon2_deg - lon1_deg)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(
+        phi2
+    ) * math.cos(dlam)
+    return math.degrees(math.atan2(y, x)) % 360.0
+
+
+def destination_point(
+    lat_deg: float, lon_deg: float, bearing_deg: float, distance_m: float
+) -> "tuple[float, float]":
+    """Point reached travelling ``distance_m`` along ``bearing_deg``.
+
+    Returns ``(latitude_deg, longitude_deg)`` on the spherical Earth model.
+    """
+    delta = distance_m / EARTH_RADIUS_M
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(lat_deg)
+    lam1 = math.radians(lon_deg)
+    phi2 = math.asin(
+        math.sin(phi1) * math.cos(delta)
+        + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    )
+    lam2 = lam1 + math.atan2(
+        math.sin(theta) * math.sin(delta) * math.cos(phi1),
+        math.cos(delta) - math.sin(phi1) * math.sin(phi2),
+    )
+    return math.degrees(phi2), _normalise_longitude(math.degrees(lam2))

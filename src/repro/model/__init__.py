@@ -1,0 +1,32 @@
+"""Location model substrate (system S7 in DESIGN.md).
+
+The paper's Resolver component translates positions into room numbers
+(Fig. 1), and the particle filter uses "location models to impose
+restrictions on possible movements in the environment" (§1).  This package
+provides both: a building model with floors, rooms and walls
+(:mod:`repro.model.building`), the 2-D geometry beneath it
+(:mod:`repro.model.geometry`), and a ready-made office building used by
+examples and benchmarks (:mod:`repro.model.demo`).
+"""
+
+from repro.model.building import Building, Floor, Room, SymbolicLocation, Wall
+from repro.model.demo import demo_building
+from repro.model.geometry import (
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+    segments_intersect,
+)
+
+__all__ = [
+    "Building",
+    "Floor",
+    "Room",
+    "Wall",
+    "SymbolicLocation",
+    "demo_building",
+    "point_in_polygon",
+    "polygon_area",
+    "polygon_centroid",
+    "segments_intersect",
+]

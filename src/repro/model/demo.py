@@ -1,0 +1,227 @@
+"""A ready-made office building shared by examples, tests and benchmarks.
+
+The paper's figures are set in a university building: corridors, offices,
+a WiFi deployment.  ``demo_building()`` programmatically constructs an
+equivalent (DESIGN.md §4 substitution for the authors' CAD/map data): one
+floor, 40 m x 15 m, a central east-west corridor with four offices on each
+side, doors onto the corridor and an entrance at the west end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.geo.wgs84 import Wgs84Position
+from repro.model.building import Building, Floor, Room, Wall
+from repro.sensors.wifi import AccessPoint, RadioEnvironment
+
+#: Geodetic anchor of the demo building (Aarhus university campus area).
+DEMO_ORIGIN = Wgs84Position(56.1718, 10.1903)
+
+#: Building extents in metres.
+WIDTH = 40.0
+DEPTH = 15.0
+CORRIDOR_SOUTH = 6.0
+CORRIDOR_NORTH = 9.0
+ROOM_WIDTH = 10.0
+DOOR_HALF = 0.75  # doors are 1.5 m wide
+
+
+def _corridor_wall_segments(y: float) -> List[Wall]:
+    """A corridor wall at height ``y`` with a door gap per room."""
+    door_centres = [5.0, 15.0, 25.0, 35.0]
+    walls = []
+    cursor = 0.0
+    for centre in door_centres:
+        left = centre - DOOR_HALF
+        if left > cursor:
+            walls.append(Wall(cursor, y, left, y))
+        cursor = centre + DOOR_HALF
+    if cursor < WIDTH:
+        walls.append(Wall(cursor, y, WIDTH, y))
+    return walls
+
+
+def demo_building(building_id: str = "hopper") -> Building:
+    """Construct the demo office building.
+
+    Room ids follow the paper's "room number" usage: ``N1``..``N4`` along
+    the north side, ``S1``..``S4`` along the south side, and ``CORR`` for
+    the corridor.
+    """
+    rooms = []
+    for i in range(4):
+        x0 = i * ROOM_WIDTH
+        x1 = x0 + ROOM_WIDTH
+        rooms.append(
+            Room(
+                room_id=f"N{i + 1}",
+                name=f"Office N{i + 1}",
+                floor=0,
+                polygon=(
+                    (x0, CORRIDOR_NORTH),
+                    (x1, CORRIDOR_NORTH),
+                    (x1, DEPTH),
+                    (x0, DEPTH),
+                ),
+            )
+        )
+        rooms.append(
+            Room(
+                room_id=f"S{i + 1}",
+                name=f"Office S{i + 1}",
+                floor=0,
+                polygon=((x0, 0.0), (x1, 0.0), (x1, CORRIDOR_SOUTH), (x0, CORRIDOR_SOUTH)),
+            )
+        )
+    rooms.append(
+        Room(
+            room_id="CORR",
+            name="Corridor",
+            floor=0,
+            polygon=(
+                (0.0, CORRIDOR_SOUTH),
+                (WIDTH, CORRIDOR_SOUTH),
+                (WIDTH, CORRIDOR_NORTH),
+                (0.0, CORRIDOR_NORTH),
+            ),
+        )
+    )
+
+    walls: List[Wall] = []
+    # Exterior shell; the west wall has the entrance gap at the corridor.
+    walls.append(Wall(0.0, 0.0, WIDTH, 0.0))  # south
+    walls.append(Wall(0.0, DEPTH, WIDTH, DEPTH))  # north
+    walls.append(Wall(WIDTH, 0.0, WIDTH, DEPTH))  # east
+    walls.append(Wall(0.0, 0.0, 0.0, CORRIDOR_SOUTH))  # west below entrance
+    walls.append(Wall(0.0, CORRIDOR_NORTH, 0.0, DEPTH))  # west above entrance
+    # Corridor walls with doors.
+    walls.extend(_corridor_wall_segments(CORRIDOR_SOUTH))
+    walls.extend(_corridor_wall_segments(CORRIDOR_NORTH))
+    # Partitions between neighbouring offices.
+    for x in (10.0, 20.0, 30.0):
+        walls.append(Wall(x, 0.0, x, CORRIDOR_SOUTH))
+        walls.append(Wall(x, CORRIDOR_NORTH, x, DEPTH))
+
+    floor = Floor(level=0, rooms=rooms, walls=walls)
+    grid = LocalGrid(origin=DEMO_ORIGIN, rotation_deg=0.0)
+    return Building(building_id, grid, [floor])
+
+
+def demo_two_floor_building(building_id: str = "hopper-2f") -> Building:
+    """A two-storey variant of the demo building.
+
+    The ground floor matches :func:`demo_building`; the first floor has
+    the same corridor but only two large offices per side.  Room ids are
+    floor-prefixed (``1N1`` etc.) so resolution results are unambiguous.
+    """
+    ground = demo_building(building_id).floor(0)
+
+    rooms = []
+    for i in range(2):
+        x0 = i * 2 * ROOM_WIDTH
+        x1 = x0 + 2 * ROOM_WIDTH
+        rooms.append(
+            Room(
+                room_id=f"1N{i + 1}",
+                name=f"Upper office N{i + 1}",
+                floor=1,
+                polygon=(
+                    (x0, CORRIDOR_NORTH),
+                    (x1, CORRIDOR_NORTH),
+                    (x1, DEPTH),
+                    (x0, DEPTH),
+                ),
+            )
+        )
+        rooms.append(
+            Room(
+                room_id=f"1S{i + 1}",
+                name=f"Upper office S{i + 1}",
+                floor=1,
+                polygon=(
+                    (x0, 0.0),
+                    (x1, 0.0),
+                    (x1, CORRIDOR_SOUTH),
+                    (x0, CORRIDOR_SOUTH),
+                ),
+            )
+        )
+    rooms.append(
+        Room(
+            room_id="1CORR",
+            name="Upper corridor",
+            floor=1,
+            polygon=(
+                (0.0, CORRIDOR_SOUTH),
+                (WIDTH, CORRIDOR_SOUTH),
+                (WIDTH, CORRIDOR_NORTH),
+                (0.0, CORRIDOR_NORTH),
+            ),
+        )
+    )
+    walls = [
+        Wall(0.0, 0.0, WIDTH, 0.0, floor=1),
+        Wall(0.0, DEPTH, WIDTH, DEPTH, floor=1),
+        Wall(0.0, 0.0, 0.0, DEPTH, floor=1),
+        Wall(WIDTH, 0.0, WIDTH, DEPTH, floor=1),
+        Wall(ROOM_WIDTH * 2, 0.0, ROOM_WIDTH * 2, CORRIDOR_SOUTH, floor=1),
+        Wall(ROOM_WIDTH * 2, CORRIDOR_NORTH, ROOM_WIDTH * 2, DEPTH, floor=1),
+    ]
+    corridor_walls = [
+        Wall(w.x1, w.y1, w.x2, w.y2, floor=1)
+        for w in _corridor_wall_segments(CORRIDOR_SOUTH)
+        + _corridor_wall_segments(CORRIDOR_NORTH)
+    ]
+    upper = Floor(level=1, rooms=rooms, walls=walls + corridor_walls)
+    grid = LocalGrid(origin=DEMO_ORIGIN, rotation_deg=0.0)
+    return Building(building_id, grid, [ground, upper])
+
+
+def demo_access_points() -> List[AccessPoint]:
+    """The demo WiFi deployment: one AP per pair of offices plus corridor."""
+    return [
+        AccessPoint("ap:corr:west", GridPosition(8.0, 7.5)),
+        AccessPoint("ap:corr:east", GridPosition(32.0, 7.5)),
+        AccessPoint("ap:north:1", GridPosition(5.0, 12.0)),
+        AccessPoint("ap:north:3", GridPosition(25.0, 12.0)),
+        AccessPoint("ap:south:2", GridPosition(15.0, 3.0)),
+        AccessPoint("ap:south:4", GridPosition(35.0, 3.0)),
+    ]
+
+
+def demo_beacons() -> "List":
+    """One BLE beacon per office plus two corridor beacons."""
+    from repro.sensors.ble import Beacon
+
+    beacons = [
+        Beacon("bcn:corr:west", GridPosition(10.0, 7.5)),
+        Beacon("bcn:corr:east", GridPosition(30.0, 7.5)),
+    ]
+    for i in range(4):
+        x = 5.0 + 10.0 * i
+        beacons.append(Beacon(f"bcn:N{i + 1}", GridPosition(x, 12.0)))
+        beacons.append(Beacon(f"bcn:S{i + 1}", GridPosition(x, 3.0)))
+    return beacons
+
+
+def demo_radio_environment(building: Building) -> RadioEnvironment:
+    """Radio environment over the demo building's wall model."""
+    return RadioEnvironment(
+        access_points=demo_access_points(),
+        wall_counter=building.walls_between,
+    )
+
+
+def demo_survey_positions(spacing_m: float = 2.0) -> List[GridPosition]:
+    """A survey lattice covering the demo floor for radio-map calibration."""
+    positions = []
+    y = 1.0
+    while y < DEPTH:
+        x = 1.0
+        while x < WIDTH:
+            positions.append(GridPosition(x, y, 0))
+            x += spacing_m
+        y += spacing_m
+    return positions

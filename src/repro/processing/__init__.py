@@ -1,0 +1,40 @@
+"""Stock processing components (system S10 in DESIGN.md).
+
+The concrete nodes of the paper's figures: the Parser and Interpreter of
+the GPS pipeline (Fig. 1, Fig. 4), the Resolver producing room ids, the
+WiFi positioning engine, fusion components, the §3.1 satellite filter,
+and pipeline builders that assemble them onto a
+:class:`~repro.core.middleware.PerPos` instance.
+"""
+
+from repro.processing.parser import NmeaParserComponent
+from repro.processing.interpreter import NmeaInterpreterComponent
+from repro.processing.resolver import RoomResolverComponent
+from repro.processing.wifi_positioning import FingerprintPositioningComponent
+from repro.processing.wifi_centroid import CentroidPositioningComponent
+from repro.processing.conversion import CoordinateConverterComponent
+from repro.processing.fusion import (
+    BestAccuracyFusionComponent,
+    VarianceWeightedFusionComponent,
+)
+from repro.processing.beacon_positioning import BeaconPositioningComponent
+from repro.processing.filters import SatelliteFilterComponent
+from repro.processing.gps_features import (
+    HdopFeature,
+    NumberOfSatellitesFeature,
+)
+
+__all__ = [
+    "NmeaParserComponent",
+    "NmeaInterpreterComponent",
+    "RoomResolverComponent",
+    "FingerprintPositioningComponent",
+    "CentroidPositioningComponent",
+    "CoordinateConverterComponent",
+    "BestAccuracyFusionComponent",
+    "VarianceWeightedFusionComponent",
+    "BeaconPositioningComponent",
+    "SatelliteFilterComponent",
+    "NumberOfSatellitesFeature",
+    "HdopFeature",
+]

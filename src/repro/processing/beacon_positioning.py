@@ -1,0 +1,92 @@
+"""Beacon proximity positioning: the R1 plug-in mechanism.
+
+Turns BLE beacon scans into positions: the strongest sighted beacon's
+deployment position, with an accuracy radius derived from its RSSI-based
+distance estimate.  Produces the same ``position-wgs84`` kind as the GPS
+and WiFi strands, so it merges into existing fusion components without
+any change to the application-facing API -- the paper's requirement R1
+in its purest form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.geo.grid import LocalGrid
+from repro.sensors.ble import Beacon, BeaconScan
+
+
+class BeaconPositioningComponent(ProcessingComponent):
+    """Strongest-beacon proximity positioning."""
+
+    def __init__(
+        self,
+        beacons: Sequence[Beacon],
+        grid: LocalGrid,
+        name: str = "ble-positioning",
+        path_loss_exponent: float = 2.2,
+        min_rssi_dbm: float = -85.0,
+    ) -> None:
+        if not beacons:
+            raise ValueError("need at least one beacon")
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.BEACON_SCAN,)),),
+            output=OutputPort((Kind.POSITION_WGS84, Kind.POSITION_GRID)),
+        )
+        self._beacons: Dict[str, Beacon] = {
+            b.beacon_id: b for b in beacons
+        }
+        self.grid = grid
+        self._n = path_loss_exponent
+        self.min_rssi_dbm = min_rssi_dbm
+        self.positions_produced = 0
+
+    def estimated_distance_m(self, beacon: Beacon, rssi: float) -> float:
+        """Invert the log-distance model for an accuracy estimate."""
+        exponent = (beacon.tx_power_dbm - rssi) / (10.0 * self._n)
+        return max(0.5, 10.0**exponent)
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        scan = datum.payload
+        if not isinstance(scan, BeaconScan):
+            return
+        strongest = scan.strongest()
+        if strongest is None or strongest.rssi_dbm < self.min_rssi_dbm:
+            return
+        beacon = self._beacons.get(strongest.beacon_id)
+        if beacon is None:
+            return
+        accuracy = self.estimated_distance_m(beacon, strongest.rssi_dbm)
+        self.positions_produced += 1
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_GRID,
+                payload=beacon.position,
+                timestamp=datum.timestamp,
+                producer=self.name,
+                attributes={"beacon": beacon.beacon_id},
+            )
+        )
+        wgs = self.grid.to_wgs84(beacon.position)
+        wgs = type(wgs)(
+            wgs.latitude_deg,
+            wgs.longitude_deg,
+            wgs.altitude_m,
+            accuracy_m=accuracy,
+            timestamp=datum.timestamp,
+        )
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_WGS84,
+                payload=wgs,
+                timestamp=datum.timestamp,
+                producer=self.name,
+                attributes={"beacon": beacon.beacon_id},
+            )
+        )
+
+    def known_beacons(self) -> int:
+        return len(self._beacons)

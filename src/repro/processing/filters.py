@@ -1,0 +1,92 @@
+"""Filtering components, led by the §3.1 satellite-count filter.
+
+"We have implemented this functionality by creating a new filtering
+Processing Component and inserting it into the processing tree.  The
+Processing Component depends on a Component Feature named
+NumberOfSatellites ...  We insert the filter component after the Parser
+component. ... The filter component extracts the number of satellites and
+forwards only measurements based on a satisfactory number."
+
+The filter's input port declares both the sentence kind and the
+feature-added ``num-satellites`` kind, and names the
+``NumberOfSatellites`` feature as a connection requirement -- wiring it
+to a parser without the feature fails at connect time, which is the
+"realizable port connections" check of §2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.sensors.nmea import GgaSentence
+
+
+class SatelliteFilterComponent(ProcessingComponent):
+    """Forwards only measurements backed by enough satellites.
+
+    The satellite count arrives in-band as feature-added data, ordered
+    with the sentences it belongs to; position-bearing sentences seen
+    while the count is below ``min_satellites`` are dropped.  Sentences
+    that carry no position (GSA/GSV/VTG) always pass -- they feed other
+    features downstream.
+    """
+
+    def __init__(
+        self, min_satellites: int = 4, name: str = "satellite-filter"
+    ) -> None:
+        if min_satellites < 0:
+            raise ValueError("min_satellites must be non-negative")
+        super().__init__(
+            name,
+            inputs=(
+                InputPort(
+                    "in",
+                    accepts=(Kind.NMEA_SENTENCE, Kind.NUM_SATELLITES),
+                    required_features=("NumberOfSatellites",),
+                ),
+            ),
+            output=OutputPort((Kind.NMEA_SENTENCE,)),
+        )
+        self.min_satellites = min_satellites
+        self._last_count: Optional[int] = None
+        self.passed = 0
+        self.rejected = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        if datum.kind == Kind.NUM_SATELLITES:
+            self._last_count = datum.payload
+            return
+        sentence = datum.payload
+        carries_position = (
+            isinstance(sentence, GgaSentence) and sentence.has_fix
+        )
+        if carries_position:
+            # GGA itself reports the count; prefer the in-band feature
+            # data when present, it is what the paper's design prescribes.
+            count = (
+                self._last_count
+                if self._last_count is not None
+                else sentence.num_satellites
+            )
+            if count < self.min_satellites:
+                self.rejected += 1
+                return
+            self.passed += 1
+        self.produce(datum.from_producer(self.name))
+
+    # -- inspection / state manipulation -----------------------------------
+
+    def get_threshold(self) -> int:
+        return self.min_satellites
+
+    def set_threshold(self, min_satellites: int) -> None:
+        """Adjust the acceptance threshold at runtime (a PSL state hook)."""
+        if min_satellites < 0:
+            raise ValueError("min_satellites must be non-negative")
+        self.min_satellites = min_satellites
+
+    def rejection_rate(self) -> float:
+        total = self.passed + self.rejected
+        return self.rejected / total if total else 0.0

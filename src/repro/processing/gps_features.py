@@ -1,0 +1,91 @@
+"""The paper's GPS Component Features: NumberOfSatellites and HDOP.
+
+§3.1: "NumberOfSatellites is implemented as a Component Feature that is
+attached to the Parser component and adds a new data element to its
+output."
+
+§3.2 / Fig. 5 snippet 3: the HDOP feature extracts the dilution of
+precision from parsed sentences and both exposes it as component state
+(``get_hdop``) and adds it to the Parser's output stream
+(``parser.produce(nmeaSentence.HDOP)``), so downstream components that
+declare the ``hdop`` kind receive it in-band, correctly ordered with the
+sentences it belongs to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.data import Datum, Kind
+from repro.core.features import ComponentFeature
+from repro.sensors.nmea import GgaSentence, GsaSentence
+
+
+class NumberOfSatellitesFeature(ComponentFeature):
+    """Exposes and emits the satellite count behind each measurement."""
+
+    name = "NumberOfSatellites"
+    provides = (Kind.NUM_SATELLITES,)
+    requires_kinds = (Kind.NMEA_SENTENCE,)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_count: Optional[int] = None
+
+    def produce(self, datum: Datum) -> Optional[Datum]:
+        sentence = datum.payload
+        if isinstance(sentence, GgaSentence):
+            self._last_count = sentence.num_satellites
+            # Feature-added data: delivered only to ports that declare
+            # they accept the num-satellites kind (paper §2.1).
+            self.add_data(
+                Datum(
+                    kind=Kind.NUM_SATELLITES,
+                    payload=sentence.num_satellites,
+                    timestamp=datum.timestamp,
+                )
+            )
+        return datum
+
+    # -- state exposed on the host component (augmentation type 3) ---------
+
+    def get_number_of_satellites(self) -> Optional[int]:
+        """Satellite count of the most recent measurement, if any."""
+        return self._last_count
+
+
+class HdopFeature(ComponentFeature):
+    """Extracts HDOP from parsed sentences and exposes/emits it."""
+
+    name = "HDOP"
+    provides = (Kind.HDOP,)
+    requires_kinds = (Kind.NMEA_SENTENCE,)
+
+    def __init__(self, history: int = 32) -> None:
+        super().__init__()
+        self._history = history
+        self._values: List[float] = []
+
+    def produce(self, datum: Datum) -> Optional[Datum]:
+        sentence = datum.payload
+        hdop: Optional[float] = None
+        if isinstance(sentence, (GgaSentence, GsaSentence)):
+            hdop = sentence.hdop
+        if hdop is not None:
+            self._values.append(hdop)
+            if len(self._values) > self._history:
+                del self._values[: len(self._values) - self._history]
+            self.add_data(
+                Datum(
+                    kind=Kind.HDOP, payload=hdop, timestamp=datum.timestamp
+                )
+            )
+        return datum
+
+    def get_hdop(self) -> Optional[float]:
+        """The most recently observed HDOP value."""
+        return self._values[-1] if self._values else None
+
+    def recent_hdops(self) -> List[float]:
+        """Bounded history of observed HDOP values, oldest first."""
+        return list(self._values)

@@ -1,0 +1,65 @@
+"""The Interpreter component: NMEA sentences to WGS84 positions.
+
+Fig. 1/Fig. 4: the Interpreter "only returns a value when a valid
+position is produced", so several NMEA sentences may contribute to one
+WGS84 output -- the case the Fig. 4 data tree illustrates.  Sentences
+without a fix advance logical time but produce nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.nmea import GgaSentence
+
+
+class NmeaInterpreterComponent(ProcessingComponent):
+    """Turns GGA sentences carrying a valid fix into WGS84 positions.
+
+    ``uere_m`` scales the reported HDOP into an accuracy estimate on the
+    produced position, the way receiver stacks approximate 1-sigma error.
+    """
+
+    def __init__(self, name: str = "interpreter", uere_m: float = 5.0) -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.NMEA_SENTENCE,)),),
+            output=OutputPort((Kind.POSITION_WGS84,)),
+        )
+        self._uere_m = uere_m
+        self.sentences_seen = 0
+        self.positions_produced = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        self.sentences_seen += 1
+        sentence = datum.payload
+        if not isinstance(sentence, GgaSentence) or not sentence.has_fix:
+            return
+        accuracy: Optional[float] = (
+            sentence.hdop * self._uere_m if sentence.hdop else None
+        )
+        position = Wgs84Position(
+            latitude_deg=sentence.latitude_deg,
+            longitude_deg=sentence.longitude_deg,
+            altitude_m=sentence.altitude_m or 0.0,
+            accuracy_m=accuracy,
+            timestamp=datum.timestamp,
+        )
+        self.positions_produced += 1
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_WGS84,
+                payload=position,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+
+    def yield_rate(self) -> float:
+        """Fraction of sentences that produced a position (inspection)."""
+        if not self.sentences_seen:
+            return 0.0
+        return self.positions_produced / self.sentences_seen

@@ -1,0 +1,134 @@
+"""Pipeline builders: assembling the paper's figures onto a middleware.
+
+These functions wire stock components into a
+:class:`~repro.core.middleware.PerPos` instance and return the component
+names involved, so examples, tests and benchmarks share one definition of
+each figure's topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.core.data import Kind
+from repro.core.middleware import PerPos
+from repro.core.positioning import LocationProvider
+from repro.model.building import Building
+from repro.model.demo import demo_radio_environment, demo_survey_positions
+from repro.processing.fusion import BestAccuracyFusionComponent
+from repro.processing.interpreter import NmeaInterpreterComponent
+from repro.processing.parser import NmeaParserComponent
+from repro.processing.resolver import RoomResolverComponent
+from repro.processing.wifi_positioning import FingerprintPositioningComponent
+from repro.sensors.base import SimulatedSensor
+from repro.sensors.wifi import build_radio_map
+
+
+@dataclass(frozen=True)
+class GpsPipeline:
+    """Names of the components of one GPS strand."""
+
+    source: str
+    parser: str
+    interpreter: str
+
+
+@dataclass(frozen=True)
+class WifiPipeline:
+    """Names of the components of one WiFi strand."""
+
+    source: str
+    engine: str
+
+
+@dataclass(frozen=True)
+class RoomApp:
+    """The Fig. 1 Room Number Application wiring."""
+
+    gps: GpsPipeline
+    wifi: WifiPipeline
+    fusion: str
+    resolver: str
+    provider: LocationProvider
+
+
+def build_gps_pipeline(
+    middleware: PerPos,
+    gps_sensor: SimulatedSensor,
+    prefix: str = "gps",
+) -> GpsPipeline:
+    """source -> Parser -> Interpreter (Fig. 1 upper strand)."""
+    source = middleware.attach_sensor(
+        gps_sensor, (Kind.NMEA_RAW,), source_name=f"{prefix}"
+    )
+    parser = NmeaParserComponent(name=f"{prefix}-parser")
+    interpreter = NmeaInterpreterComponent(name=f"{prefix}-interpreter")
+    middleware.graph.add(parser)
+    middleware.graph.add(interpreter)
+    middleware.graph.connect(source.name, parser.name)
+    middleware.graph.connect(parser.name, interpreter.name)
+    return GpsPipeline(source.name, parser.name, interpreter.name)
+
+
+def build_wifi_pipeline(
+    middleware: PerPos,
+    wifi_sensor: SimulatedSensor,
+    building: Building,
+    prefix: str = "wifi",
+    k: int = 3,
+    survey_spacing_m: float = 2.0,
+) -> WifiPipeline:
+    """source -> fingerprint engine (Fig. 1 lower strand).
+
+    The engine is calibrated against the building's demo radio
+    environment: the offline survey the paper's infrastructure already
+    had.
+    """
+    source = middleware.attach_sensor(
+        wifi_sensor, (Kind.WIFI_SCAN,), source_name=f"{prefix}"
+    )
+    environment = demo_radio_environment(building)
+    radio_map = build_radio_map(
+        environment, demo_survey_positions(survey_spacing_m)
+    )
+    engine = FingerprintPositioningComponent(
+        radio_map, building.grid, k=k, name=f"{prefix}-positioning"
+    )
+    middleware.graph.add(engine)
+    middleware.graph.connect(source.name, engine.name)
+    return WifiPipeline(source.name, engine.name)
+
+
+def build_room_app(
+    middleware: PerPos,
+    gps_sensor: SimulatedSensor,
+    wifi_sensor: SimulatedSensor,
+    building: Building,
+    provider_name: str = "room-app",
+) -> RoomApp:
+    """The complete Fig. 1 configuration.
+
+    GPS and WiFi strands merge in a fusion component; the Resolver turns
+    fused positions into room ids; the application sink receives both the
+    WGS84 positions and the room ids ("shows the current position as a
+    point on a map when outdoor and highlights the currently occupied
+    room when within a building").
+    """
+    gps = build_gps_pipeline(middleware, gps_sensor)
+    wifi = build_wifi_pipeline(middleware, wifi_sensor, building)
+    fusion = BestAccuracyFusionComponent(name="fusion")
+    resolver = RoomResolverComponent(building, name="resolver")
+    middleware.graph.add(fusion)
+    middleware.graph.add(resolver)
+    middleware.graph.connect(gps.interpreter, fusion.name)
+    middleware.graph.connect(wifi.engine, fusion.name)
+    middleware.graph.connect(fusion.name, resolver.name)
+    provider = middleware.create_provider(
+        provider_name,
+        accepts=(Kind.POSITION_WGS84, Kind.ROOM_ID),
+        technologies=("gps", "wifi"),
+    )
+    middleware.graph.connect(fusion.name, provider.sink.name)
+    middleware.graph.connect(resolver.name, provider.sink.name)
+    return RoomApp(gps, wifi, fusion.name, resolver.name, provider)

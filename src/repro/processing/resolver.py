@@ -1,0 +1,41 @@
+"""The Resolver component: positions to room numbers.
+
+Fig. 1: the Room Number Application receives "Positions (RoomID)" from a
+Resolver backed by a location model service.  Outdoor positions resolve
+to a symbolic location with no room id, so the application can tell
+"outside" apart from "no data" -- one of the seams PerPos chooses to
+expose.
+"""
+
+from __future__ import annotations
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.model.building import Building
+
+
+class RoomResolverComponent(ProcessingComponent):
+    """Resolves WGS84 positions against a building model."""
+
+    def __init__(self, building: Building, name: str = "resolver") -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.POSITION_WGS84,)),),
+            output=OutputPort((Kind.ROOM_ID,)),
+        )
+        self.building = building
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        location = self.building.resolve(datum.payload)
+        self.produce(
+            Datum(
+                kind=Kind.ROOM_ID,
+                payload=location,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+
+    def model_id(self) -> str:
+        """Identity of the backing location model (inspection)."""
+        return self.building.building_id

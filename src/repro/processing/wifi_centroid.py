@@ -1,0 +1,109 @@
+"""Weighted-centroid WiFi positioning: the calibration-free baseline.
+
+Fingerprinting (the engine the paper's infrastructure used) needs an
+offline survey; deployments without one fall back to weighted centroid:
+estimate = RSSI-weighted mean of the heard access points' positions.  It
+is cheap and survey-free but systematically biased toward AP-dense
+areas -- the ablation benchmark quantifies the gap, which is the reason
+a middleware wants *pluggable* positioning components in the first
+place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.sensors.wifi import AccessPoint, WifiScan
+
+
+class CentroidPositioningComponent(ProcessingComponent):
+    """RSSI-weighted centroid over known AP positions.
+
+    Weights are ``1 / (1 + (rssi_max - rssi))^exponent`` so the strongest
+    AP dominates; ``exponent`` trades smoothness against snapping to the
+    nearest AP.
+    """
+
+    def __init__(
+        self,
+        access_points: Sequence[AccessPoint],
+        grid: LocalGrid,
+        exponent: float = 1.5,
+        name: str = "wifi-centroid",
+        min_observations: int = 1,
+    ) -> None:
+        if not access_points:
+            raise ValueError("need at least one access point")
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.WIFI_SCAN,)),),
+            output=OutputPort((Kind.POSITION_WGS84, Kind.POSITION_GRID)),
+        )
+        self._positions: Dict[str, GridPosition] = {
+            ap.bssid: ap.position for ap in access_points
+        }
+        self.grid = grid
+        self.exponent = exponent
+        self.min_observations = min_observations
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        scan = datum.payload
+        if not isinstance(scan, WifiScan):
+            return
+        estimate = self.estimate(scan)
+        if estimate is None:
+            return
+        position, spread = estimate
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_GRID,
+                payload=position,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+        wgs = self.grid.to_wgs84(position)
+        wgs = type(wgs)(
+            wgs.latitude_deg,
+            wgs.longitude_deg,
+            wgs.altitude_m,
+            accuracy_m=spread,
+            timestamp=datum.timestamp,
+        )
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_WGS84,
+                payload=wgs,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+
+    def estimate(
+        self, scan: WifiScan
+    ) -> Optional[Tuple[GridPosition, float]]:
+        known = [
+            (obs, self._positions[obs.bssid])
+            for obs in scan.observations
+            if obs.bssid in self._positions
+        ]
+        if len(known) < self.min_observations:
+            return None
+        strongest = max(obs.rssi_dbm for obs, _pos in known)
+        weights = [
+            (1.0 / (1.0 + (strongest - obs.rssi_dbm)) ** self.exponent, pos)
+            for obs, pos in known
+        ]
+        total = sum(w for w, _pos in weights)
+        x = sum(w * pos.x_m for w, pos in weights) / total
+        y = sum(w * pos.y_m for w, pos in weights) / total
+        floor = known[0][1].floor
+        estimate = GridPosition(x, y, floor)
+        spread = max(estimate.distance_to(pos) for _w, pos in weights)
+        return estimate, max(spread, 1.0)
+
+    def known_ap_count(self) -> int:
+        return len(self._positions)

@@ -1,0 +1,124 @@
+"""The WiFi fingerprint positioning engine.
+
+Substitution for the paper's campus "indoor WiFi positioning system"
+(Fig. 1): classic two-phase fingerprinting.  The offline phase is a radio
+map -- RSSI vectors at known grid positions, built by
+:func:`repro.sensors.wifi.build_radio_map` -- and the online phase is
+weighted k-nearest-neighbours in signal space, producing positions in
+both the building grid and WGS84.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence, Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.sensors.wifi import WifiScan
+
+
+def signal_distance(
+    a: Mapping[str, float], b: Mapping[str, float], missing_dbm: float = -95.0
+) -> float:
+    """Euclidean distance between RSSI vectors over the union of APs.
+
+    APs heard in one vector but not the other count as received at the
+    noise floor, which penalises disagreeing coverage sets.
+    """
+    keys = set(a) | set(b)
+    if not keys:
+        return float("inf")
+    total = 0.0
+    for key in keys:
+        va = a.get(key, missing_dbm)
+        vb = b.get(key, missing_dbm)
+        total += (va - vb) ** 2
+    return math.sqrt(total / len(keys))
+
+
+class FingerprintPositioningComponent(ProcessingComponent):
+    """Weighted-kNN fingerprint matcher over a survey radio map."""
+
+    def __init__(
+        self,
+        radio_map: Sequence[Tuple[GridPosition, Mapping[str, float]]],
+        grid: LocalGrid,
+        k: int = 3,
+        name: str = "wifi-positioning",
+        min_observations: int = 1,
+    ) -> None:
+        if not radio_map:
+            raise ValueError("radio map must not be empty")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.WIFI_SCAN,)),),
+            output=OutputPort((Kind.POSITION_WGS84, Kind.POSITION_GRID)),
+        )
+        self.radio_map = [
+            (pos, dict(vector)) for pos, vector in radio_map if vector
+        ]
+        self.grid = grid
+        self.k = k
+        self.min_observations = min_observations
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        scan = datum.payload
+        if not isinstance(scan, WifiScan):
+            return
+        if len(scan.observations) < self.min_observations:
+            return  # out of coverage: a seam, surfaced as silence
+        estimate, spread = self.estimate(scan)
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_GRID,
+                payload=estimate,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+        wgs84 = self.grid.to_wgs84(estimate)
+        wgs84 = type(wgs84)(
+            wgs84.latitude_deg,
+            wgs84.longitude_deg,
+            wgs84.altitude_m,
+            accuracy_m=spread,
+            timestamp=datum.timestamp,
+        )
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_WGS84,
+                payload=wgs84,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+
+    def estimate(self, scan: WifiScan) -> Tuple[GridPosition, float]:
+        """Weighted-kNN estimate and a spread-based accuracy value."""
+        observed = scan.as_dict()
+        scored = sorted(
+            (
+                (signal_distance(observed, vector), pos)
+                for pos, vector in self.radio_map
+            ),
+            key=lambda pair: pair[0],
+        )
+        nearest = scored[: self.k]
+        weights = [1.0 / (distance + 1e-3) for distance, _pos in nearest]
+        total = sum(weights)
+        x = sum(w * pos.x_m for w, (_d, pos) in zip(weights, nearest)) / total
+        y = sum(w * pos.y_m for w, (_d, pos) in zip(weights, nearest)) / total
+        floor = nearest[0][1].floor
+        estimate = GridPosition(x, y, floor)
+        spread = max(
+            estimate.distance_to(pos) for _d, pos in nearest
+        )
+        return estimate, max(spread, 1.0)
+
+    def map_size(self) -> int:
+        """Number of usable survey points (inspection)."""
+        return len(self.radio_map)

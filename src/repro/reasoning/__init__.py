@@ -1,0 +1,36 @@
+"""High-level reasoning components: transportation-mode detection.
+
+Paper §1 motivates translucency with Zheng et al.'s transportation-mode
+pipeline: "structure the reasoning process when determining
+transportation mode of a target by segmentation, feature extraction,
+decision tree classification and hidden-markov model post processing."
+This package builds that pipeline as ordinary Processing Components, so
+the whole reasoning chain is inspectable and adaptable through the PSL
+and PCL like any other part of the positioning process:
+
+``positions -> Segmenter -> FeatureExtractor -> DecisionTreeClassifier
+-> HmmSmoother -> application``
+"""
+
+from repro.reasoning.segmentation import Segment, SegmenterComponent
+from repro.reasoning.features import (
+    FeatureExtractorComponent,
+    SegmentFeatures,
+)
+from repro.reasoning.classifier import (
+    DecisionTreeClassifierComponent,
+    ModeEstimate,
+    TransportMode,
+)
+from repro.reasoning.hmm import HmmSmootherComponent
+
+__all__ = [
+    "Segment",
+    "SegmenterComponent",
+    "SegmentFeatures",
+    "FeatureExtractorComponent",
+    "TransportMode",
+    "ModeEstimate",
+    "DecisionTreeClassifierComponent",
+    "HmmSmootherComponent",
+]

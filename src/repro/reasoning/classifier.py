@@ -1,0 +1,117 @@
+"""Decision-tree classification of segment features.
+
+Third stage of the transportation-mode pipeline: a compact hand-built
+decision tree over the motion features, in the spirit of Zheng et al.'s
+learned tree.  The thresholds separate the modes the reproduction's
+trajectories exercise -- still, walking, cycling, driving -- and every
+decision is exposed for inspection, which is the point of running this
+*inside* the middleware rather than above it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.reasoning.features import SegmentFeatures
+
+
+class TransportMode(enum.Enum):
+    STILL = "still"
+    WALK = "walk"
+    BIKE = "bike"
+    VEHICLE = "vehicle"
+
+
+#: Modes in a fixed order for HMM matrices.
+MODES: Tuple[TransportMode, ...] = (
+    TransportMode.STILL,
+    TransportMode.WALK,
+    TransportMode.BIKE,
+    TransportMode.VEHICLE,
+)
+
+
+@dataclass(frozen=True)
+class ModeEstimate:
+    """One classified segment: mode plus per-mode scores."""
+
+    start_time: float
+    end_time: float
+    mode: TransportMode
+    scores: Tuple[float, ...]  # aligned with MODES, sums to 1
+
+    def score_of(self, mode: TransportMode) -> float:
+        return self.scores[MODES.index(mode)]
+
+
+def classify(features: SegmentFeatures) -> ModeEstimate:
+    """The decision tree, expressed as soft per-mode scores.
+
+    Scores keep the tree's ambiguity visible (a 7 m/s segment is
+    bike-or-vehicle); the HMM stage consumes them as emission
+    probabilities instead of collapsing to the argmax too early.
+    """
+    v = features.mean_speed_mps
+    peak = features.max_speed_mps
+    stops = features.stop_fraction
+
+    scores = {mode: 0.01 for mode in MODES}
+    # 0.6 m/s absorbs the apparent drift of correlated GPS error on a
+    # stationary receiver while staying under slow-walk speeds.
+    if v < 0.6 or stops > 0.85:
+        scores[TransportMode.STILL] += 1.0
+    elif v < 2.2:
+        scores[TransportMode.WALK] += 1.0
+        if v > 1.8 and peak > 3.0:
+            scores[TransportMode.BIKE] += 0.4
+    elif v < 6.5:
+        scores[TransportMode.BIKE] += 1.0
+        if v > 5.0 or peak > 9.0:
+            scores[TransportMode.VEHICLE] += 0.4
+        if v < 3.0:
+            scores[TransportMode.WALK] += 0.3
+    else:
+        scores[TransportMode.VEHICLE] += 1.0
+        if v < 9.0 and peak < 12.0:
+            scores[TransportMode.BIKE] += 0.3
+    total = sum(scores.values())
+    normalised = tuple(scores[mode] / total for mode in MODES)
+    best = MODES[max(range(len(MODES)), key=lambda i: normalised[i])]
+    return ModeEstimate(
+        start_time=features.start_time,
+        end_time=features.end_time,
+        mode=best,
+        scores=normalised,
+    )
+
+
+class DecisionTreeClassifierComponent(ProcessingComponent):
+    """Feature vectors in, raw (unsmoothed) mode estimates out."""
+
+    def __init__(self, name: str = "mode-classifier") -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.SEGMENT_FEATURES,)),),
+            output=OutputPort((Kind.TRANSPORT_MODE,)),
+        )
+        self.classified = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        features = datum.payload
+        if not isinstance(features, SegmentFeatures):
+            return
+        estimate = classify(features)
+        self.classified += 1
+        self.produce(
+            Datum(
+                kind=Kind.TRANSPORT_MODE,
+                payload=estimate,
+                timestamp=datum.timestamp,
+                producer=self.name,
+                attributes={"smoothed": False},
+            )
+        )

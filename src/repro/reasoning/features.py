@@ -1,0 +1,101 @@
+"""Feature extraction: motion statistics per segment.
+
+Second stage of the transportation-mode pipeline.  The features are the
+classic ones from the GeoLife line of work: speed statistics, heading
+change rate and stop rate, all computable from timestamped positions
+alone.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.reasoning.segmentation import Segment
+
+
+@dataclass(frozen=True)
+class SegmentFeatures:
+    """Motion statistics of one segment."""
+
+    start_time: float
+    end_time: float
+    mean_speed_mps: float
+    max_speed_mps: float
+    speed_stddev: float
+    heading_change_rate_deg_s: float
+    stop_fraction: float
+
+    @property
+    def mean_speed_kmh(self) -> float:
+        return self.mean_speed_mps * 3.6
+
+
+def extract_features(segment: Segment, stop_speed_mps: float = 0.4) -> SegmentFeatures:
+    """Compute the feature vector of one segment.
+
+    Needs at least two positions; speeds come from consecutive pairs,
+    heading changes from consecutive bearings over moving pairs.
+    """
+    positions = segment.positions
+    if len(positions) < 2:
+        raise ValueError("feature extraction needs >= 2 positions")
+    speeds: List[float] = []
+    bearings: List[float] = []
+    times: List[float] = []
+    for a, b in zip(positions, positions[1:]):
+        ta = a.timestamp if a.timestamp is not None else 0.0
+        tb = b.timestamp if b.timestamp is not None else ta + 1.0
+        dt = max(tb - ta, 1e-3)
+        distance = a.distance_to(b)
+        speed = distance / dt
+        speeds.append(speed)
+        times.append(dt)
+        if distance > 0.5:
+            bearings.append(a.bearing_to(b))
+    heading_changes = [
+        abs((b2 - b1 + 180.0) % 360.0 - 180.0)
+        for b1, b2 in zip(bearings, bearings[1:])
+    ]
+    total_time = sum(times)
+    return SegmentFeatures(
+        start_time=segment.start_time,
+        end_time=segment.end_time,
+        mean_speed_mps=statistics.mean(speeds),
+        max_speed_mps=max(speeds),
+        speed_stddev=statistics.stdev(speeds) if len(speeds) > 1 else 0.0,
+        heading_change_rate_deg_s=(
+            sum(heading_changes) / total_time if total_time > 0 else 0.0
+        ),
+        stop_fraction=sum(
+            1 for s in speeds if s < stop_speed_mps
+        ) / len(speeds),
+    )
+
+
+class FeatureExtractorComponent(ProcessingComponent):
+    """Segments in, feature vectors out."""
+
+    def __init__(self, name: str = "feature-extractor") -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.SEGMENT,)),),
+            output=OutputPort((Kind.SEGMENT_FEATURES,)),
+        )
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        segment = datum.payload
+        if not isinstance(segment, Segment) or len(segment) < 2:
+            return
+        features = extract_features(segment)
+        self.produce(
+            Datum(
+                kind=Kind.SEGMENT_FEATURES,
+                payload=features,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )

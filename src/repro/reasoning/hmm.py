@@ -1,0 +1,96 @@
+"""Hidden-Markov-model post-processing of mode estimates.
+
+Fourth stage of the transportation-mode pipeline.  Raw per-segment
+classifications flap at mode boundaries and under noisy features; the
+smoother runs an online forward pass over the decision tree's soft
+scores (used as emission likelihoods) with a sticky transition matrix,
+emitting the posterior-argmax mode per segment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.reasoning.classifier import MODES, ModeEstimate
+
+
+def sticky_transition_matrix(stay: float = 0.85) -> List[List[float]]:
+    """A transition matrix favouring staying in the current mode."""
+    if not 0.0 < stay < 1.0:
+        raise ValueError("stay probability must be in (0, 1)")
+    n = len(MODES)
+    leave = (1.0 - stay) / (n - 1)
+    return [
+        [stay if i == j else leave for j in range(n)] for i in range(n)
+    ]
+
+
+class HmmSmootherComponent(ProcessingComponent):
+    """Online forward-algorithm smoothing of transport-mode estimates."""
+
+    def __init__(
+        self,
+        stay_probability: float = 0.85,
+        name: str = "hmm-smoother",
+    ) -> None:
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.TRANSPORT_MODE,)),),
+            output=OutputPort((Kind.TRANSPORT_MODE,)),
+        )
+        self._transition = sticky_transition_matrix(stay_probability)
+        self._belief: Optional[List[float]] = None
+        self.smoothed = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        estimate = datum.payload
+        if not isinstance(estimate, ModeEstimate):
+            return
+        emission = list(estimate.scores)
+        if self._belief is None:
+            belief = emission[:]
+        else:
+            n = len(MODES)
+            predicted = [
+                sum(
+                    self._belief[i] * self._transition[i][j]
+                    for i in range(n)
+                )
+                for j in range(n)
+            ]
+            belief = [predicted[j] * emission[j] for j in range(n)]
+        total = sum(belief)
+        if total <= 0:
+            belief = [1.0 / len(MODES)] * len(MODES)
+        else:
+            belief = [b / total for b in belief]
+        self._belief = belief
+        best_index = max(range(len(MODES)), key=lambda i: belief[i])
+        smoothed = ModeEstimate(
+            start_time=estimate.start_time,
+            end_time=estimate.end_time,
+            mode=MODES[best_index],
+            scores=tuple(belief),
+        )
+        self.smoothed += 1
+        self.produce(
+            Datum(
+                kind=Kind.TRANSPORT_MODE,
+                payload=smoothed,
+                timestamp=datum.timestamp,
+                producer=self.name,
+                attributes={"smoothed": True},
+            )
+        )
+
+    # -- inspection ---------------------------------------------------------
+
+    def current_belief(self) -> Optional[Tuple[float, ...]]:
+        """Posterior over modes after the latest segment."""
+        return tuple(self._belief) if self._belief is not None else None
+
+    def reset(self) -> None:
+        """Forget history (e.g. after a long coverage gap)."""
+        self._belief = None

@@ -1,0 +1,79 @@
+"""Builder for the transportation-mode pipeline on a PerPos instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.data import Kind
+from repro.core.middleware import PerPos
+from repro.core.positioning import LocationProvider
+from repro.reasoning.classifier import DecisionTreeClassifierComponent
+from repro.reasoning.features import FeatureExtractorComponent
+from repro.reasoning.hmm import HmmSmootherComponent
+from repro.reasoning.segmentation import SegmenterComponent
+
+
+@dataclass(frozen=True)
+class ModePipeline:
+    """Names of the reasoning chain's components plus the provider."""
+
+    segmenter: str
+    extractor: str
+    classifier: str
+    smoother: str
+    provider: LocationProvider
+
+
+def build_mode_pipeline(
+    middleware: PerPos,
+    position_producer: str,
+    window_s: float = 30.0,
+    stay_probability: float = 0.85,
+    provider_name: str = "mode-app",
+    smoothed: bool = True,
+    prefix: str = "",
+) -> ModePipeline:
+    """Chain segmentation -> features -> tree -> HMM onto a position feed.
+
+    ``position_producer`` is the name of any component producing
+    ``position-wgs84`` data (an interpreter, a fusion component, a
+    particle filter).  With ``smoothed=False`` the HMM stage is omitted,
+    giving the raw-classification baseline.  ``prefix`` namespaces the
+    component names so several reasoning chains can share one graph.
+    """
+    prefix = prefix or provider_name
+    graph = middleware.graph
+    segmenter = SegmenterComponent(
+        window_s=window_s, name=f"{prefix}-segmenter"
+    )
+    extractor = FeatureExtractorComponent(name=f"{prefix}-features")
+    classifier = DecisionTreeClassifierComponent(
+        name=f"{prefix}-classifier"
+    )
+    graph.add(segmenter)
+    graph.add(extractor)
+    graph.add(classifier)
+    graph.connect(position_producer, segmenter.name)
+    graph.connect(segmenter.name, extractor.name)
+    graph.connect(extractor.name, classifier.name)
+    last = classifier.name
+    smoother_name = ""
+    if smoothed:
+        smoother = HmmSmootherComponent(
+            stay_probability=stay_probability, name=f"{prefix}-hmm"
+        )
+        graph.add(smoother)
+        graph.connect(classifier.name, smoother.name)
+        last = smoother.name
+        smoother_name = smoother.name
+    provider = middleware.create_provider(
+        provider_name, accepts=(Kind.TRANSPORT_MODE,)
+    )
+    graph.connect(last, provider.sink.name)
+    return ModePipeline(
+        segmenter=segmenter.name,
+        extractor=extractor.name,
+        classifier=classifier.name,
+        smoother=smoother_name,
+        provider=provider,
+    )

@@ -1,0 +1,103 @@
+"""Segmentation: windowing the position stream.
+
+The first stage of the transportation-mode pipeline.  Positions are
+grouped into fixed-duration, non-overlapping segments; a segment is
+emitted when the first position beyond its window arrives.  Stretches
+without data simply produce no segments -- a coverage seam downstream
+stages must tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.geo.wgs84 import Wgs84Position
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A windowed stretch of the position stream."""
+
+    start_time: float
+    end_time: float
+    positions: Tuple[Wgs84Position, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+class SegmenterComponent(ProcessingComponent):
+    """Emits a segment for every ``window_s`` of positions.
+
+    ``min_positions`` guards against near-empty windows (e.g. a single
+    fix surviving an outage): such windows are dropped rather than
+    classified from one sample.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 30.0,
+        min_positions: int = 3,
+        name: str = "segmenter",
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        super().__init__(
+            name,
+            inputs=(InputPort("in", (Kind.POSITION_WGS84,)),),
+            output=OutputPort((Kind.SEGMENT,)),
+        )
+        self.window_s = window_s
+        self.min_positions = min_positions
+        self._window_start: Optional[float] = None
+        self._buffer: List[Wgs84Position] = []
+        self.segments_emitted = 0
+        self.windows_dropped = 0
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        position = datum.payload
+        if not isinstance(position, Wgs84Position):
+            return
+        t = datum.timestamp
+        if self._window_start is None:
+            self._window_start = t
+        while t >= self._window_start + self.window_s:
+            self._flush(datum)
+            self._window_start += self.window_s
+        self._buffer.append(position)
+
+    def _flush(self, trigger: Datum) -> None:
+        end = self._window_start + self.window_s
+        if len(self._buffer) >= self.min_positions:
+            segment = Segment(
+                start_time=self._window_start,
+                end_time=end,
+                positions=tuple(self._buffer),
+            )
+            self.segments_emitted += 1
+            self.produce(
+                Datum(
+                    kind=Kind.SEGMENT,
+                    payload=segment,
+                    timestamp=end,
+                    producer=self.name,
+                )
+            )
+        elif self._buffer:
+            self.windows_dropped += 1
+        self._buffer = []
+
+    # -- inspection ---------------------------------------------------------
+
+    def pending_positions(self) -> int:
+        return len(self._buffer)
+
+    def get_window(self) -> float:
+        return self.window_s

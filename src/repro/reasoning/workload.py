@@ -1,0 +1,96 @@
+"""Multi-modal trajectories with mode ground truth.
+
+Workload generator for the transportation-mode experiments: a journey
+assembled from phases (still / walk / bike / vehicle), each moving at a
+characteristic speed with seeded heading wander, plus the ground-truth
+mode as a function of time for scoring classifications.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.geo.wgs84 import Wgs84Position, destination_point
+from repro.reasoning.classifier import TransportMode
+from repro.sensors.trajectory import Trajectory, Waypoint, WaypointTrajectory
+
+#: Characteristic speeds (m/s) per mode for workload generation.
+MODE_SPEEDS = {
+    TransportMode.STILL: 0.0,
+    TransportMode.WALK: 1.4,
+    TransportMode.BIKE: 4.5,
+    TransportMode.VEHICLE: 13.0,
+}
+
+
+@dataclass(frozen=True)
+class ModalPhase:
+    """One stretch of a journey in a single mode."""
+
+    mode: TransportMode
+    duration_s: float
+
+
+def default_journey() -> List[ModalPhase]:
+    """A commute-like journey: still, walk, bike, vehicle, walk, still."""
+    return [
+        ModalPhase(TransportMode.STILL, 120.0),
+        ModalPhase(TransportMode.WALK, 240.0),
+        ModalPhase(TransportMode.BIKE, 240.0),
+        ModalPhase(TransportMode.VEHICLE, 300.0),
+        ModalPhase(TransportMode.WALK, 180.0),
+        ModalPhase(TransportMode.STILL, 120.0),
+    ]
+
+
+def build_modal_trajectory(
+    phases: Sequence[ModalPhase],
+    start: Wgs84Position,
+    seed: int = 0,
+    step_s: float = 10.0,
+) -> Tuple[Trajectory, Callable[[float], TransportMode]]:
+    """Build the trajectory and its ground-truth mode function.
+
+    Within each phase the target moves at the mode's characteristic
+    speed with mild speed jitter and heading wander; the returned
+    callable maps a timestamp to the true mode (clamping beyond the end).
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = random.Random(seed)
+    waypoints = [Waypoint(0.0, start)]
+    here = start
+    now = 0.0
+    heading = rng.uniform(0.0, 360.0)
+    boundaries: List[Tuple[float, TransportMode]] = []
+    for phase in phases:
+        end = now + phase.duration_s
+        boundaries.append((end, phase.mode))
+        base_speed = MODE_SPEEDS[phase.mode]
+        while now < end - 1e-9:
+            dt = min(step_s, end - now)
+            speed = max(
+                0.0, base_speed * (1.0 + rng.gauss(0.0, 0.15))
+            ) if base_speed > 0 else 0.0
+            heading = (heading + rng.gauss(0.0, 12.0)) % 360.0
+            if speed > 0:
+                lat, lon = destination_point(
+                    here.latitude_deg,
+                    here.longitude_deg,
+                    heading,
+                    speed * dt,
+                )
+                here = Wgs84Position(lat, lon)
+            now += dt
+            waypoints.append(Waypoint(now, here))
+    trajectory = WaypointTrajectory(waypoints)
+
+    def true_mode(t: float) -> TransportMode:
+        for end, mode in boundaries:
+            if t < end:
+                return mode
+        return boundaries[-1][1]
+
+    return trajectory, true_mode

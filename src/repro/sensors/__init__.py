@@ -1,0 +1,30 @@
+"""Sensing substrate for the PerPos reproduction (S2-S6 in DESIGN.md).
+
+The paper's evaluation runs against a physical GPS receiver, a campus WiFi
+positioning deployment and recorded sensor traces.  This package rebuilds
+those inputs as simulators with the properties the middleware adaptations
+depend on:
+
+* :mod:`repro.sensors.nmea` -- an NMEA 0183 codec (GGA/RMC/GSA/GSV/VTG);
+* :mod:`repro.sensors.satellites` -- constellation geometry and DOP;
+* :mod:`repro.sensors.gps` -- a GPS receiver simulator whose error
+  statistics correlate with its reported satellite count and HDOP, and
+  which keeps emitting stale fixes after losing the sky (paper §3.1);
+* :mod:`repro.sensors.wifi` -- access points and a path-loss radio model;
+* :mod:`repro.sensors.inertial` -- an accelerometer for EnTracked's
+  movement detection (paper §3.3);
+* :mod:`repro.sensors.emulator` -- the trace-playback sensor used by the
+  paper to evaluate the particle filter (§3.2);
+* :mod:`repro.sensors.trajectory` -- ground-truth trajectories that drive
+  all of the above.
+"""
+
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.sensors.trajectory import Trajectory, WaypointTrajectory
+
+__all__ = [
+    "SensorReading",
+    "SimulatedSensor",
+    "Trajectory",
+    "WaypointTrajectory",
+]

@@ -1,0 +1,49 @@
+"""Common sensor value types and the simulated-sensor interface.
+
+In the processing graph a sensor is a leaf :class:`ProcessingComponent`.
+The classes here are the substrate below that: objects that produce
+timestamped readings when sampled against a :class:`~repro.clock.
+SimulationClock`.  Graph adapters in :mod:`repro.processing.sources` wrap
+them as components.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One timestamped sample from a sensor.
+
+    ``payload`` is technology specific: raw NMEA string fragments for GPS,
+    a :class:`~repro.sensors.wifi.WifiScan` for WiFi, acceleration
+    magnitudes for the accelerometer.  Keeping the envelope uniform lets
+    the emulator record and replay any sensor.
+    """
+
+    sensor_id: str
+    timestamp: float
+    payload: Any
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+
+class SimulatedSensor(abc.ABC):
+    """A device that yields readings when sampled at a point in time.
+
+    Implementations must be deterministic given their seed: sampling the
+    same sensor at the same times yields the same readings.
+    """
+
+    def __init__(self, sensor_id: str) -> None:
+        self.sensor_id = sensor_id
+
+    @abc.abstractmethod
+    def sample(self, now: float) -> List[SensorReading]:
+        """Produce zero or more readings for simulation time ``now``."""
+
+    def describe(self) -> Mapping[str, Any]:
+        """Static metadata: technology, output type, rate hints."""
+        return {"sensor_id": self.sensor_id, "type": type(self).__name__}

@@ -1,0 +1,182 @@
+"""Trace recording and the emulator sensor (system S5).
+
+Paper §3.2: *"we used some previously recorded sensor data and fed it into
+our PerPos middleware ... using an emulator component that reads sensor
+data from a file and presents itself as a sensor."*  This module is that
+component's substrate: a serialisation format for sensor readings and an
+:class:`EmulatorSensor` that replays them indistinguishably from the live
+device -- same reading envelopes, same timing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.sensors.inertial import AccelerometerReading
+from repro.sensors.wifi import WifiObservation, WifiScan
+
+
+def _encode_payload(payload: Any) -> dict:
+    """Encode a reading payload to a JSON-safe tagged dict."""
+    if isinstance(payload, str):
+        return {"kind": "str", "value": payload}
+    if isinstance(payload, WifiScan):
+        return {
+            "kind": "wifi-scan",
+            "timestamp": payload.timestamp,
+            "observations": [
+                [o.bssid, o.rssi_dbm] for o in payload.observations
+            ],
+        }
+    if isinstance(payload, AccelerometerReading):
+        return {
+            "kind": "accel",
+            "timestamp": payload.timestamp,
+            "variance": payload.variance,
+        }
+    if isinstance(payload, (int, float, bool)) or payload is None:
+        return {"kind": "scalar", "value": payload}
+    if isinstance(payload, (list, dict)):
+        return {"kind": "json", "value": payload}
+    raise TypeError(f"cannot serialise payload of type {type(payload)!r}")
+
+
+def _decode_payload(blob: dict) -> Any:
+    kind = blob.get("kind")
+    if kind in ("str", "scalar", "json"):
+        return blob["value"]
+    if kind == "wifi-scan":
+        return WifiScan(
+            timestamp=blob["timestamp"],
+            observations=tuple(
+                WifiObservation(bssid, rssi)
+                for bssid, rssi in blob["observations"]
+            ),
+        )
+    if kind == "accel":
+        return AccelerometerReading(blob["timestamp"], blob["variance"])
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def reading_to_json(reading: SensorReading) -> str:
+    """One reading as a single JSON line."""
+    return json.dumps(
+        {
+            "sensor_id": reading.sensor_id,
+            "timestamp": reading.timestamp,
+            "payload": _encode_payload(reading.payload),
+            "attributes": dict(reading.attributes),
+        },
+        sort_keys=True,
+    )
+
+
+def reading_from_json(line: str) -> SensorReading:
+    """Decode one JSON line back into a reading."""
+    blob = json.loads(line)
+    return SensorReading(
+        sensor_id=blob["sensor_id"],
+        timestamp=blob["timestamp"],
+        payload=_decode_payload(blob["payload"]),
+        attributes=blob.get("attributes", {}),
+    )
+
+
+def record_trace(
+    readings: Iterable[SensorReading], path: Union[str, Path]
+) -> int:
+    """Write readings to a JSONL trace file; returns the count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for reading in readings:
+            fh.write(reading_to_json(reading) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[SensorReading]:
+    """Load a JSONL trace file into memory."""
+    readings = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                readings.append(reading_from_json(line))
+    return readings
+
+
+class EmulatorSensor(SimulatedSensor):
+    """Replays a recorded trace, presenting itself as the original sensor.
+
+    The emulator is plugged into the processing graph *in the place of*
+    the live sensor: it reports the recorded readings at their recorded
+    timestamps (optionally shifted/speeded), under the recorded sensor id
+    unless overridden.
+    """
+
+    def __init__(
+        self,
+        readings: Sequence[SensorReading],
+        sensor_id: Optional[str] = None,
+        time_offset: float = 0.0,
+        speedup: float = 1.0,
+    ) -> None:
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        ordered = sorted(readings, key=lambda r: r.timestamp)
+        inferred = (
+            sensor_id
+            if sensor_id is not None
+            else (ordered[0].sensor_id if ordered else "emulator")
+        )
+        super().__init__(inferred)
+        self._readings = ordered
+        self._offset = time_offset
+        self._speedup = speedup
+        self._cursor = 0
+
+    @classmethod
+    def from_file(
+        cls, path: Union[str, Path], **kwargs: Any
+    ) -> "EmulatorSensor":
+        return cls(load_trace(path), **kwargs)
+
+    def describe(self) -> dict:
+        return {
+            "sensor_id": self.sensor_id,
+            "type": "EmulatorSensor",
+            "technology": "emulated",
+            "readings": len(self._readings),
+        }
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._readings)
+
+    def sample(self, now: float) -> List[SensorReading]:
+        """Emit every recorded reading due at or before ``now``."""
+        due: List[SensorReading] = []
+        while self._cursor < len(self._readings):
+            original = self._readings[self._cursor]
+            replay_time = self._offset + (
+                original.timestamp / self._speedup
+            )
+            if replay_time > now:
+                break
+            due.append(
+                SensorReading(
+                    sensor_id=self.sensor_id,
+                    timestamp=replay_time,
+                    payload=original.payload,
+                    attributes=original.attributes,
+                )
+            )
+            self._cursor += 1
+        return due
+
+    def rewind(self) -> None:
+        """Reset playback to the start of the trace."""
+        self._cursor = 0

@@ -1,0 +1,391 @@
+"""GPS receiver simulator (system S3).
+
+Substitution note (DESIGN.md §4): the paper evaluates against a physical
+receiver and recorded traces.  This simulator reproduces the properties
+those experiments rely on:
+
+* the error of each fix scales with the true geometry's HDOP and with the
+  environment (open sky / urban canyon / indoor), so the HDOP likelihood
+  feature of §3.2 sees honest values;
+* the receiver **keeps emitting position sentences after losing the sky**,
+  reporting its last fix with a low satellite count -- the exact behaviour
+  the satellite-count filter of §3.1 exists to catch;
+* output is raw serial-style string fragments, several of which make up
+  one NMEA sentence, matching the data tree of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.sensors.nmea import (
+    GgaSentence,
+    GsaSentence,
+    GsvSatelliteInfo,
+    GsvSentence,
+    RmcSentence,
+    VtgSentence,
+)
+from repro.sensors.satellites import (
+    Constellation,
+    SatelliteView,
+    compute_dops,
+)
+from repro.sensors.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class SkyEnvironment:
+    """How much of the sky an environment lets a receiver see.
+
+    ``blockage_probability`` is the chance that a given satellite above the
+    mask is still blocked (buildings, the roof); ``extra_mask_deg`` raises
+    the effective elevation mask (street canyons); ``error_multiplier``
+    scales the fix error beyond what HDOP explains (multipath).
+    """
+
+    name: str
+    extra_mask_deg: float
+    blockage_probability: float
+    snr_loss_db: float
+    error_multiplier: float
+
+
+OPEN_SKY = SkyEnvironment("open_sky", 0.0, 0.0, 0.0, 1.0)
+SUBURBAN = SkyEnvironment("suburban", 5.0, 0.1, 3.0, 1.3)
+URBAN_CANYON = SkyEnvironment("urban_canyon", 20.0, 0.35, 8.0, 2.0)
+INDOOR = SkyEnvironment("indoor", 45.0, 0.85, 18.0, 4.0)
+
+#: Maps a (time, true position) to the sky environment at that point.
+EnvironmentMap = Callable[[float, Wgs84Position], SkyEnvironment]
+
+
+def constant_environment(env: SkyEnvironment) -> EnvironmentMap:
+    """An environment map that ignores position."""
+
+    def _map(_t: float, _position: Wgs84Position) -> SkyEnvironment:
+        return env
+
+    return _map
+
+
+@dataclass(frozen=True)
+class GpsEpoch:
+    """Introspection record of one simulated receiver epoch.
+
+    Benchmarks use these to compare what the receiver *reported* against
+    the ground truth it was fed.
+    """
+
+    time_s: float
+    true_position: Wgs84Position
+    reported_position: Optional[Wgs84Position]
+    satellites_used: int
+    hdop: Optional[float]
+    environment: str
+    is_stale: bool
+
+
+class GpsReceiver(SimulatedSensor):
+    """A simulated GPS receiver emitting NMEA over a fragmenting serial link.
+
+    Parameters
+    ----------
+    sensor_id:
+        Identifier carried on every reading.
+    trajectory:
+        Ground-truth path of the device.
+    environment_map:
+        Sky environment as a function of time and true position.
+    seed:
+        Seed for all stochastic behaviour (blockage, noise, corruption).
+    rate_hz:
+        Fix rate; NMEA epochs are produced at this rate while sampled.
+    chunk_size:
+        Serial fragment size in characters; several fragments per sentence
+        (Fig. 4).  ``None`` disables fragmentation (one reading per line).
+    uere_m:
+        User-equivalent range error; horizontal fix error is drawn with
+        sigma ``uere_m * hdop * error_multiplier``.
+    stale_hold_s:
+        For how long after losing a fix the device keeps reporting its
+        last known position (the §3.1 failure mode).
+    corruption_probability:
+        Chance that an emitted sentence is corrupted in transit, which the
+        Parser must survive.
+    error_correlation_time_s:
+        Time constant of the first-order Gauss-Markov error process.  GPS
+        error is strongly autocorrelated (atmosphere and multipath drift
+        over tens of seconds rather than re-rolling each epoch); white
+        noise would make a stationary receiver look like it is moving at
+        several m/s.  Set to 0 for uncorrelated (white) errors.
+    """
+
+    def __init__(
+        self,
+        sensor_id: str,
+        trajectory: Trajectory,
+        environment_map: Optional[EnvironmentMap] = None,
+        seed: int = 0,
+        rate_hz: float = 1.0,
+        chunk_size: Optional[int] = 48,
+        uere_m: float = 5.0,
+        min_satellites_for_fix: int = 4,
+        max_hdop: float = 20.0,
+        stale_hold_s: float = 30.0,
+        corruption_probability: float = 0.0,
+        elevation_mask_deg: float = 5.0,
+        constellation: Optional[Constellation] = None,
+        error_correlation_time_s: float = 120.0,
+    ) -> None:
+        super().__init__(sensor_id)
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        self.trajectory = trajectory
+        self._env_map = environment_map or constant_environment(OPEN_SKY)
+        self._rng = random.Random(seed)
+        self._period = 1.0 / rate_hz
+        self._chunk_size = chunk_size
+        self._uere_m = uere_m
+        self._min_sats = min_satellites_for_fix
+        self._max_hdop = max_hdop
+        self._stale_hold_s = stale_hold_s
+        self._corruption_probability = corruption_probability
+        self._mask_deg = elevation_mask_deg
+        self._constellation = constellation or Constellation.nominal_gps()
+        self._tau = error_correlation_time_s
+        self._next_epoch = 0.0
+        self._last_fix: Optional[Wgs84Position] = None
+        self._last_fix_time: Optional[float] = None
+        self._error_east = 0.0
+        self._error_north = 0.0
+        self._error_sigma = 0.0
+        self._error_time: Optional[float] = None
+        self.epochs: List[GpsEpoch] = []
+
+    def describe(self) -> dict:
+        return {
+            "sensor_id": self.sensor_id,
+            "type": "GpsReceiver",
+            "technology": "gps",
+            "output": "nmea-fragments",
+            "rate_hz": 1.0 / self._period,
+        }
+
+    def sample(self, now: float) -> List[SensorReading]:
+        """Emit readings for every epoch due at or before ``now``."""
+        readings: List[SensorReading] = []
+        while self._next_epoch <= now:
+            readings.extend(self._emit_epoch(self._next_epoch))
+            self._next_epoch += self._period
+        return readings
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_epoch(self, t: float) -> List[SensorReading]:
+        truth = self.trajectory.position_at(t)
+        env = self._env_map(t, truth)
+        views = self._visible_views(truth, t, env)
+        used = views[:12]
+        dops = compute_dops(used)
+
+        # Receivers reject fixes whose geometry is degenerate; without the
+        # DOP cutoff a 4-satellite near-coplanar fix reports absurd HDOP.
+        if (
+            len(used) >= self._min_sats
+            and dops is not None
+            and dops.hdop <= self._max_hdop
+        ):
+            reported = self._noisy_fix(truth, dops.hdop, env, t)
+            self._last_fix = reported
+            self._last_fix_time = t
+            hdop: Optional[float] = dops.hdop
+            quality = 1
+            stale = False
+        elif (
+            self._last_fix is not None
+            and self._last_fix_time is not None
+            and t - self._last_fix_time <= self._stale_hold_s
+        ):
+            # The documented misbehaviour: keep reporting the old fix.
+            reported = self._last_fix
+            hdop = 25.0
+            quality = 1
+            stale = True
+        else:
+            reported = None
+            hdop = None
+            quality = 0
+            stale = False
+
+        self.epochs.append(
+            GpsEpoch(
+                time_s=t,
+                true_position=truth,
+                reported_position=reported,
+                satellites_used=len(used),
+                hdop=hdop,
+                environment=env.name,
+                is_stale=stale,
+            )
+        )
+        sentences = self._sentences(t, reported, used, hdop, quality)
+        stream = "".join(s + "\r\n" for s in sentences)
+        return self._fragment(t, stream)
+
+    def _visible_views(
+        self, observer: Wgs84Position, t: float, env: SkyEnvironment
+    ) -> List[SatelliteView]:
+        mask = self._mask_deg + env.extra_mask_deg
+        views = self._constellation.views_from(observer, t, mask)
+        survivors = []
+        for v in views:
+            if self._rng.random() < env.blockage_probability:
+                continue
+            snr = max(0.0, v.snr_db - env.snr_loss_db)
+            survivors.append(
+                SatelliteView(v.prn, v.azimuth_deg, v.elevation_deg, snr)
+            )
+        # Strongest signals are tracked first, like a real receiver.
+        survivors.sort(key=lambda v: v.snr_db, reverse=True)
+        return survivors
+
+    def _noisy_fix(
+        self, truth: Wgs84Position, hdop: float, env: SkyEnvironment, t: float
+    ) -> Wgs84Position:
+        sigma = self._uere_m * hdop * env.error_multiplier
+        east, north = self._advance_error(sigma, t)
+        moved = truth.moved(90.0, east).moved(0.0, north)
+        return Wgs84Position(
+            moved.latitude_deg,
+            moved.longitude_deg,
+            truth.altitude_m,
+            accuracy_m=sigma,
+            timestamp=None,
+        )
+
+    def _advance_error(self, sigma: float, t: float) -> Tuple[float, float]:
+        """First-order Gauss-Markov error per axis, stationary at sigma.
+
+        e(t) = rho * e(t-dt) + N(0, sigma * sqrt(1 - rho^2)) with
+        rho = exp(-dt / tau); errors decorrelate over ``tau`` seconds
+        while staying sigma-sized in magnitude.
+        """
+        per_axis = sigma / math.sqrt(2.0)
+        if self._tau <= 0 or self._error_time is None:
+            rho = 0.0
+        else:
+            dt = max(0.0, t - self._error_time)
+            rho = math.exp(-dt / self._tau)
+        # Rescale the carried error if sigma changed between epochs
+        # (environment transitions), so magnitude tracks current quality.
+        if self._error_sigma > 0:
+            scale = per_axis / self._error_sigma
+        else:
+            scale = 0.0
+        innovation = per_axis * math.sqrt(max(0.0, 1.0 - rho * rho))
+        self._error_east = rho * self._error_east * scale + self._rng.gauss(
+            0.0, innovation
+        )
+        self._error_north = rho * self._error_north * scale + self._rng.gauss(
+            0.0, innovation
+        )
+        self._error_sigma = per_axis
+        self._error_time = t
+        return self._error_east, self._error_north
+
+    def _sentences(
+        self,
+        t: float,
+        reported: Optional[Wgs84Position],
+        used: Sequence[SatelliteView],
+        hdop: Optional[float],
+        quality: int,
+    ) -> List[str]:
+        lat = reported.latitude_deg if reported else None
+        lon = reported.longitude_deg if reported else None
+        alt = reported.altitude_m if reported else None
+        speed_knots = self.trajectory.speed_at(t) * 1.943844
+        course = 0.0
+        gga = GgaSentence(
+            time_s=t,
+            latitude_deg=lat,
+            longitude_deg=lon,
+            fix_quality=quality,
+            num_satellites=len(used),
+            hdop=hdop,
+            altitude_m=alt,
+        )
+        rmc = RmcSentence(
+            time_s=t,
+            valid=quality > 0,
+            latitude_deg=lat,
+            longitude_deg=lon,
+            speed_knots=speed_knots,
+            course_deg=course,
+        )
+        dops = compute_dops(used)
+        gsa = GsaSentence(
+            fix_type=3 if quality and len(used) >= 4 else 1,
+            satellite_ids=tuple(v.prn for v in used[:12]),
+            pdop=dops.pdop if dops else None,
+            hdop=dops.hdop if dops else None,
+            vdop=dops.vdop if dops else None,
+        )
+        sentences = [gga.encode(), rmc.encode(), gsa.encode()]
+        sentences.extend(self._gsv_pages(used))
+        sentences.append(VtgSentence(course, speed_knots).encode())
+        return [self._maybe_corrupt(s) for s in sentences]
+
+    def _gsv_pages(self, used: Sequence[SatelliteView]) -> List[str]:
+        pages = []
+        total = max(1, math.ceil(len(used) / 4)) if used else 1
+        for page in range(total):
+            chunk = used[page * 4 : page * 4 + 4]
+            infos = tuple(
+                GsvSatelliteInfo(
+                    satellite_id=v.prn,
+                    elevation_deg=int(v.elevation_deg),
+                    azimuth_deg=int(v.azimuth_deg),
+                    snr_db=int(v.snr_db),
+                )
+                for v in chunk
+            )
+            pages.append(
+                GsvSentence(
+                    total_sentences=total,
+                    sentence_number=page + 1,
+                    satellites_in_view=len(used),
+                    satellites=infos,
+                ).encode()
+            )
+        return pages
+
+    def _maybe_corrupt(self, sentence: str) -> str:
+        if (
+            self._corruption_probability
+            and self._rng.random() < self._corruption_probability
+            and len(sentence) > 8
+        ):
+            idx = self._rng.randrange(1, len(sentence) - 4)
+            flipped = chr((ord(sentence[idx]) ^ 0x01) & 0x7F)
+            sentence = sentence[:idx] + flipped + sentence[idx + 1 :]
+        return sentence
+
+    def _fragment(self, t: float, stream: str) -> List[SensorReading]:
+        if self._chunk_size is None:
+            chunks = [line + "\r\n" for line in stream.splitlines()]
+        else:
+            chunks = [
+                stream[i : i + self._chunk_size]
+                for i in range(0, len(stream), self._chunk_size)
+            ]
+        return [
+            SensorReading(self.sensor_id, t, chunk, {"format": "nmea-raw"})
+            for chunk in chunks
+        ]

@@ -1,0 +1,91 @@
+"""Accelerometer simulation (system S6).
+
+EnTracked (paper §3.3) decides when the GPS may sleep by asking an
+accelerometer whether the device is moving.  The simulated accelerometer
+reports the magnitude of acceleration variance over a short window: near
+zero at rest, clearly elevated while walking, with sensor noise in both
+states so that movement detection needs an actual threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.sensors.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class AccelerometerReading:
+    """Variance of acceleration magnitude over the sampling window."""
+
+    timestamp: float
+    variance: float
+
+
+class Accelerometer(SimulatedSensor):
+    """Reports motion energy derived from the ground-truth trajectory.
+
+    The device is "moving" when the trajectory's speed exceeds
+    ``speed_threshold_mps``; the emitted variance is drawn from a
+    state-dependent distribution, overlapping slightly so that naive
+    thresholds misclassify occasionally -- as real detectors do.
+    """
+
+    def __init__(
+        self,
+        sensor_id: str,
+        trajectory: Trajectory,
+        seed: int = 0,
+        period_s: float = 1.0,
+        speed_threshold_mps: float = 0.2,
+        still_level: float = 0.02,
+        moving_level: float = 1.2,
+        noise_sigma: float = 0.08,
+    ) -> None:
+        super().__init__(sensor_id)
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.trajectory = trajectory
+        self._rng = random.Random(seed)
+        self._period = period_s
+        self._speed_threshold = speed_threshold_mps
+        self._still_level = still_level
+        self._moving_level = moving_level
+        self._noise_sigma = noise_sigma
+        self._next_sample = 0.0
+
+    def describe(self) -> dict:
+        return {
+            "sensor_id": self.sensor_id,
+            "type": "Accelerometer",
+            "technology": "inertial",
+            "output": "accel-variance",
+            "rate_hz": 1.0 / self._period,
+        }
+
+    def sample(self, now: float) -> List[SensorReading]:
+        readings: List[SensorReading] = []
+        while self._next_sample <= now:
+            t = self._next_sample
+            speed = self.trajectory.speed_at(t)
+            level = (
+                self._moving_level
+                if speed > self._speed_threshold
+                else self._still_level
+            )
+            variance = max(
+                0.0, self._rng.gauss(level, self._noise_sigma)
+            )
+            readings.append(
+                SensorReading(
+                    self.sensor_id,
+                    t,
+                    AccelerometerReading(t, variance),
+                    {"format": "accel-variance"},
+                )
+            )
+            self._next_sample += self._period
+        return readings

@@ -1,0 +1,345 @@
+"""NMEA 0183 sentence codec (system S2).
+
+The paper's GPS pipeline is ``GPS sensor -> Parser -> Interpreter`` where
+the sensor emits raw strings, the Parser assembles NMEA sentences and the
+Interpreter produces WGS84 positions (Fig. 1, Fig. 4).  This module is the
+codec both ends share: sentence value types, encoding with checksums for
+the simulator, and tolerant parsing for the Parser component.
+
+Supported sentence types are the ones positioning stacks actually consume:
+``GGA`` (fix), ``RMC`` (recommended minimum), ``GSA`` (DOP and active
+satellites), ``GSV`` (satellites in view) and ``VTG`` (track and speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+
+class NmeaError(ValueError):
+    """Raised when a line cannot be decoded as an NMEA sentence."""
+
+
+def checksum(body: str) -> str:
+    """Two-digit hex XOR checksum over the sentence body (between $ and *)."""
+    acc = 0
+    for ch in body:
+        acc ^= ord(ch)
+    return f"{acc:02X}"
+
+
+def _frame(body: str) -> str:
+    """Wrap a sentence body in $...*hh framing."""
+    return f"${body}*{checksum(body)}"
+
+
+def _deg_to_dm(value: float, width: int) -> Tuple[str, float]:
+    """Degrees to the NMEA ddmm.mmmm field (absolute value)."""
+    value = abs(value)
+    degrees = int(value)
+    minutes = (value - degrees) * 60.0
+    return f"{degrees:0{width}d}", minutes
+
+
+def _format_lat(lat: float) -> Tuple[str, str]:
+    deg, minutes = _deg_to_dm(lat, 2)
+    return f"{deg}{minutes:07.4f}", "N" if lat >= 0 else "S"
+
+
+def _format_lon(lon: float) -> Tuple[str, str]:
+    deg, minutes = _deg_to_dm(lon, 3)
+    return f"{deg}{minutes:07.4f}", "E" if lon >= 0 else "W"
+
+
+def _parse_coord(field_: str, hemisphere: str, deg_digits: int) -> float:
+    if not field_:
+        raise NmeaError("empty coordinate field")
+    degrees = float(field_[:deg_digits])
+    minutes = float(field_[deg_digits:])
+    value = degrees + minutes / 60.0
+    if hemisphere in ("S", "W"):
+        value = -value
+    elif hemisphere not in ("N", "E"):
+        raise NmeaError(f"bad hemisphere {hemisphere!r}")
+    return value
+
+
+def _format_time(t: float) -> str:
+    """Simulation seconds to hhmmss.ss (wrapping at 24h)."""
+    t = t % 86400.0
+    h = int(t // 3600)
+    m = int((t % 3600) // 60)
+    s = t % 60.0
+    return f"{h:02d}{m:02d}{s:05.2f}"
+
+
+def _parse_time(field_: str) -> float:
+    if len(field_) < 6:
+        raise NmeaError(f"bad time field {field_!r}")
+    h = int(field_[0:2])
+    m = int(field_[2:4])
+    s = float(field_[4:])
+    return h * 3600.0 + m * 60.0 + s
+
+
+@dataclass(frozen=True)
+class GgaSentence:
+    """GGA -- global positioning system fix data.
+
+    ``fix_quality`` follows the standard: 0 = invalid, 1 = GPS fix,
+    2 = DGPS.  ``num_satellites`` and ``hdop`` are the fields the paper's
+    NumberOfSatellites and HDOP component features extract (§3.1, §3.2).
+    """
+
+    time_s: float
+    latitude_deg: Optional[float]
+    longitude_deg: Optional[float]
+    fix_quality: int
+    num_satellites: int
+    hdop: Optional[float]
+    altitude_m: Optional[float]
+
+    sentence_type: str = field(default="GGA", init=False)
+
+    def encode(self) -> str:
+        if self.latitude_deg is None or self.longitude_deg is None:
+            lat = lat_h = lon = lon_h = ""
+        else:
+            lat, lat_h = _format_lat(self.latitude_deg)
+            lon, lon_h = _format_lon(self.longitude_deg)
+        hdop = "" if self.hdop is None else f"{self.hdop:.1f}"
+        alt = "" if self.altitude_m is None else f"{self.altitude_m:.1f}"
+        body = (
+            f"GPGGA,{_format_time(self.time_s)},{lat},{lat_h},{lon},{lon_h},"
+            f"{self.fix_quality},{self.num_satellites:02d},{hdop},{alt},M,,M,,"
+        )
+        return _frame(body)
+
+    @property
+    def has_fix(self) -> bool:
+        return self.fix_quality > 0 and self.latitude_deg is not None
+
+
+@dataclass(frozen=True)
+class RmcSentence:
+    """RMC -- recommended minimum navigation information."""
+
+    time_s: float
+    valid: bool
+    latitude_deg: Optional[float]
+    longitude_deg: Optional[float]
+    speed_knots: float
+    course_deg: float
+
+    sentence_type: str = field(default="RMC", init=False)
+
+    def encode(self) -> str:
+        status = "A" if self.valid else "V"
+        if self.latitude_deg is None or self.longitude_deg is None:
+            lat = lat_h = lon = lon_h = ""
+        else:
+            lat, lat_h = _format_lat(self.latitude_deg)
+            lon, lon_h = _format_lon(self.longitude_deg)
+        body = (
+            f"GPRMC,{_format_time(self.time_s)},{status},{lat},{lat_h},"
+            f"{lon},{lon_h},{self.speed_knots:.2f},{self.course_deg:.1f},"
+            f"010120,,,"
+        )
+        return _frame(body)
+
+
+@dataclass(frozen=True)
+class GsaSentence:
+    """GSA -- DOP values and IDs of satellites used in the fix."""
+
+    fix_type: int  # 1 = none, 2 = 2D, 3 = 3D
+    satellite_ids: Tuple[int, ...]
+    pdop: Optional[float]
+    hdop: Optional[float]
+    vdop: Optional[float]
+
+    sentence_type: str = field(default="GSA", init=False)
+
+    def encode(self) -> str:
+        ids = list(self.satellite_ids)[:12]
+        ids += [None] * (12 - len(ids))
+        id_fields = ",".join("" if i is None else f"{i:02d}" for i in ids)
+        fmt = lambda v: "" if v is None else f"{v:.1f}"  # noqa: E731
+        body = (
+            f"GPGSA,A,{self.fix_type},{id_fields},"
+            f"{fmt(self.pdop)},{fmt(self.hdop)},{fmt(self.vdop)}"
+        )
+        return _frame(body)
+
+
+@dataclass(frozen=True)
+class GsvSatelliteInfo:
+    """One satellite's entry in a GSV sentence."""
+
+    satellite_id: int
+    elevation_deg: int
+    azimuth_deg: int
+    snr_db: Optional[int]
+
+
+@dataclass(frozen=True)
+class GsvSentence:
+    """GSV -- satellites in view (one page of up to four)."""
+
+    total_sentences: int
+    sentence_number: int
+    satellites_in_view: int
+    satellites: Tuple[GsvSatelliteInfo, ...]
+
+    sentence_type: str = field(default="GSV", init=False)
+
+    def encode(self) -> str:
+        parts = [
+            "GPGSV",
+            str(self.total_sentences),
+            str(self.sentence_number),
+            f"{self.satellites_in_view:02d}",
+        ]
+        for sat in self.satellites[:4]:
+            snr = "" if sat.snr_db is None else f"{sat.snr_db:02d}"
+            parts += [
+                f"{sat.satellite_id:02d}",
+                f"{sat.elevation_deg:02d}",
+                f"{sat.azimuth_deg:03d}",
+                snr,
+            ]
+        return _frame(",".join(parts))
+
+
+@dataclass(frozen=True)
+class VtgSentence:
+    """VTG -- track made good and ground speed."""
+
+    course_deg: float
+    speed_knots: float
+
+    sentence_type: str = field(default="VTG", init=False)
+
+    def encode(self) -> str:
+        kmh = self.speed_knots * 1.852
+        body = (
+            f"GPVTG,{self.course_deg:.1f},T,,M,"
+            f"{self.speed_knots:.2f},N,{kmh:.2f},K"
+        )
+        return _frame(body)
+
+
+NmeaSentence = Union[
+    GgaSentence, RmcSentence, GsaSentence, GsvSentence, VtgSentence
+]
+
+
+def parse_sentence(line: str) -> NmeaSentence:
+    """Decode one framed NMEA line into a sentence value.
+
+    Raises :class:`NmeaError` on framing, checksum or field errors; the
+    Parser component turns those into dropped lines, mimicking a real
+    receiver pipeline's tolerance of serial corruption.
+    """
+    line = line.strip()
+    if not line.startswith("$"):
+        raise NmeaError(f"missing $ framing: {line!r}")
+    if "*" not in line:
+        raise NmeaError(f"missing checksum: {line!r}")
+    body, _, given = line[1:].rpartition("*")
+    if checksum(body) != given.upper():
+        raise NmeaError(
+            f"checksum mismatch: computed {checksum(body)}, got {given}"
+        )
+    fields = body.split(",")
+    talker_type = fields[0]
+    if len(talker_type) != 5:
+        raise NmeaError(f"bad sentence id {talker_type!r}")
+    stype = talker_type[2:]
+    try:
+        if stype == "GGA":
+            return _parse_gga(fields)
+        if stype == "RMC":
+            return _parse_rmc(fields)
+        if stype == "GSA":
+            return _parse_gsa(fields)
+        if stype == "GSV":
+            return _parse_gsv(fields)
+        if stype == "VTG":
+            return _parse_vtg(fields)
+    except (ValueError, IndexError) as exc:
+        raise NmeaError(f"malformed {stype} sentence: {exc}") from exc
+    raise NmeaError(f"unsupported sentence type {stype!r}")
+
+
+def _parse_gga(fields: Sequence[str]) -> GgaSentence:
+    lat = lon = None
+    if fields[2] and fields[4]:
+        lat = _parse_coord(fields[2], fields[3], 2)
+        lon = _parse_coord(fields[4], fields[5], 3)
+    return GgaSentence(
+        time_s=_parse_time(fields[1]),
+        latitude_deg=lat,
+        longitude_deg=lon,
+        fix_quality=int(fields[6] or 0),
+        num_satellites=int(fields[7] or 0),
+        hdop=float(fields[8]) if fields[8] else None,
+        altitude_m=float(fields[9]) if fields[9] else None,
+    )
+
+
+def _parse_rmc(fields: Sequence[str]) -> RmcSentence:
+    lat = lon = None
+    if fields[3] and fields[5]:
+        lat = _parse_coord(fields[3], fields[4], 2)
+        lon = _parse_coord(fields[5], fields[6], 3)
+    return RmcSentence(
+        time_s=_parse_time(fields[1]),
+        valid=fields[2] == "A",
+        latitude_deg=lat,
+        longitude_deg=lon,
+        speed_knots=float(fields[7] or 0.0),
+        course_deg=float(fields[8] or 0.0),
+    )
+
+
+def _parse_gsa(fields: Sequence[str]) -> GsaSentence:
+    ids = tuple(int(f) for f in fields[3:15] if f)
+    opt = lambda f: float(f) if f else None  # noqa: E731
+    return GsaSentence(
+        fix_type=int(fields[2] or 1),
+        satellite_ids=ids,
+        pdop=opt(fields[15]),
+        hdop=opt(fields[16]),
+        vdop=opt(fields[17]),
+    )
+
+
+def _parse_gsv(fields: Sequence[str]) -> GsvSentence:
+    sats = []
+    for i in range(4, len(fields) - 3, 4):
+        chunk = fields[i : i + 4]
+        if len(chunk) < 4 or not chunk[0]:
+            continue
+        sats.append(
+            GsvSatelliteInfo(
+                satellite_id=int(chunk[0]),
+                elevation_deg=int(chunk[1] or 0),
+                azimuth_deg=int(chunk[2] or 0),
+                snr_db=int(chunk[3]) if chunk[3] else None,
+            )
+        )
+    return GsvSentence(
+        total_sentences=int(fields[1]),
+        sentence_number=int(fields[2]),
+        satellites_in_view=int(fields[3]),
+        satellites=tuple(sats),
+    )
+
+
+def _parse_vtg(fields: Sequence[str]) -> VtgSentence:
+    return VtgSentence(
+        course_deg=float(fields[1] or 0.0),
+        speed_knots=float(fields[5] or 0.0),
+    )

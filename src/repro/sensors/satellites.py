@@ -1,0 +1,204 @@
+"""GPS constellation geometry and dilution-of-precision (system S3a).
+
+The satellite-count filter (paper §3.1) and the HDOP likelihood feature
+(§3.2) only make sense if the simulated receiver's reported satellite
+count and HDOP genuinely track fix quality.  We therefore simulate the
+actual GPS geometry: a nominal 27-satellite constellation on circular
+orbits, visibility from an observer through an environment sky model, and
+DOP values computed from the real geometry matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.ellipsoid import EcefPosition
+from repro.geo.enu import EnuFrame
+from repro.geo.wgs84 import Wgs84Position
+
+#: GPS orbital radius (semi-major axis) in metres.
+GPS_ORBIT_RADIUS_M = 26_559_700.0
+#: GPS orbital period in seconds (half a sidereal day).
+GPS_ORBIT_PERIOD_S = 43_082.0
+#: Earth rotation rate, rad/s.
+EARTH_ROTATION_RAD_S = 7.292115e-5
+#: Nominal GPS inclination in degrees.
+GPS_INCLINATION_DEG = 55.0
+
+
+@dataclass(frozen=True)
+class Satellite:
+    """One satellite on a circular orbit.
+
+    ``raan_deg`` is the right ascension of the ascending node and
+    ``anomaly_deg`` the argument of latitude at epoch t=0.
+    """
+
+    prn: int
+    raan_deg: float
+    anomaly_deg: float
+    inclination_deg: float = GPS_INCLINATION_DEG
+
+    def ecef_at(self, t: float) -> EcefPosition:
+        """Satellite position in the rotating Earth frame at time ``t``."""
+        u = math.radians(self.anomaly_deg) + (
+            2.0 * math.pi * t / GPS_ORBIT_PERIOD_S
+        )
+        inc = math.radians(self.inclination_deg)
+        # Position in the orbital plane, then rotate by RAAN corrected for
+        # Earth rotation to land in ECEF.
+        raan = math.radians(self.raan_deg) - EARTH_ROTATION_RAD_S * t
+        x_orb = GPS_ORBIT_RADIUS_M * math.cos(u)
+        y_orb = GPS_ORBIT_RADIUS_M * math.sin(u)
+        x = x_orb * math.cos(raan) - y_orb * math.cos(inc) * math.sin(raan)
+        y = x_orb * math.sin(raan) + y_orb * math.cos(inc) * math.cos(raan)
+        z = y_orb * math.sin(inc)
+        return EcefPosition(x, y, z)
+
+
+@dataclass(frozen=True)
+class SatelliteView:
+    """A satellite as seen from the observer."""
+
+    prn: int
+    azimuth_deg: float
+    elevation_deg: float
+    snr_db: float
+
+
+@dataclass(frozen=True)
+class DopValues:
+    """Dilution-of-precision summary computed from fix geometry."""
+
+    gdop: float
+    pdop: float
+    hdop: float
+    vdop: float
+
+
+class Constellation:
+    """A set of satellites plus visibility and DOP computation."""
+
+    def __init__(self, satellites: Sequence[Satellite]) -> None:
+        self.satellites = list(satellites)
+
+    @classmethod
+    def nominal_gps(cls, planes: int = 6, per_plane: int = 5) -> "Constellation":
+        """The nominal GPS layout: slots spread over ``planes`` planes."""
+        sats = []
+        prn = 1
+        for p in range(planes):
+            raan = 360.0 * p / planes
+            for s in range(per_plane):
+                # Stagger anomalies between planes so satellites don't rise
+                # and set in lockstep.
+                anomaly = 360.0 * s / per_plane + 360.0 * p / (
+                    planes * per_plane
+                )
+                sats.append(Satellite(prn, raan, anomaly))
+                prn += 1
+        return cls(sats)
+
+    def views_from(
+        self,
+        observer: Wgs84Position,
+        t: float,
+        elevation_mask_deg: float = 5.0,
+    ) -> List[SatelliteView]:
+        """Satellites above the elevation mask, with open-sky SNR.
+
+        SNR is modelled as rising with elevation (low satellites suffer
+        more atmosphere and multipath), matching the statistics receivers
+        report.
+        """
+        frame = EnuFrame(observer)
+        obs_ecef = EcefPosition.from_geodetic(observer)
+        views = []
+        for sat in self.satellites:
+            sat_ecef = sat.ecef_at(t)
+            dx = sat_ecef.x_m - obs_ecef.x_m
+            dy = sat_ecef.y_m - obs_ecef.y_m
+            dz = sat_ecef.z_m - obs_ecef.z_m
+            east, north, up = _rotate_to_enu(frame, dx, dy, dz)
+            rng = math.sqrt(east * east + north * north + up * up)
+            elevation = math.degrees(math.asin(up / rng))
+            if elevation < elevation_mask_deg:
+                continue
+            azimuth = math.degrees(math.atan2(east, north)) % 360.0
+            snr = 35.0 + 15.0 * math.sin(math.radians(max(elevation, 0.0)))
+            views.append(SatelliteView(sat.prn, azimuth, elevation, snr))
+        return views
+
+
+def _rotate_to_enu(
+    frame: EnuFrame, dx: float, dy: float, dz: float
+) -> Tuple[float, float, float]:
+    r = frame._rot  # EnuFrame exposes its rotation rows internally.
+    return (
+        r[0][0] * dx + r[0][1] * dy + r[0][2] * dz,
+        r[1][0] * dx + r[1][1] * dy + r[1][2] * dz,
+        r[2][0] * dx + r[2][1] * dy + r[2][2] * dz,
+    )
+
+
+def compute_dops(views: Sequence[SatelliteView]) -> Optional[DopValues]:
+    """DOP values from the fix geometry matrix.
+
+    Each used satellite contributes a unit line-of-sight row
+    ``[-cos(el)sin(az), -cos(el)cos(az), -sin(el), 1]``; the DOPs are the
+    usual square roots of the diagonal of ``(G^T G)^-1``.  Returns ``None``
+    when fewer than four satellites are used or the geometry is singular.
+    """
+    if len(views) < 4:
+        return None
+    rows = []
+    for v in views:
+        el = math.radians(v.elevation_deg)
+        az = math.radians(v.azimuth_deg)
+        rows.append(
+            (
+                -math.cos(el) * math.sin(az),
+                -math.cos(el) * math.cos(az),
+                -math.sin(el),
+                1.0,
+            )
+        )
+    # Normal matrix N = G^T G (4x4, symmetric).
+    n = [[0.0] * 4 for _ in range(4)]
+    for row in rows:
+        for i in range(4):
+            for j in range(4):
+                n[i][j] += row[i] * row[j]
+    q = _invert_4x4(n)
+    if q is None:
+        return None
+    diag = [q[i][i] for i in range(4)]
+    if any(d < 0 for d in diag):
+        return None
+    hdop = math.sqrt(diag[0] + diag[1])
+    vdop = math.sqrt(diag[2])
+    pdop = math.sqrt(diag[0] + diag[1] + diag[2])
+    gdop = math.sqrt(sum(diag))
+    return DopValues(gdop=gdop, pdop=pdop, hdop=hdop, vdop=vdop)
+
+
+def _invert_4x4(m: Sequence[Sequence[float]]) -> Optional[List[List[float]]]:
+    """Gauss-Jordan inversion; returns None for singular matrices."""
+    size = 4
+    aug = [list(m[i]) + [1.0 if i == j else 0.0 for j in range(size)] for i in range(size)]
+    for col in range(size):
+        pivot_row = max(range(col, size), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot_row][col]) < 1e-12:
+            return None
+        aug[col], aug[pivot_row] = aug[pivot_row], aug[col]
+        pivot = aug[col][col]
+        aug[col] = [v / pivot for v in aug[col]]
+        for r in range(size):
+            if r == col:
+                continue
+            factor = aug[r][col]
+            if factor:
+                aug[r] = [v - factor * p for v, p in zip(aug[r], aug[col])]
+    return [row[size:] for row in aug]

@@ -1,0 +1,178 @@
+"""Ground-truth trajectories that drive the sensor simulators.
+
+Every experiment in the paper follows a moving target: the Room Number
+Application walks indoors and out (Fig. 1), the particle filter replays a
+recorded walk (Fig. 6), EnTracked tracks a pedestrian (§3.3).  A
+:class:`Trajectory` maps simulation time to the target's true WGS84
+position; simulators sample it and corrupt it with their own error models.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.geo.wgs84 import Wgs84Position, destination_point
+
+
+class Trajectory(abc.ABC):
+    """A time-parameterised ground-truth path."""
+
+    @abc.abstractmethod
+    def position_at(self, t: float) -> Wgs84Position:
+        """True position at simulation time ``t`` seconds."""
+
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Length of the trajectory in seconds."""
+
+    def speed_at(self, t: float, dt: float = 0.5) -> float:
+        """Ground speed in m/s, estimated by central differences."""
+        t0 = max(0.0, t - dt)
+        t1 = min(self.duration(), t + dt)
+        if t1 <= t0:
+            return 0.0
+        a = self.position_at(t0)
+        b = self.position_at(t1)
+        return a.distance_to(b) / (t1 - t0)
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A point on a path, visited at ``time`` seconds."""
+
+    time: float
+    position: Wgs84Position
+
+
+class WaypointTrajectory(Trajectory):
+    """Piecewise great-circle interpolation through timed waypoints.
+
+    Between consecutive waypoints the target moves at constant speed along
+    the initial bearing; holding the same position in two consecutive
+    waypoints models standing still.
+    """
+
+    def __init__(self, waypoints: Sequence[Waypoint]) -> None:
+        if len(waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        times = [w.time for w in waypoints]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        self._waypoints = list(waypoints)
+
+    @classmethod
+    def from_legs(
+        cls,
+        start: Wgs84Position,
+        legs: Sequence[Tuple[float, float, float]],
+        start_time: float = 0.0,
+    ) -> "WaypointTrajectory":
+        """Build from ``(bearing_deg, distance_m, speed_mps)`` legs.
+
+        A leg with zero distance and positive speed is interpreted as a
+        pause of ``distance_m / speed_mps`` seconds... which would be zero;
+        instead use :meth:`with_pause` style legs: speed <= 0 raises.
+        """
+        waypoints = [Waypoint(start_time, start)]
+        here, now = start, start_time
+        for bearing, distance, speed in legs:
+            if speed <= 0:
+                raise ValueError("leg speed must be positive")
+            lat, lon = destination_point(
+                here.latitude_deg, here.longitude_deg, bearing, distance
+            )
+            here = Wgs84Position(lat, lon, here.altitude_m)
+            now += distance / speed if distance > 0 else 1.0
+            waypoints.append(Waypoint(now, here))
+        return cls(waypoints)
+
+    def duration(self) -> float:
+        return self._waypoints[-1].time - self._waypoints[0].time
+
+    def position_at(self, t: float) -> Wgs84Position:
+        pts = self._waypoints
+        if t <= pts[0].time:
+            return pts[0].position
+        if t >= pts[-1].time:
+            return pts[-1].position
+        # Linear scan is fine: trajectories have tens of waypoints and the
+        # simulators sweep t monotonically.
+        for a, b in zip(pts, pts[1:]):
+            if a.time <= t <= b.time:
+                frac = (t - a.time) / (b.time - a.time)
+                dist = a.position.distance_to(b.position)
+                if dist < 1e-9:
+                    return a.position
+                bearing = a.position.bearing_to(b.position)
+                lat, lon = destination_point(
+                    a.position.latitude_deg,
+                    a.position.longitude_deg,
+                    bearing,
+                    dist * frac,
+                )
+                alt = a.position.altitude_m + frac * (
+                    b.position.altitude_m - a.position.altitude_m
+                )
+                return Wgs84Position(lat, lon, alt)
+        raise AssertionError("unreachable: t inside waypoint span")
+
+
+class StationaryTrajectory(Trajectory):
+    """A target that never moves; useful for EnTracked's idle case."""
+
+    def __init__(self, position: Wgs84Position, duration_s: float) -> None:
+        self._position = position
+        self._duration = duration_s
+
+    def duration(self) -> float:
+        return self._duration
+
+    def position_at(self, t: float) -> Wgs84Position:
+        return self._position
+
+
+class RandomWalkTrajectory(Trajectory):
+    """A seeded pedestrian random walk with pause phases.
+
+    Generates a waypoint path at construction and delegates to it, so the
+    walk is fully determined by the seed.
+    """
+
+    def __init__(
+        self,
+        start: Wgs84Position,
+        duration_s: float,
+        seed: int,
+        speed_mps: float = 1.4,
+        turn_sigma_deg: float = 35.0,
+        pause_probability: float = 0.15,
+        pause_s: float = 20.0,
+        step_s: float = 10.0,
+    ) -> None:
+        rng = random.Random(seed)
+        waypoints = [Waypoint(0.0, start)]
+        here, now = start, 0.0
+        bearing = rng.uniform(0.0, 360.0)
+        while now < duration_s:
+            if rng.random() < pause_probability:
+                now += pause_s
+                waypoints.append(Waypoint(now, here))
+                continue
+            bearing = (bearing + rng.gauss(0.0, turn_sigma_deg)) % 360.0
+            distance = speed_mps * step_s
+            lat, lon = destination_point(
+                here.latitude_deg, here.longitude_deg, bearing, distance
+            )
+            here = Wgs84Position(lat, lon, here.altitude_m)
+            now += step_s
+            waypoints.append(Waypoint(now, here))
+        self._inner = WaypointTrajectory(waypoints)
+
+    def duration(self) -> float:
+        return self._inner.duration()
+
+    def position_at(self, t: float) -> Wgs84Position:
+        return self._inner.position_at(t)

@@ -1,0 +1,192 @@
+"""WiFi sensing substrate (system S4).
+
+Substitution note (DESIGN.md §4): the paper's indoor fixes come from a
+campus WiFi positioning deployment.  We rebuild the physical layer it sits
+on: access points at known building-grid positions and a log-distance
+path-loss radio model with per-wall attenuation and log-normal shadowing.
+The scanner emits :class:`WifiScan` readings; the fingerprinting engine in
+:mod:`repro.processing.wifi_positioning` turns scans into positions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.sensors.base import SensorReading, SimulatedSensor
+from repro.sensors.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A WiFi access point at a known building-grid position."""
+
+    bssid: str
+    position: GridPosition
+    tx_power_dbm: float = -40.0  # received power at 1 m
+
+
+@dataclass(frozen=True)
+class WifiObservation:
+    """One AP observed in a scan."""
+
+    bssid: str
+    rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class WifiScan:
+    """The result of one scan cycle: every AP heard above the floor."""
+
+    timestamp: float
+    observations: Tuple[WifiObservation, ...]
+
+    def rssi_of(self, bssid: str) -> Optional[float]:
+        for obs in self.observations:
+            if obs.bssid == bssid:
+                return obs.rssi_dbm
+        return None
+
+    def as_dict(self) -> Mapping[str, float]:
+        return {o.bssid: o.rssi_dbm for o in self.observations}
+
+
+#: Counts walls on the straight line between two grid positions.
+WallCounter = Callable[[GridPosition, GridPosition], int]
+
+
+class RadioEnvironment:
+    """Log-distance path loss with wall attenuation and shadowing.
+
+    ``rssi = tx_power - 10 * n * log10(d) - walls * wall_loss + shadowing``
+    with path-loss exponent ``n`` and per-sample log-normal shadowing.
+    The expected (noise-free) RSSI is exposed separately so that radio maps
+    can be built from the model itself, as site surveys effectively do.
+    """
+
+    def __init__(
+        self,
+        access_points: Sequence[AccessPoint],
+        path_loss_exponent: float = 3.0,
+        wall_loss_db: float = 6.0,
+        shadowing_sigma_db: float = 3.5,
+        noise_floor_dbm: float = -95.0,
+        wall_counter: Optional[WallCounter] = None,
+    ) -> None:
+        if not access_points:
+            raise ValueError("need at least one access point")
+        self.access_points = list(access_points)
+        self.path_loss_exponent = path_loss_exponent
+        self.wall_loss_db = wall_loss_db
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.noise_floor_dbm = noise_floor_dbm
+        self._wall_counter = wall_counter
+
+    def expected_rssi(
+        self, ap: AccessPoint, position: GridPosition
+    ) -> float:
+        """Noise-free RSSI of ``ap`` heard at ``position``."""
+        distance = max(1.0, ap.position.distance_to(position))
+        loss = 10.0 * self.path_loss_exponent * math.log10(distance)
+        walls = 0
+        if self._wall_counter is not None:
+            walls = self._wall_counter(ap.position, position)
+        return ap.tx_power_dbm - loss - walls * self.wall_loss_db
+
+    def observe(
+        self, position: GridPosition, rng: random.Random
+    ) -> List[WifiObservation]:
+        """One noisy scan at ``position``: APs above the noise floor."""
+        observations = []
+        for ap in self.access_points:
+            rssi = self.expected_rssi(ap, position) + rng.gauss(
+                0.0, self.shadowing_sigma_db
+            )
+            if rssi >= self.noise_floor_dbm:
+                observations.append(WifiObservation(ap.bssid, rssi))
+        observations.sort(key=lambda o: o.rssi_dbm, reverse=True)
+        return observations
+
+
+class WifiScanner(SimulatedSensor):
+    """A device scanning the radio environment along a trajectory.
+
+    Emits one :class:`WifiScan` per scan period.  Positions are projected
+    into the building grid through ``grid``; scanning outside radio range
+    yields empty scans, which downstream components must tolerate (that is
+    one of the "seams" the paper is about).
+    """
+
+    def __init__(
+        self,
+        sensor_id: str,
+        trajectory: Trajectory,
+        environment: RadioEnvironment,
+        grid: LocalGrid,
+        seed: int = 0,
+        scan_period_s: float = 2.0,
+    ) -> None:
+        super().__init__(sensor_id)
+        if scan_period_s <= 0:
+            raise ValueError("scan_period_s must be positive")
+        self.trajectory = trajectory
+        self.environment = environment
+        self.grid = grid
+        self._rng = random.Random(seed)
+        self._period = scan_period_s
+        self._next_scan = 0.0
+
+    def describe(self) -> dict:
+        return {
+            "sensor_id": self.sensor_id,
+            "type": "WifiScanner",
+            "technology": "wifi",
+            "output": "wifi-scan",
+            "rate_hz": 1.0 / self._period,
+        }
+
+    def sample(self, now: float) -> List[SensorReading]:
+        readings: List[SensorReading] = []
+        while self._next_scan <= now:
+            t = self._next_scan
+            truth = self.trajectory.position_at(t)
+            grid_pos = self.grid.to_grid(truth)
+            scan = WifiScan(
+                timestamp=t,
+                observations=tuple(
+                    self.environment.observe(grid_pos, self._rng)
+                ),
+            )
+            readings.append(
+                SensorReading(self.sensor_id, t, scan, {"format": "wifi-scan"})
+            )
+            self._next_scan += self._period
+        return readings
+
+
+def build_radio_map(
+    environment: RadioEnvironment,
+    positions: Sequence[GridPosition],
+) -> "List[Tuple[GridPosition, Mapping[str, float]]]":
+    """A survey radio map: expected RSSI vector at each survey position.
+
+    This plays the role of the offline calibration phase of a fingerprint
+    positioning system; the online phase is in
+    :mod:`repro.processing.wifi_positioning`.
+    """
+    radio_map = []
+    for pos in positions:
+        vector = {
+            ap.bssid: environment.expected_rssi(ap, pos)
+            for ap in environment.access_points
+        }
+        vector = {
+            bssid: rssi
+            for bssid, rssi in vector.items()
+            if rssi >= environment.noise_floor_dbm
+        }
+        radio_map.append((pos, vector))
+    return radio_map

@@ -1,0 +1,47 @@
+"""OSGi-like service platform (system S8 in DESIGN.md).
+
+The paper realises PerPos "in the Java language and built ... on top of
+the OSGi service platform" (§3), mapping processing components to service
+components, using OSGi's dynamic composition to connect them, and D-OSGi
+to span the processing graph over several hosts (§3.3).  This package is
+the Python substitute:
+
+* :mod:`repro.services.registry` -- service registry with properties,
+  filters and service events;
+* :mod:`repro.services.bundle` -- bundle lifecycle and a framework;
+* :mod:`repro.services.declarative` -- declarative service components
+  with dependency resolution (activate when satisfied);
+* :mod:`repro.services.remote` -- distribution over simulated hosts with
+  a message-counting network, standing in for D-OSGi.
+"""
+
+from repro.services.bundle import Bundle, BundleContext, BundleState, Framework
+from repro.services.declarative import (
+    ComponentDescriptor,
+    ComponentRuntime,
+    Reference,
+)
+from repro.services.registry import (
+    ServiceEvent,
+    ServiceReference,
+    ServiceRegistration,
+    ServiceRegistry,
+)
+from repro.services.remote import Host, Network, RemoteProxy
+
+__all__ = [
+    "ServiceRegistry",
+    "ServiceReference",
+    "ServiceRegistration",
+    "ServiceEvent",
+    "Framework",
+    "Bundle",
+    "BundleContext",
+    "BundleState",
+    "ComponentDescriptor",
+    "ComponentRuntime",
+    "Reference",
+    "Host",
+    "Network",
+    "RemoteProxy",
+]

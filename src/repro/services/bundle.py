@@ -1,0 +1,178 @@
+"""Bundle lifecycle and the framework.
+
+Bundles are the deployment unit of the paper's OSGi realisation: a named
+activator whose registrations live exactly as long as the bundle is
+active.  The :class:`Framework` owns the shared
+:class:`~repro.services.registry.ServiceRegistry` and enforces the
+INSTALLED -> ACTIVE -> STOPPED lifecycle, cleaning up a bundle's
+registrations and listeners when it stops -- the property the PerPos
+graph relies on when components come and go.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Union
+
+from repro.services.registry import (
+    ServiceEvent,
+    ServiceFilter,
+    ServiceReference,
+    ServiceRegistration,
+    ServiceRegistry,
+)
+
+
+class BundleState(Enum):
+    INSTALLED = "installed"
+    ACTIVE = "active"
+    STOPPED = "stopped"
+
+
+class BundleActivator(Protocol):
+    """The start/stop hooks a bundle contributes."""
+
+    def start(self, context: "BundleContext") -> None: ...
+
+    def stop(self, context: "BundleContext") -> None: ...
+
+
+class BundleContext:
+    """A bundle's window onto the framework.
+
+    Registrations and listeners created through the context are tracked
+    and torn down automatically when the bundle stops.
+    """
+
+    def __init__(self, framework: "Framework", bundle: "Bundle") -> None:
+        self._framework = framework
+        self._bundle = bundle
+        self._registrations: List[ServiceRegistration] = []
+        self._listener_removers: List[Callable[[], None]] = []
+
+    @property
+    def bundle(self) -> "Bundle":
+        return self._bundle
+
+    @property
+    def registry(self) -> ServiceRegistry:
+        return self._framework.registry
+
+    def register_service(
+        self,
+        interfaces: Union[str, Sequence[str]],
+        service: Any,
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> ServiceRegistration:
+        props = dict(properties or {})
+        props.setdefault("bundle", self._bundle.name)
+        registration = self.registry.register(interfaces, service, props)
+        self._registrations.append(registration)
+        return registration
+
+    def get_service(
+        self, interface: str, flt: ServiceFilter = None
+    ) -> Optional[Any]:
+        return self.registry.find_service(interface, flt)
+
+    def get_references(
+        self, interface: Optional[str] = None, flt: ServiceFilter = None
+    ) -> List[ServiceReference]:
+        return self.registry.get_references(interface, flt)
+
+    def add_service_listener(
+        self, listener: Callable[[ServiceEvent], None]
+    ) -> None:
+        self._listener_removers.append(self.registry.add_listener(listener))
+
+    def _teardown(self) -> None:
+        for remover in self._listener_removers:
+            remover()
+        self._listener_removers.clear()
+        for registration in self._registrations:
+            registration.unregister()
+        self._registrations.clear()
+
+
+class Bundle:
+    """A named unit of deployment with an activator."""
+
+    def __init__(
+        self,
+        name: str,
+        activator: Optional[BundleActivator] = None,
+    ) -> None:
+        self.name = name
+        self.activator = activator
+        self.state = BundleState.INSTALLED
+        self.context: Optional[BundleContext] = None
+
+    def __repr__(self) -> str:
+        return f"Bundle({self.name!r}, {self.state.value})"
+
+
+class Framework:
+    """Owns the registry and drives bundle lifecycles."""
+
+    def __init__(self) -> None:
+        self.registry = ServiceRegistry()
+        self._bundles: Dict[str, Bundle] = {}
+
+    def install(
+        self, name: str, activator: Optional[BundleActivator] = None
+    ) -> Bundle:
+        if name in self._bundles:
+            raise ValueError(f"bundle {name!r} already installed")
+        bundle = Bundle(name, activator)
+        self._bundles[name] = bundle
+        return bundle
+
+    def bundles(self) -> List[Bundle]:
+        return list(self._bundles.values())
+
+    def bundle(self, name: str) -> Bundle:
+        try:
+            return self._bundles[name]
+        except KeyError:
+            raise KeyError(f"no bundle {name!r} installed") from None
+
+    def start(self, bundle: Union[str, Bundle]) -> None:
+        bundle = self._coerce(bundle)
+        if bundle.state is BundleState.ACTIVE:
+            return
+        context = BundleContext(self, bundle)
+        bundle.context = context
+        if bundle.activator is not None:
+            try:
+                bundle.activator.start(context)
+            except Exception:
+                context._teardown()
+                bundle.context = None
+                raise
+        bundle.state = BundleState.ACTIVE
+
+    def stop(self, bundle: Union[str, Bundle]) -> None:
+        bundle = self._coerce(bundle)
+        if bundle.state is not BundleState.ACTIVE:
+            return
+        assert bundle.context is not None
+        if bundle.activator is not None:
+            bundle.activator.stop(bundle.context)
+        bundle.context._teardown()
+        bundle.context = None
+        bundle.state = BundleState.STOPPED
+
+    def uninstall(self, bundle: Union[str, Bundle]) -> None:
+        bundle = self._coerce(bundle)
+        if bundle.state is BundleState.ACTIVE:
+            self.stop(bundle)
+        self._bundles.pop(bundle.name, None)
+
+    def shutdown(self) -> None:
+        """Stop every active bundle, newest first."""
+        for bundle in reversed(list(self._bundles.values())):
+            if bundle.state is BundleState.ACTIVE:
+                self.stop(bundle)
+
+    def _coerce(self, bundle: Union[str, Bundle]) -> Bundle:
+        return bundle if isinstance(bundle, Bundle) else self.bundle(bundle)

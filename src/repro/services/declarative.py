@@ -1,0 +1,235 @@
+"""Declarative service components with dynamic dependency resolution.
+
+Paper §2.1: component connections are established "either by direct calls
+to the graph manipulation API, based on explicitly defined system level
+configurations or through **dynamic resolution of dependencies between
+components**.  ... As custom components are added to the PerPos middleware
+the dependencies are resolved and when satisfied the components are added
+to the processing graph appropriately and the classes implementing the
+Processing Component functionality is instantiated."
+
+This module supplies that mechanism, modelled on OSGi Declarative
+Services: a :class:`ComponentDescriptor` names required service
+interfaces; the :class:`ComponentRuntime` instantiates the component when
+every mandatory reference is satisfiable, registers what it provides, and
+deactivates it again when a dependency goes away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.services.registry import (
+    ServiceEvent,
+    ServiceEventType,
+    ServiceFilter,
+    ServiceRegistration,
+    ServiceRegistry,
+)
+
+
+@dataclass(frozen=True)
+class Reference:
+    """One declared dependency of a component.
+
+    ``name`` becomes the keyword argument passed to the factory.
+    Optional references are passed as ``None`` when unsatisfied and do not
+    gate activation.
+    """
+
+    name: str
+    interface: str
+    flt: ServiceFilter = None
+    optional: bool = False
+
+
+@dataclass(frozen=True)
+class ComponentDescriptor:
+    """A component declaration: what it needs, what it provides."""
+
+    name: str
+    factory: Callable[..., Any]
+    provides: Tuple[str, ...] = ()
+    references: Tuple[Reference, ...] = ()
+    properties: Mapping[str, Any] = field(default_factory=dict)
+
+
+class _ManagedComponent:
+    """Runtime state of one declared component."""
+
+    def __init__(self, descriptor: ComponentDescriptor) -> None:
+        self.descriptor = descriptor
+        self.instance: Optional[Any] = None
+        self.registration: Optional[ServiceRegistration] = None
+        self.bound: Dict[str, Any] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.instance is not None
+
+
+class ComponentRuntime:
+    """Activates declared components as their dependencies resolve.
+
+    The runtime listens to registry events; any registration or
+    unregistration triggers a reconciliation pass.  Passes repeat until a
+    fixpoint, so a chain of components (A provides what B needs, B provides
+    what C needs) activates in one ``add`` call regardless of declaration
+    order -- exactly how the PerPos processing tree self-assembles.
+    """
+
+    def __init__(self, registry: ServiceRegistry) -> None:
+        self.registry = registry
+        self._components: List[_ManagedComponent] = []
+        self._pending: List[Optional[ServiceEvent]] = []
+        self._dying: set = set()
+        self._reconciling = False
+        self._unsubscribe = registry.add_listener(self._on_event)
+
+    def close(self) -> None:
+        """Deactivate everything and stop listening."""
+        self._unsubscribe()
+        for managed in reversed(self._components):
+            self._deactivate(managed)
+
+    def add(self, descriptor: ComponentDescriptor) -> None:
+        """Declare a component; it activates as soon as satisfiable."""
+        if any(
+            m.descriptor.name == descriptor.name for m in self._components
+        ):
+            raise ValueError(f"component {descriptor.name!r} already added")
+        self._components.append(_ManagedComponent(descriptor))
+        self._reconcile()
+
+    def remove(self, name: str) -> None:
+        """Withdraw a component declaration, deactivating its instance."""
+        for managed in self._components:
+            if managed.descriptor.name == name:
+                self._deactivate(managed)
+                self._components.remove(managed)
+                self._reconcile()
+                return
+        raise KeyError(f"no component {name!r}")
+
+    def component_instance(self, name: str) -> Optional[Any]:
+        for managed in self._components:
+            if managed.descriptor.name == name:
+                return managed.instance
+        raise KeyError(f"no component {name!r}")
+
+    def active_components(self) -> List[str]:
+        return [
+            m.descriptor.name for m in self._components if m.active
+        ]
+
+    # -- internals -----------------------------------------------------
+
+    def _on_event(self, event: ServiceEvent) -> None:
+        if event.event_type is ServiceEventType.REGISTERED:
+            self._reconcile()
+        elif event.event_type is ServiceEventType.UNREGISTERING:
+            self._reconcile(unregistering=event)
+
+    def _reconcile(self, unregistering: Optional[ServiceEvent] = None) -> None:
+        # Deactivating a component can unregister what it provides, which
+        # re-enters this method; those nested events are queued and drained
+        # here so that cascades (c needs b needs a) fully propagate.
+        self._pending.append(unregistering)
+        if self._reconciling:
+            return
+        self._reconciling = True
+        try:
+            while self._pending:
+                self._reconcile_once(self._pending.pop(0))
+        finally:
+            self._reconciling = False
+            # The drain runs inside the registry's event dispatch, before
+            # the dying services are actually removed; the exclusion set
+            # must therefore live exactly as long as the drain.
+            self._dying.clear()
+
+    def _reconcile_once(
+        self, unregistering: Optional[ServiceEvent]
+    ) -> None:
+        # UNREGISTERING fires before the registry drops the service, so
+        # the dying service must be excluded from re-resolution or a
+        # deactivated component would immediately re-bind it.
+        if unregistering is not None:
+            gone_id = unregistering.reference.service_id
+            self._dying.add(gone_id)
+            for managed in self._components:
+                if managed.active and self._binds_service(
+                    managed, gone_id
+                ):
+                    self._deactivate(managed)
+        # Then activate whatever has become satisfiable, to fixpoint.
+        progress = True
+        while progress:
+            progress = False
+            for managed in self._components:
+                if not managed.active and self._try_activate(managed):
+                    progress = True
+
+    def _binds_service(
+        self, managed: _ManagedComponent, service_id: int
+    ) -> bool:
+        return any(
+            ref is not None and ref.service_id == service_id
+            for ref in managed.bound.values()
+        )
+
+    def _resolve(
+        self, managed: _ManagedComponent
+    ) -> Optional[Dict[str, Any]]:
+        """Resolve references to service references, or None if unmet."""
+        resolution: Dict[str, Any] = {}
+        for ref_decl in managed.descriptor.references:
+            candidates = self.registry.get_references(
+                ref_decl.interface, ref_decl.flt
+            )
+            service_ref = next(
+                (c for c in candidates if c.service_id not in self._dying),
+                None,
+            )
+            if service_ref is None:
+                if not ref_decl.optional:
+                    return None
+                resolution[ref_decl.name] = None
+            else:
+                resolution[ref_decl.name] = service_ref
+        return resolution
+
+    def _try_activate(self, managed: _ManagedComponent) -> bool:
+        resolution = self._resolve(managed)
+        if resolution is None:
+            return False
+        kwargs = {}
+        for name, service_ref in resolution.items():
+            kwargs[name] = (
+                None
+                if service_ref is None
+                else self.registry.get_service(service_ref)
+            )
+        instance = managed.descriptor.factory(**kwargs)
+        managed.instance = instance
+        managed.bound = resolution
+        if managed.descriptor.provides:
+            props = dict(managed.descriptor.properties)
+            props["component"] = managed.descriptor.name
+            managed.registration = self.registry.register(
+                managed.descriptor.provides, instance, props
+            )
+        return True
+
+    def _deactivate(self, managed: _ManagedComponent) -> None:
+        if not managed.active:
+            return
+        if managed.registration is not None:
+            managed.registration.unregister()
+            managed.registration = None
+        deactivate = getattr(managed.instance, "deactivate", None)
+        if callable(deactivate):
+            deactivate()
+        managed.instance = None
+        managed.bound = {}

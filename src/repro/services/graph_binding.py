@@ -1,0 +1,93 @@
+"""Binding the service platform to the processing graph (paper §3).
+
+"We have ... realized the PerPos middleware in the Java language and
+built it on top of the OSGi service platform.  The components of the
+PerPos layers are mapped into the OSGi platform as service components
+and the dynamic composition mechanisms of OSGi is used for connecting
+the components."
+
+:class:`GraphBinder` is that mapping for the reproduction: processing
+components registered as services under :data:`COMPONENT_INTERFACE`
+are mirrored into a processing graph and auto-wired by an
+:class:`~repro.core.assembly.AutoAssembler`; unregistration (for example
+a bundle stopping) removes them again.  Deployment-unit semantics --
+"everything this bundle contributed disappears when it stops" -- thus
+fall out of the service registry's own lifecycle rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.assembly import AutoAssembler
+from repro.core.component import ProcessingComponent
+from repro.core.graph import ProcessingGraph
+from repro.services.registry import (
+    ServiceEvent,
+    ServiceEventType,
+    ServiceRegistry,
+)
+
+#: Interface name under which processing components are registered.
+COMPONENT_INTERFACE = "perpos.ProcessingComponent"
+
+
+class GraphBinder:
+    """Mirrors ProcessingComponent services into a live graph."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        graph: Optional[ProcessingGraph] = None,
+    ) -> None:
+        self.registry = registry
+        self.assembler = AutoAssembler(graph)
+        self._bound: Dict[int, str] = {}  # service id -> component name
+        self._unsubscribe = registry.add_listener(self._on_event)
+        # Adopt components registered before the binder existed.
+        for reference in registry.get_references(COMPONENT_INTERFACE):
+            self._bind(reference.service_id)
+
+    @property
+    def graph(self) -> ProcessingGraph:
+        return self.assembler.graph
+
+    def close(self) -> None:
+        self._unsubscribe()
+
+    # -- event handling ------------------------------------------------------
+
+    def _on_event(self, event: ServiceEvent) -> None:
+        if COMPONENT_INTERFACE not in event.reference.interfaces:
+            return
+        if event.event_type is ServiceEventType.REGISTERED:
+            self._bind(event.reference.service_id)
+        elif event.event_type is ServiceEventType.UNREGISTERING:
+            self._unbind(event.reference.service_id)
+
+    def _bind(self, service_id: int) -> None:
+        reference = next(
+            (
+                r
+                for r in self.registry.get_references(COMPONENT_INTERFACE)
+                if r.service_id == service_id
+            ),
+            None,
+        )
+        if reference is None:
+            return
+        component = self.registry.get_service(reference)
+        if not isinstance(component, ProcessingComponent):
+            return
+        if component.name in self.graph:
+            return
+        self.assembler.add(component)
+        self._bound[service_id] = component.name
+
+    def _unbind(self, service_id: int) -> None:
+        name = self._bound.pop(service_id, None)
+        if name is not None and name in self.graph:
+            self.assembler.remove(name)
+
+    def bound_components(self) -> Dict[int, str]:
+        return dict(self._bound)

@@ -1,0 +1,220 @@
+"""The service registry: registration, lookup, events.
+
+A trimmed-down OSGi service registry.  Services are arbitrary Python
+objects registered under one or more interface names with a property
+dictionary; consumers look references up by interface and property
+filter, and can subscribe to registration lifecycle events -- which is
+what lets the PerPos graph assembly react to components appearing and
+disappearing at runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+class ServiceEventType(Enum):
+    REGISTERED = "registered"
+    MODIFIED = "modified"
+    UNREGISTERING = "unregistering"
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Delivered to listeners on every registry state change."""
+
+    event_type: ServiceEventType
+    reference: "ServiceReference"
+
+
+#: A filter is a property dict (all entries must match) or a predicate
+#: over the reference's properties.
+ServiceFilter = Union[
+    Mapping[str, Any], Callable[[Mapping[str, Any]], bool], None
+]
+
+
+def _matches(properties: Mapping[str, Any], flt: ServiceFilter) -> bool:
+    if flt is None:
+        return True
+    if callable(flt):
+        return bool(flt(properties))
+    return all(properties.get(k) == v for k, v in flt.items())
+
+
+class ServiceReference:
+    """A handle to a registered service; comparison follows OSGi ranking.
+
+    Higher ``service.ranking`` wins; ties break toward the older (lower)
+    service id, so lookups are deterministic.
+    """
+
+    def __init__(
+        self,
+        service_id: int,
+        interfaces: Tuple[str, ...],
+        properties: Dict[str, Any],
+    ) -> None:
+        self.service_id = service_id
+        self.interfaces = interfaces
+        self._properties = properties
+
+    @property
+    def properties(self) -> Mapping[str, Any]:
+        return dict(self._properties)
+
+    @property
+    def ranking(self) -> int:
+        return int(self._properties.get("service.ranking", 0))
+
+    # Defined after the decorated attributes: a method named ``property``
+    # would otherwise shadow the builtin for the rest of the class body.
+    def property(self, key: str, default: Any = None) -> Any:
+        return self._properties.get(key, default)
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (-self.ranking, self.service_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceReference(id={self.service_id},"
+            f" interfaces={list(self.interfaces)})"
+        )
+
+
+class ServiceRegistration:
+    """Returned to the registering party; allows update and unregister."""
+
+    def __init__(
+        self, registry: "ServiceRegistry", reference: ServiceReference
+    ) -> None:
+        self._registry = registry
+        self.reference = reference
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def set_properties(self, properties: Mapping[str, Any]) -> None:
+        if not self._active:
+            raise RuntimeError("registration already unregistered")
+        self._registry._update_properties(self.reference, properties)
+
+    def unregister(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        self._registry._unregister(self.reference)
+
+
+class ServiceRegistry:
+    """Registry of live services with lookup by interface and filter."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._services: Dict[int, Any] = {}
+        self._references: Dict[int, ServiceReference] = {}
+        self._listeners: List[Callable[[ServiceEvent], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        interfaces: Union[str, Sequence[str]],
+        service: Any,
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> ServiceRegistration:
+        """Register ``service`` under one or more interface names."""
+        if isinstance(interfaces, str):
+            interfaces = (interfaces,)
+        if not interfaces:
+            raise ValueError("at least one interface name required")
+        service_id = next(self._ids)
+        props = dict(properties or {})
+        props["service.id"] = service_id
+        reference = ServiceReference(service_id, tuple(interfaces), props)
+        self._services[service_id] = service
+        self._references[service_id] = reference
+        registration = ServiceRegistration(self, reference)
+        self._fire(ServiceEventType.REGISTERED, reference)
+        return registration
+
+    def _update_properties(
+        self, reference: ServiceReference, properties: Mapping[str, Any]
+    ) -> None:
+        merged = dict(reference._properties)
+        merged.update(properties)
+        merged["service.id"] = reference.service_id
+        reference._properties = merged
+        self._fire(ServiceEventType.MODIFIED, reference)
+
+    def _unregister(self, reference: ServiceReference) -> None:
+        if reference.service_id not in self._services:
+            return
+        self._fire(ServiceEventType.UNREGISTERING, reference)
+        del self._services[reference.service_id]
+        del self._references[reference.service_id]
+
+    # -- lookup ------------------------------------------------------------
+
+    def get_references(
+        self, interface: Optional[str] = None, flt: ServiceFilter = None
+    ) -> List[ServiceReference]:
+        """References matching ``interface`` and ``flt``, best first."""
+        refs = [
+            ref
+            for ref in self._references.values()
+            if (interface is None or interface in ref.interfaces)
+            and _matches(ref._properties, flt)
+        ]
+        refs.sort(key=ServiceReference.sort_key)
+        return refs
+
+    def get_reference(
+        self, interface: str, flt: ServiceFilter = None
+    ) -> Optional[ServiceReference]:
+        refs = self.get_references(interface, flt)
+        return refs[0] if refs else None
+
+    def get_service(self, reference: ServiceReference) -> Any:
+        try:
+            return self._services[reference.service_id]
+        except KeyError:
+            raise LookupError(
+                f"service {reference.service_id} no longer registered"
+            ) from None
+
+    def find_service(
+        self, interface: str, flt: ServiceFilter = None
+    ) -> Optional[Any]:
+        """Convenience: best matching service object, or None."""
+        ref = self.get_reference(interface, flt)
+        return self.get_service(ref) if ref else None
+
+    # -- events ------------------------------------------------------------
+
+    def add_listener(
+        self, listener: Callable[[ServiceEvent], None]
+    ) -> Callable[[], None]:
+        """Subscribe to service events; returns an unsubscribe function."""
+        self._listeners.append(listener)
+
+        def _remove() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return _remove
+
+    def _fire(
+        self, event_type: ServiceEventType, reference: ServiceReference
+    ) -> None:
+        event = ServiceEvent(event_type, reference)
+        for listener in list(self._listeners):
+            listener(event)
+
+    def __len__(self) -> int:
+        return len(self._services)

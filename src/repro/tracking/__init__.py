@@ -1,0 +1,19 @@
+"""Probabilistic tracking (system S11): the particle filter of paper §3.2.
+
+The filter plugs into the processing graph as a new kind of fusion
+component (requirement R1), consumes low-level quality information through
+the Likelihood Channel Feature (requirement R2/R3), and constrains
+particle motion with the building model -- "location models to impose
+restrictions on possible movements in the environment" (§1).
+"""
+
+from repro.tracking.likelihood import LikelihoodFeature
+from repro.tracking.motion import PedestrianMotionModel
+from repro.tracking.particle_filter import Particle, ParticleFilterComponent
+
+__all__ = [
+    "LikelihoodFeature",
+    "PedestrianMotionModel",
+    "Particle",
+    "ParticleFilterComponent",
+]

@@ -1,0 +1,56 @@
+"""Motion models for particle propagation.
+
+The paper's filter "takes into account the likely user movement specific
+for the application" (§1); the pedestrian model here is the standard
+choice for indoor tracking: per-second displacement drawn from a speed
+distribution with heading persistence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Tuple
+
+from repro.geo.grid import GridPosition
+
+
+class PedestrianMotionModel:
+    """Random-heading pedestrian displacement in grid coordinates.
+
+    Each particle keeps a heading; per step the heading drifts by a
+    Gaussian turn and the particle advances with a speed drawn between 0
+    and ``max_speed_mps`` (people stop, start and wander indoors).
+    """
+
+    def __init__(
+        self,
+        max_speed_mps: float = 2.0,
+        turn_sigma_deg: float = 45.0,
+        position_jitter_m: float = 0.3,
+    ) -> None:
+        if max_speed_mps <= 0:
+            raise ValueError("max_speed_mps must be positive")
+        self.max_speed_mps = max_speed_mps
+        self.turn_sigma_deg = turn_sigma_deg
+        self.position_jitter_m = position_jitter_m
+
+    def step(
+        self,
+        rng: random.Random,
+        position: GridPosition,
+        heading_deg: float,
+        dt: float,
+    ) -> Tuple[GridPosition, float]:
+        """Propose the particle's next position and heading after ``dt``."""
+        heading = (heading_deg + rng.gauss(0.0, self.turn_sigma_deg)) % 360.0
+        speed = rng.uniform(0.0, self.max_speed_mps)
+        distance = speed * dt
+        theta = math.radians(heading)
+        jitter = self.position_jitter_m
+        new = GridPosition(
+            position.x_m + distance * math.sin(theta) + rng.gauss(0, jitter),
+            position.y_m + distance * math.cos(theta) + rng.gauss(0, jitter),
+            position.floor,
+        )
+        return new, heading

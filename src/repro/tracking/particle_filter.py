@@ -1,0 +1,271 @@
+"""The particle filter Processing Component (paper §3.2, Fig. 5/6).
+
+The filter is a *fusion* component: it consumes positions (from GPS,
+WiFi, or both) and produces refined positions, so it plugs into the graph
+without changing the application-facing API -- the paper's requirement R1
+and its answer to the Location Stack's layering problem.
+
+Measurement weighting follows Fig. 5 snippet 1: on each arriving
+position the filter resolves the delivering channel, fetches its
+``Likelihood`` Channel Feature, and scores every particle with
+``get_likelihood(particle)``.  Without the feature it falls back to the
+position's own accuracy estimate -- the filter degrades, it does not
+break, when the adaptation is absent.
+
+The building model supplies the movement constraint: particle moves that
+cross a wall are vetoed (weight zero), which is what pins the trace to
+the corridor in Fig. 6.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.component import InputPort, OutputPort, ProcessingComponent
+from repro.core.data import Datum, Kind
+from repro.core.pcl import ProcessChannelLayer
+from repro.geo.grid import GridPosition
+from repro.geo.wgs84 import Wgs84Position
+from repro.model.building import Building
+from repro.tracking.motion import PedestrianMotionModel
+
+
+@dataclass
+class Particle:
+    """One hypothesis: grid position, heading, normalised weight."""
+
+    position: GridPosition
+    heading_deg: float
+    weight: float
+
+
+class ParticleFilterComponent(ProcessingComponent):
+    """Wall-constrained SIR particle filter over incoming positions."""
+
+    # The filter is a fusion component by role: channels end at it even
+    # when a single sensor currently feeds it (Fig. 2's channel view).
+    pcl_node = True
+
+    def __init__(
+        self,
+        building: Building,
+        pcl: Optional[ProcessChannelLayer] = None,
+        name: str = "particle-filter",
+        num_particles: int = 500,
+        seed: int = 0,
+        motion_model: Optional[PedestrianMotionModel] = None,
+        resample_threshold: float = 0.5,
+        fallback_sigma_m: float = 10.0,
+    ) -> None:
+        if num_particles <= 0:
+            raise ValueError("num_particles must be positive")
+        super().__init__(
+            name,
+            inputs=(
+                InputPort("in", (Kind.POSITION_WGS84,), multiple=True),
+            ),
+            output=OutputPort((Kind.POSITION_WGS84,)),
+        )
+        self.building = building
+        self.pcl = pcl
+        self.num_particles = num_particles
+        self.motion_model = motion_model or PedestrianMotionModel()
+        self.resample_threshold = resample_threshold
+        self.fallback_sigma_m = fallback_sigma_m
+        self._rng = random.Random(seed)
+        self._particles: List[Particle] = []
+        self._last_update_time: Optional[float] = None
+        self.updates = 0
+        self.resamples = 0
+        self.wall_vetoes = 0
+
+    # -- particle access (Fig. 6's red dots) --------------------------------
+
+    @property
+    def particles(self) -> List[Particle]:
+        return list(self._particles)
+
+    def initialised(self) -> bool:
+        return bool(self._particles)
+
+    # -- processing -----------------------------------------------------------
+
+    def process(self, port_name: str, datum: Datum) -> None:
+        position = datum.payload
+        if not isinstance(position, Wgs84Position):
+            return
+        observed = self.building.grid.to_grid(position)
+        if not self._particles:
+            self._initialise(observed)
+            self._last_update_time = datum.timestamp
+            self._produce_estimate(datum)
+            return
+        dt = (
+            datum.timestamp - self._last_update_time
+            if self._last_update_time is not None
+            else 1.0
+        )
+        dt = max(0.1, min(dt, 30.0))
+        self._last_update_time = datum.timestamp
+        self._propagate(dt)
+        self._weight(datum, position)
+        self._maybe_resample(observed)
+        self._produce_estimate(datum)
+        self.updates += 1
+
+    def _initialise(self, around: GridPosition) -> None:
+        spread = 5.0
+        self._particles = []
+        for _ in range(self.num_particles):
+            candidate = GridPosition(
+                around.x_m + self._rng.gauss(0.0, spread),
+                around.y_m + self._rng.gauss(0.0, spread),
+                around.floor,
+            )
+            self._particles.append(
+                Particle(
+                    position=candidate,
+                    heading_deg=self._rng.uniform(0.0, 360.0),
+                    weight=1.0 / self.num_particles,
+                )
+            )
+
+    def _propagate(self, dt: float) -> None:
+        for particle in self._particles:
+            proposed, heading = self.motion_model.step(
+                self._rng, particle.position, particle.heading_deg, dt
+            )
+            if self.building.crosses_wall(particle.position, proposed):
+                # The location-model constraint: walls veto the move.
+                self.wall_vetoes += 1
+                particle.weight *= 0.1
+                particle.heading_deg = (heading + 180.0) % 360.0
+            else:
+                particle.position = proposed
+                particle.heading_deg = heading
+
+    def _weight(self, datum: Datum, observed: Wgs84Position) -> None:
+        likelihood_feature = self._likelihood_feature(datum)
+        sigma = None
+        if likelihood_feature is None:
+            sigma = (
+                observed.accuracy_m
+                if observed.accuracy_m
+                else self.fallback_sigma_m
+            )
+        total = 0.0
+        for particle in self._particles:
+            particle_wgs84 = self.building.grid.to_wgs84(particle.position)
+            if likelihood_feature is not None:
+                likelihood = likelihood_feature.get_likelihood(
+                    particle_wgs84
+                )
+            else:
+                distance = observed.distance_to(particle_wgs84)
+                likelihood = math.exp(-0.5 * (distance / sigma) ** 2)
+            particle.weight *= max(likelihood, 1e-12)
+            total += particle.weight
+        if total <= 0:
+            uniform = 1.0 / len(self._particles)
+            for particle in self._particles:
+                particle.weight = uniform
+        else:
+            for particle in self._particles:
+                particle.weight /= total
+
+    def _likelihood_feature(self, datum: Datum):
+        """Resolve the Likelihood feature of the delivering channel.
+
+        This is ``inputChannel.getFeature(position, Likelihood.class)``
+        from Fig. 5: the channel is identified by the producer of the
+        incoming datum.
+        """
+        if self.pcl is None:
+            return None
+        producer = datum.producer.split("#", 1)[0]
+        channel = self.pcl.channel_delivering(self.name, producer)
+        if channel is None:
+            return None
+        return channel.get_feature("Likelihood")
+
+    def _effective_sample_size(self) -> float:
+        return 1.0 / sum(p.weight**2 for p in self._particles)
+
+    def _maybe_resample(self, observed: GridPosition) -> None:
+        ess = self._effective_sample_size()
+        if ess >= self.resample_threshold * len(self._particles):
+            return
+        self.resamples += 1
+        # Systematic resampling.
+        n = len(self._particles)
+        positions = [(i + self._rng.random()) / n for i in range(n)]
+        cumulative = []
+        acc = 0.0
+        for particle in self._particles:
+            acc += particle.weight
+            cumulative.append(acc)
+        new_particles: List[Particle] = []
+        index = 0
+        for point in positions:
+            while index < n - 1 and cumulative[index] < point:
+                index += 1
+            source = self._particles[index]
+            new_particles.append(
+                Particle(
+                    position=source.position,
+                    heading_deg=source.heading_deg,
+                    weight=1.0 / n,
+                )
+            )
+        self._particles = new_particles
+
+    def _produce_estimate(self, datum: Datum) -> None:
+        estimate, spread = self.estimate()
+        wgs84 = self.building.grid.to_wgs84(estimate)
+        refined = Wgs84Position(
+            wgs84.latitude_deg,
+            wgs84.longitude_deg,
+            wgs84.altitude_m,
+            accuracy_m=spread,
+            timestamp=datum.timestamp,
+        )
+        self.produce(
+            Datum(
+                kind=Kind.POSITION_WGS84,
+                payload=refined,
+                timestamp=datum.timestamp,
+                producer=self.name,
+            )
+        )
+
+    def estimate(self) -> Tuple[GridPosition, float]:
+        """Weighted-mean position and weighted RMS spread (accuracy)."""
+        if not self._particles:
+            raise RuntimeError("filter not initialised")
+        x = sum(p.weight * p.position.x_m for p in self._particles)
+        y = sum(p.weight * p.position.y_m for p in self._particles)
+        floor = self._particles[0].position.floor
+        mean = GridPosition(x, y, floor)
+        variance = sum(
+            p.weight * mean.distance_to(p.position) ** 2
+            for p in self._particles
+        )
+        return mean, math.sqrt(variance)
+
+    # -- inspection -------------------------------------------------------------
+
+    def effective_sample_size(self) -> float:
+        if not self._particles:
+            return 0.0
+        return self._effective_sample_size()
+
+    def statistics(self) -> dict:
+        return {
+            "updates": self.updates,
+            "resamples": self.resamples,
+            "wall_vetoes": self.wall_vetoes,
+            "particles": len(self._particles),
+        }

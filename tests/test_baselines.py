@@ -1,0 +1,210 @@
+"""Tests for the Location-Stack- and PoSIM-style baseline middleware."""
+
+import pytest
+
+from repro.baselines.location_stack import (
+    FormatError,
+    LocationStackMiddleware,
+    STANDARD_FIELDS,
+)
+from repro.baselines.posim import (
+    Policy,
+    PosimError,
+    PosimMiddleware,
+    SensorWrapper,
+)
+from repro.geo.wgs84 import Wgs84Position
+
+
+def gps_raw(t, sats=None, include_extra=False):
+    raw = {
+        "latitude_deg": 56.17,
+        "longitude_deg": 10.19,
+        "accuracy_m": 5.0,
+        "timestamp": t,
+    }
+    if include_extra:
+        raw["num_satellites"] = sats
+    return raw
+
+
+class TestLocationStack:
+    def test_standard_fields_fixed(self):
+        stack = LocationStackMiddleware()
+        assert stack.position_format_fields() == STANDARD_FIELDS
+        assert not stack.source_modified
+
+    def test_unknown_field_rejected_closed_format(self):
+        stack = LocationStackMiddleware()
+        stack.add_sensor("gps", lambda now: [gps_raw(now, 7, True)])
+        with pytest.raises(FormatError):
+            stack.pump(0.0)
+
+    def test_extension_requires_source_modification_flag(self):
+        stack = LocationStackMiddleware(extra_fields=("num_satellites",))
+        assert stack.source_modified
+        stack.add_sensor("gps", lambda now: [gps_raw(now, 7, True)])
+        stack.pump(0.0)
+        assert stack.last_measurement().get("num_satellites") == 7
+
+    def test_format_pollution_on_other_technologies(self):
+        stack = LocationStackMiddleware(extra_fields=("num_satellites",))
+        stack.add_sensor("gps", lambda now: [gps_raw(now, 7, True)])
+        stack.add_sensor("wifi", lambda now: [gps_raw(now)])
+        stack.pump(0.0)
+        report = stack.pollution_report()
+        # Half of all measurements (the WiFi ones) carry a dead field.
+        assert report["num_satellites"] == pytest.approx(0.5)
+
+    def test_fusion_selects_best_accuracy(self):
+        stack = LocationStackMiddleware()
+        stack.add_sensor(
+            "gps",
+            lambda now: [dict(gps_raw(now), accuracy_m=9.0)],
+        )
+        stack.add_sensor(
+            "wifi",
+            lambda now: [dict(gps_raw(now), accuracy_m=2.0)],
+        )
+        stack.pump(0.0)
+        assert stack.last_measurement().get("technology") == "wifi"
+
+    def test_application_sees_only_positions(self):
+        stack = LocationStackMiddleware()
+        stack.add_sensor("gps", lambda now: [gps_raw(now)])
+        stack.pump(1.0)
+        position = stack.last_position()
+        assert isinstance(position, Wgs84Position)
+        assert position.timestamp == 1.0
+
+    def test_no_position_before_data(self):
+        assert LocationStackMiddleware().last_position() is None
+
+    def test_pollution_report_empty_without_measurements(self):
+        stack = LocationStackMiddleware(extra_fields=("x",))
+        assert stack.pollution_report() == {"x": 0.0}
+
+
+class TestSensorWrapper:
+    def test_declared_infos_and_controls(self):
+        wrapper = SensorWrapper(
+            "gps",
+            infos={"hdop": lambda: 1.5},
+            controls={"power": lambda v: None},
+        )
+        assert wrapper.declared_infos() == ["hdop"]
+        assert wrapper.declared_controls() == ["power"]
+
+    def test_info_returns_latest(self):
+        state = {"hdop": 1.0}
+        wrapper = SensorWrapper("gps", infos={"hdop": lambda: state["hdop"]})
+        assert wrapper.get_info("hdop") == 1.0
+        state["hdop"] = 3.0
+        assert wrapper.get_info("hdop") == 3.0
+
+    def test_unknown_info_and_control(self):
+        wrapper = SensorWrapper("gps")
+        with pytest.raises(PosimError):
+            wrapper.get_info("hdop")
+        with pytest.raises(PosimError):
+            wrapper.set_control("power", "low")
+
+
+class TestPosim:
+    def make(self, lag=0):
+        state = {"hdop": 1.0, "power": "high"}
+        middleware = PosimMiddleware(delivery_lag_updates=lag)
+        wrapper = SensorWrapper(
+            "gps",
+            infos={"hdop": lambda: state["hdop"]},
+            controls={
+                "power": lambda v: state.__setitem__("power", v)
+            },
+        )
+        middleware.register_wrapper(wrapper)
+        return middleware, state
+
+    def test_duplicate_wrapper_rejected(self):
+        middleware, _ = self.make()
+        with pytest.raises(PosimError):
+            middleware.register_wrapper(SensorWrapper("gps"))
+
+    def test_get_info_cross_level(self):
+        middleware, state = self.make()
+        state["hdop"] = 2.5
+        assert middleware.get_info("gps", "hdop") == 2.5
+
+    def test_policy_fires_on_condition(self):
+        middleware, state = self.make()
+        middleware.add_policy(
+            Policy("save-power", "gps", "hdop", ">", 5.0, "power", "low")
+        )
+        state["hdop"] = 9.0
+        middleware.publish_position("gps", Wgs84Position(56.0, 10.0))
+        assert state["power"] == "low"
+        assert middleware.policy_firings[0][0] == "save-power"
+
+    def test_policy_quiet_when_condition_false(self):
+        middleware, state = self.make()
+        middleware.add_policy(
+            Policy("save-power", "gps", "hdop", ">", 5.0, "power", "low")
+        )
+        state["hdop"] = 1.0
+        middleware.publish_position("gps", Wgs84Position(56.0, 10.0))
+        assert state["power"] == "high"
+
+    def test_policy_none_info_never_fires(self):
+        assert not Policy(
+            "p", "gps", "hdop", ">", 1.0, "power", "low"
+        ).condition_holds(None)
+
+    def test_policy_operator_validation(self):
+        policy = Policy("p", "gps", "hdop", "~=", 1.0, "power", "low")
+        with pytest.raises(PosimError):
+            policy.condition_holds(2.0)
+
+    def test_delivery_lag_queues_positions(self):
+        middleware, _state = self.make(lag=2)
+        seen = []
+        middleware.add_position_listener(lambda p: seen.append(p))
+        for i in range(3):
+            middleware.publish_position(
+                "gps", Wgs84Position(56.0 + i * 0.001, 10.0)
+            )
+        # With lag 2, only the first of three published is delivered.
+        assert len(seen) == 1
+        middleware.flush()
+        assert len(seen) == 3
+
+    def test_stale_info_attribution_with_lag(self):
+        """The paper's PoSIM critique: get_info at delivery time returns
+        the LATEST hdop, not the one behind the delivered position."""
+        state = {"hdop": 0.0}
+        middleware = PosimMiddleware(delivery_lag_updates=1)
+        middleware.register_wrapper(
+            SensorWrapper("gps", infos={"hdop": lambda: state["hdop"]})
+        )
+        attributions = []
+        middleware.add_position_listener(
+            lambda p: attributions.append(middleware.get_info("gps", "hdop"))
+        )
+        for i, hdop in enumerate([1.0, 2.0, 3.0]):
+            state["hdop"] = hdop
+            middleware.publish_position(
+                "gps",
+                Wgs84Position(56.0, 10.0, timestamp=float(i)),
+            )
+        # Position 0 was delivered while position 1's hdop was current.
+        assert attributions == [2.0, 3.0]
+
+    def test_listener_removal(self):
+        middleware, _ = self.make()
+        seen = []
+        remove = middleware.add_position_listener(seen.append)
+        remove()
+        middleware.publish_position("gps", Wgs84Position(56.0, 10.0))
+        assert seen == []
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            PosimMiddleware(delivery_lag_updates=-1)

@@ -1,0 +1,159 @@
+"""Tests for the building model and the demo building."""
+
+import pytest
+
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.geo.wgs84 import Wgs84Position
+from repro.model.building import Building, Floor, Room, SymbolicLocation, Wall
+from repro.model.demo import demo_building
+
+ORIGIN = Wgs84Position(56.1718, 10.1903)
+
+
+def tiny_building():
+    room = Room("R1", "Room 1", 0, ((0, 0), (10, 0), (10, 10), (0, 10)))
+    wall = Wall(5.0, 0.0, 5.0, 10.0)
+    floor = Floor(0, [room], [wall])
+    return Building("tiny", LocalGrid(ORIGIN), [floor])
+
+
+class TestConstruction:
+    def test_requires_floors(self):
+        with pytest.raises(ValueError):
+            Building("b", LocalGrid(ORIGIN), [])
+
+    def test_duplicate_floor_levels_rejected(self):
+        floor = Floor(0, [], [])
+        other = Floor(0, [], [])
+        with pytest.raises(ValueError):
+            Building("b", LocalGrid(ORIGIN), [floor, other])
+
+    def test_room_on_wrong_floor_rejected(self):
+        room = Room("R1", "Room", 1, ((0, 0), (1, 0), (1, 1), (0, 1)))
+        with pytest.raises(ValueError):
+            Floor(0, [room], [])
+
+    def test_unknown_floor_lookup(self):
+        with pytest.raises(KeyError):
+            tiny_building().floor(7)
+
+    def test_unknown_room_lookup(self):
+        with pytest.raises(KeyError):
+            tiny_building().room_by_id("nope")
+
+
+class TestSpatialQueries:
+    def test_room_at_inside(self):
+        building = tiny_building()
+        assert building.room_at(GridPosition(2.0, 2.0)).room_id == "R1"
+
+    def test_room_at_outside(self):
+        building = tiny_building()
+        assert building.room_at(GridPosition(20.0, 2.0)) is None
+
+    def test_room_at_wrong_floor(self):
+        building = tiny_building()
+        assert building.room_at(GridPosition(2.0, 2.0, floor=3)) is None
+
+    def test_resolve_returns_symbolic_location(self):
+        building = tiny_building()
+        inside = building.grid.to_wgs84(GridPosition(2.0, 2.0))
+        loc = building.resolve(inside)
+        assert loc == SymbolicLocation("tiny", "R1", 0, None)
+        assert loc.is_inside
+
+    def test_resolve_outside_returns_none_room(self):
+        building = tiny_building()
+        outside = building.grid.to_wgs84(GridPosition(100.0, 100.0))
+        loc = building.resolve(outside)
+        assert loc.room_id is None
+        assert not loc.is_inside
+
+
+class TestWalls:
+    def test_crossing_wall_detected(self):
+        building = tiny_building()
+        assert building.crosses_wall(
+            GridPosition(2.0, 5.0), GridPosition(8.0, 5.0)
+        )
+
+    def test_move_without_crossing(self):
+        building = tiny_building()
+        assert not building.crosses_wall(
+            GridPosition(1.0, 1.0), GridPosition(4.0, 9.0)
+        )
+
+    def test_floor_change_always_blocked(self):
+        building = tiny_building()
+        assert building.crosses_wall(
+            GridPosition(1.0, 1.0, 0), GridPosition(1.0, 1.0, 1)
+        )
+
+    def test_walls_between_counts(self):
+        building = tiny_building()
+        assert building.walls_between(
+            GridPosition(2.0, 5.0), GridPosition(8.0, 5.0)
+        ) == 1
+        assert building.walls_between(
+            GridPosition(1.0, 1.0), GridPosition(2.0, 2.0)
+        ) == 0
+
+    def test_walls_between_floors_approximated(self):
+        building = tiny_building()
+        assert building.walls_between(
+            GridPosition(1.0, 1.0, 0), GridPosition(1.0, 1.0, 2)
+        ) == 4
+
+
+class TestDemoBuilding:
+    def test_nine_rooms(self):
+        building = demo_building()
+        ids = {room.room_id for room in building.rooms()}
+        assert ids == {
+            "N1", "N2", "N3", "N4", "S1", "S2", "S3", "S4", "CORR",
+        }
+
+    def test_room_centroids_resolve_to_their_rooms(self):
+        building = demo_building()
+        for room in building.rooms():
+            assert building.room_at(room.centroid).room_id == room.room_id
+
+    def test_corridor_to_office_through_door_is_open(self):
+        building = demo_building()
+        corridor = GridPosition(5.0, 7.5)
+        office = GridPosition(5.0, 12.0)  # straight through N1's door
+        assert not building.crosses_wall(corridor, office)
+
+    def test_corridor_to_office_through_wall_is_blocked(self):
+        building = demo_building()
+        corridor = GridPosition(8.0, 7.5)
+        office = GridPosition(8.0, 12.0)  # no door at x=8
+        assert building.crosses_wall(corridor, office)
+
+    def test_neighbouring_offices_separated(self):
+        building = demo_building()
+        n1 = building.room_by_id("N1").centroid
+        n2 = building.room_by_id("N2").centroid
+        assert building.crosses_wall(n1, n2)
+
+    def test_entrance_gap_on_west_side(self):
+        building = demo_building()
+        outside = GridPosition(-2.0, 7.5)
+        corridor = GridPosition(2.0, 7.5)
+        assert not building.crosses_wall(outside, corridor)
+
+    def test_exterior_wall_blocks_elsewhere(self):
+        building = demo_building()
+        outside = GridPosition(-2.0, 3.0)
+        inside = GridPosition(2.0, 3.0)
+        assert building.crosses_wall(outside, inside)
+
+    def test_footprint(self):
+        building = demo_building()
+        assert building.footprint(0) == (0.0, 0.0, 40.0, 15.0)
+
+    def test_wgs84_room_resolution(self):
+        building = demo_building()
+        n3 = building.room_by_id("N3")
+        position = building.grid.to_wgs84(n3.centroid)
+        assert building.room_at_wgs84(position).room_id == "N3"

@@ -1,0 +1,105 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.clock import SimulationClock
+
+
+def test_starts_at_given_time():
+    clock = SimulationClock(start=42.0)
+    assert clock.now == 42.0
+
+
+def test_advance_moves_time_forward():
+    clock = SimulationClock()
+    clock.advance(5.0)
+    assert clock.now == 5.0
+    clock.advance(0.5)
+    assert clock.now == 5.5
+
+
+def test_advance_rejects_negative():
+    clock = SimulationClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_run_until_rejects_past_deadline():
+    clock = SimulationClock(start=10.0)
+    with pytest.raises(ValueError):
+        clock.run_until(5.0)
+
+
+def test_call_at_fires_in_order():
+    clock = SimulationClock()
+    fired = []
+    clock.call_at(3.0, lambda t: fired.append(("b", t)))
+    clock.call_at(1.0, lambda t: fired.append(("a", t)))
+    clock.run_until(5.0)
+    assert fired == [("a", 1.0), ("b", 3.0)]
+
+
+def test_call_at_tie_breaks_by_scheduling_order():
+    clock = SimulationClock()
+    fired = []
+    clock.call_at(1.0, lambda t: fired.append("first"))
+    clock.call_at(1.0, lambda t: fired.append("second"))
+    clock.run_until(2.0)
+    assert fired == ["first", "second"]
+
+
+def test_callback_not_fired_before_due():
+    clock = SimulationClock()
+    fired = []
+    clock.call_at(10.0, lambda t: fired.append(t))
+    clock.run_until(9.99)
+    assert fired == []
+    clock.run_until(10.0)
+    assert fired == [10.0]
+
+
+def test_call_every_periodic_and_cancel():
+    clock = SimulationClock()
+    fired = []
+    cancel = clock.call_every(1.0, lambda t: fired.append(t))
+    clock.run_until(3.5)
+    assert fired == [1.0, 2.0, 3.0]
+    cancel()
+    clock.run_until(10.0)
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_call_every_with_explicit_start():
+    clock = SimulationClock()
+    fired = []
+    clock.call_every(2.0, lambda t: fired.append(t), start=0.5)
+    clock.run_until(5.0)
+    assert fired == [0.5, 2.5, 4.5]
+
+
+def test_call_every_rejects_nonpositive_period():
+    clock = SimulationClock()
+    with pytest.raises(ValueError):
+        clock.call_every(0.0, lambda t: None)
+
+
+def test_callback_scheduling_more_callbacks():
+    clock = SimulationClock()
+    fired = []
+
+    def outer(t):
+        fired.append(("outer", t))
+        clock.call_at(t + 1.0, lambda t2: fired.append(("inner", t2)))
+
+    clock.call_at(1.0, outer)
+    clock.run_until(3.0)
+    assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_time_visible_inside_callback_is_fire_time():
+    clock = SimulationClock()
+    seen = []
+    clock.call_at(2.5, lambda t: seen.append(clock.now))
+    clock.run_until(7.0)
+    assert seen == [2.5]
+    assert clock.now == 7.0

@@ -1,0 +1,252 @@
+"""Tests for processing components, ports and the feature chain."""
+
+import pytest
+
+from repro.core.component import (
+    ApplicationSink,
+    ComponentError,
+    FunctionComponent,
+    InputPort,
+    OutputPort,
+    ProcessingComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature, FeatureError
+from repro.core.graph import ProcessingGraph
+
+
+def datum(kind="x", payload=1, t=0.0, producer=""):
+    return Datum(kind, payload, t, producer)
+
+
+class Doubler(FunctionComponent):
+    def __init__(self, name="doubler"):
+        super().__init__(
+            name,
+            accepts=("x",),
+            capabilities=("x",),
+            fn=lambda d: d.with_payload(d.payload * 2),
+        )
+
+
+class TestPorts:
+    def test_duplicate_port_names_rejected(self):
+        class Bad(ProcessingComponent):
+            def process(self, port_name, datum):
+                pass
+
+        with pytest.raises(ComponentError):
+            Bad(
+                "bad",
+                inputs=(InputPort("in", ("x",)), InputPort("in", ("y",))),
+                output=OutputPort(()),
+            )
+
+    def test_unknown_port_lookup(self):
+        comp = Doubler()
+        with pytest.raises(ComponentError):
+            comp.input_port("nope")
+
+    def test_receive_wrong_kind_rejected(self):
+        comp = Doubler()
+        with pytest.raises(ComponentError):
+            comp.receive("in", datum(kind="unrelated"))
+
+    def test_produce_undeclared_kind_rejected(self):
+        comp = FunctionComponent(
+            "c", accepts=("x",), capabilities=("x",),
+            fn=lambda d: Datum("y", 1, 0.0),
+        )
+        with pytest.raises(ComponentError):
+            comp.receive("in", datum())
+
+    def test_source_has_no_inputs(self):
+        source = SourceComponent("s", ("x",))
+        assert source.is_source
+        with pytest.raises(ComponentError):
+            source.process("in", datum())
+
+
+class TestDataFlow:
+    def wire(self, *components):
+        graph = ProcessingGraph()
+        for c in components:
+            graph.add(c)
+        for a, b in zip(components, components[1:]):
+            graph.connect(a.name, b.name)
+        return graph
+
+    def test_function_component_transforms(self):
+        source = SourceComponent("s", ("x",))
+        double = Doubler()
+        sink = ApplicationSink("app", ("x",))
+        self.wire(source, double, sink)
+        source.inject(datum(payload=21))
+        assert sink.last().payload == 42
+
+    def test_function_component_can_drop(self):
+        source = SourceComponent("s", ("x",))
+        drop = FunctionComponent(
+            "drop", ("x",), ("x",),
+            fn=lambda d: None if d.payload < 0 else d,
+        )
+        sink = ApplicationSink("app", ("x",))
+        self.wire(source, drop, sink)
+        source.inject(datum(payload=-1))
+        source.inject(datum(payload=5))
+        assert [d.payload for d in sink.received] == [5]
+
+    def test_function_component_can_fan_out_results(self):
+        source = SourceComponent("s", ("x",))
+        split = FunctionComponent(
+            "split", ("x",), ("x",),
+            fn=lambda d: [d.with_payload(p) for p in d.payload],
+        )
+        sink = ApplicationSink("app", ("x",))
+        self.wire(source, split, sink)
+        source.inject(datum(payload=[1, 2, 3]))
+        assert [d.payload for d in sink.received] == [1, 2, 3]
+
+    def test_producer_attribution_defaults_to_component(self):
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",))
+        self.wire(source, sink)
+        source.inject(Datum("x", 1, 0.0))
+        assert sink.last().producer == "s"
+
+    def test_sink_bounded_history(self):
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",), keep_last=3)
+        self.wire(source, sink)
+        for i in range(10):
+            source.inject(datum(payload=i))
+        assert [d.payload for d in sink.received] == [7, 8, 9]
+
+    def test_sink_listener_and_removal(self):
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",))
+        self.wire(source, sink)
+        seen = []
+        remove = sink.add_listener(lambda d: seen.append(d.payload))
+        source.inject(datum(payload=1))
+        remove()
+        source.inject(datum(payload=2))
+        assert seen == [1]
+
+    def test_sink_last_by_kind(self):
+        sink = ApplicationSink("app", ("x", "y"))
+        graph = ProcessingGraph()
+        graph.add(sink)
+        sink.receive("in", datum(kind="x", payload="ex"))
+        sink.receive("in", datum(kind="y", payload="why"))
+        assert sink.last("x").payload == "ex"
+        assert sink.last().payload == "why"
+        assert sink.last("z") is None
+
+
+class UppercaseFeature(ComponentFeature):
+    name = "Uppercase"
+
+    def produce(self, d):
+        return d.with_payload(str(d.payload).upper())
+
+
+class DropNegative(ComponentFeature):
+    name = "DropNegative"
+
+    def consume(self, d):
+        if isinstance(d.payload, int) and d.payload < 0:
+            return None
+        return d
+
+
+class KindChanger(ComponentFeature):
+    name = "KindChanger"
+
+    def produce(self, d):
+        return Datum("other", d.payload, d.timestamp)
+
+
+class TestFeatureChain:
+    def make_pipeline(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        middle = FunctionComponent("m", ("x",), ("x",), fn=lambda d: d)
+        sink = ApplicationSink("app", ("x",))
+        for c in (source, middle, sink):
+            graph.add(c)
+        graph.connect("s", "m")
+        graph.connect("m", "app")
+        return graph, source, middle, sink
+
+    def test_produce_hook_rewrites_outgoing(self):
+        _g, source, middle, sink = self.make_pipeline()
+        middle.attach_feature(UppercaseFeature())
+        source.inject(datum(payload="hello"))
+        assert sink.last().payload == "HELLO"
+
+    def test_consume_hook_can_drop_incoming(self):
+        _g, source, middle, sink = self.make_pipeline()
+        middle.attach_feature(DropNegative())
+        source.inject(datum(payload=-5))
+        source.inject(datum(payload=5))
+        assert [d.payload for d in sink.received] == [5]
+
+    def test_feature_cannot_change_kind(self):
+        _g, source, middle, _sink = self.make_pipeline()
+        middle.attach_feature(KindChanger())
+        with pytest.raises(FeatureError):
+            source.inject(datum(payload=1))
+
+    def test_features_apply_in_attachment_order(self):
+        class AppendA(ComponentFeature):
+            name = "A"
+
+            def produce(self, d):
+                return d.with_payload(d.payload + "a")
+
+        class AppendB(ComponentFeature):
+            name = "B"
+
+            def produce(self, d):
+                return d.with_payload(d.payload + "b")
+
+        _g, source, middle, sink = self.make_pipeline()
+        middle.attach_feature(AppendA())
+        middle.attach_feature(AppendB())
+        source.inject(datum(payload="x"))
+        assert sink.last().payload == "xab"
+
+    def test_duplicate_feature_name_rejected(self):
+        _g, _s, middle, _sink = self.make_pipeline()
+        middle.attach_feature(UppercaseFeature())
+        with pytest.raises(FeatureError):
+            middle.attach_feature(UppercaseFeature())
+
+    def test_detach_feature_restores_behaviour(self):
+        _g, source, middle, sink = self.make_pipeline()
+        middle.attach_feature(UppercaseFeature())
+        middle.detach_feature("Uppercase")
+        source.inject(datum(payload="quiet"))
+        assert sink.last().payload == "quiet"
+
+    def test_detach_unknown_feature(self):
+        _g, _s, middle, _sink = self.make_pipeline()
+        with pytest.raises(FeatureError):
+            middle.detach_feature("ghost")
+
+    def test_get_feature_by_name_and_class(self):
+        _g, _s, middle, _sink = self.make_pipeline()
+        feature = UppercaseFeature()
+        middle.attach_feature(feature)
+        assert middle.get_feature("Uppercase") is feature
+        assert middle.get_feature(UppercaseFeature) is feature
+        assert middle.get_feature("Other") is None
+
+    def test_describe_lists_features_and_methods(self):
+        _g, _s, middle, _sink = self.make_pipeline()
+        middle.attach_feature(UppercaseFeature())
+        info = middle.describe()
+        assert info["features"] == ["Uppercase"]
+        assert "name" in info and info["name"] == "m"

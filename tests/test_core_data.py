@@ -1,0 +1,64 @@
+"""Tests for the Datum envelope."""
+
+import pytest
+
+from repro.core.data import Datum, Kind
+
+
+def make_datum(**kwargs):
+    defaults = dict(
+        kind=Kind.POSITION_WGS84,
+        payload="value",
+        timestamp=12.5,
+        producer="interpreter",
+        attributes={"a": 1},
+    )
+    defaults.update(kwargs)
+    return Datum(**defaults)
+
+
+def test_with_payload_preserves_envelope():
+    original = make_datum()
+    copy = original.with_payload("other")
+    assert copy.payload == "other"
+    assert copy.kind == original.kind
+    assert copy.timestamp == original.timestamp
+    assert copy.producer == original.producer
+    assert copy.attributes == original.attributes
+
+
+def test_annotated_merges_attributes():
+    original = make_datum()
+    copy = original.annotated(b=2)
+    assert copy.attributes == {"a": 1, "b": 2}
+    assert original.attributes == {"a": 1}
+
+
+def test_annotated_overrides_existing_key():
+    assert make_datum().annotated(a=9).attributes["a"] == 9
+
+
+def test_from_producer():
+    copy = make_datum().from_producer("parser")
+    assert copy.producer == "parser"
+    assert copy.payload == "value"
+
+
+def test_datum_is_immutable():
+    with pytest.raises(AttributeError):
+        make_datum().kind = "other"
+
+
+def test_kind_constants_are_distinct():
+    names = [
+        Kind.NMEA_RAW,
+        Kind.NMEA_SENTENCE,
+        Kind.POSITION_WGS84,
+        Kind.POSITION_GRID,
+        Kind.ROOM_ID,
+        Kind.WIFI_SCAN,
+        Kind.ACCEL_VARIANCE,
+        Kind.HDOP,
+        Kind.NUM_SATELLITES,
+    ]
+    assert len(set(names)) == len(names)

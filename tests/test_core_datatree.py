@@ -1,0 +1,148 @@
+"""Tests for the data tree structure, including the Fig. 4 scenario."""
+
+import pytest
+
+from repro.core.data import Datum, Kind
+from repro.core.datatree import DataTree, DataTreeElement
+from repro.core.graph import ProcessingGraph
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.pcl import ProcessChannelLayer
+from repro.core.channel import ChannelFeature
+from repro.processing.interpreter import NmeaInterpreterComponent
+from repro.processing.parser import NmeaParserComponent
+from repro.sensors.nmea import GgaSentence
+
+
+def element(kind, lt, time_range, layer, producer="p"):
+    return DataTreeElement(
+        Datum(kind, f"{kind}{lt}", float(lt)), lt, time_range, layer, producer
+    )
+
+
+class TestDataTreeStructure:
+    def make_fig4_tree(self):
+        """The exact Fig. 4 shape: one WGS84 over two NMEA over five strings."""
+        strings = [element("str", i, None, 0, "gps") for i in range(1, 6)]
+        nmea = [
+            element("nmea", 1, (1, 2), 1, "parser"),
+            element("nmea", 2, (3, 5), 1, "parser"),
+        ]
+        wgs = [element("wgs84", 1, (1, 2), 2, "interpreter")]
+        return DataTree([strings, nmea, wgs], ["gps", "parser", "interpreter"])
+
+    def test_root_is_output(self):
+        tree = self.make_fig4_tree()
+        assert tree.root.datum.kind == "wgs84"
+        assert tree.depth == 3
+
+    def test_elements_ordering(self):
+        tree = self.make_fig4_tree()
+        kinds = [e.datum.kind for e in tree.elements()]
+        assert kinds == ["str"] * 5 + ["nmea"] * 2 + ["wgs84"]
+
+    def test_get_data_filters_by_kind(self):
+        tree = self.make_fig4_tree()
+        nmea = tree.get_data("nmea")
+        assert [producer for producer, _ in nmea] == ["parser", "parser"]
+
+    def test_contributors_follow_time_range(self):
+        tree = self.make_fig4_tree()
+        root_contribs = tree.contributors(tree.root)
+        assert [e.logical_time for e in root_contribs] == [1, 2]
+        nmea2 = tree.layer(1)[1]
+        assert [e.logical_time for e in tree.contributors(nmea2)] == [3, 4, 5]
+
+    def test_contributors_of_source_layer_empty(self):
+        tree = self.make_fig4_tree()
+        assert tree.contributors(tree.layer(0)[0]) == []
+
+    def test_render_shows_all_layers(self):
+        tree = self.make_fig4_tree()
+        text = tree.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("L2 interpreter")
+        assert "N/A" in lines[-1]  # source layer renders N/A ranges
+        assert "(nmea, 2, 3-5)" in text
+
+    def test_describe_format(self):
+        assert element("x", 3, (1, 2), 1).describe() == "(x, 3, 1-2)"
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            DataTree([[]], ["only"])
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            DataTree([[element("x", 1, None, 0)]], ["a", "b"])
+
+
+class CaptureFeature(ChannelFeature):
+    name = "Capture"
+
+    def __init__(self):
+        super().__init__()
+        self.trees = []
+
+    def apply(self, tree):
+        self.trees.append(tree)
+
+
+class TestFigure4EndToEnd:
+    """Reproduce Fig. 4 with the real GPS channel components.
+
+    Several raw strings make one NMEA sentence; the first GGA carries no
+    valid position, so the first WGS84 output's tree spans two sentences.
+    """
+
+    def build(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("gps", (Kind.NMEA_RAW,))
+        parser = NmeaParserComponent(name="parser")
+        interpreter = NmeaInterpreterComponent(name="interpreter")
+        sink = ApplicationSink("app", (Kind.POSITION_WGS84,))
+        for c in (source, parser, interpreter, sink):
+            graph.add(c)
+        graph.connect("gps", "parser")
+        graph.connect("parser", "interpreter")
+        graph.connect("interpreter", "app")
+        pcl = ProcessChannelLayer(graph)
+        feature = CaptureFeature()
+        pcl.attach_feature("gps->app", feature)
+        return source, feature
+
+    def inject_fragmented(self, source, sentence, t, chunk=12):
+        stream = sentence + "\r\n"
+        for i in range(0, len(stream), chunk):
+            source.inject(
+                Datum(Kind.NMEA_RAW, stream[i : i + chunk], t, "gps")
+            )
+
+    def test_invalid_first_sentence_spans_tree(self):
+        source, feature = self.build()
+        no_fix = GgaSentence(0.0, None, None, 0, 2, None, None).encode()
+        fix = GgaSentence(1.0, 56.17, 10.19, 1, 8, 1.1, 40.0).encode()
+        self.inject_fragmented(source, no_fix, 0.0)
+        self.inject_fragmented(source, fix, 1.0)
+        assert len(feature.trees) == 1
+        tree = feature.trees[0]
+        # The output is the first WGS84 position...
+        assert tree.root.logical_time == 1
+        # ...built from BOTH sentences (the invalid one contributed).
+        assert tree.root.time_range == (1, 2)
+        sentences = tree.get_data(Kind.NMEA_SENTENCE)
+        assert len(sentences) == 2
+        # And each sentence groups several raw string fragments.
+        raw = tree.get_data(Kind.NMEA_RAW)
+        assert len(raw) > 2
+
+    def test_second_position_tree_starts_fresh(self):
+        source, feature = self.build()
+        fix1 = GgaSentence(0.0, 56.17, 10.19, 1, 8, 1.1, 40.0).encode()
+        fix2 = GgaSentence(1.0, 56.18, 10.20, 1, 8, 1.1, 40.0).encode()
+        self.inject_fragmented(source, fix1, 0.0)
+        self.inject_fragmented(source, fix2, 1.0)
+        assert len(feature.trees) == 2
+        second = feature.trees[1]
+        assert second.root.logical_time == 2
+        assert second.root.time_range == (2, 2)
+        assert len(second.get_data(Kind.NMEA_SENTENCE)) == 1

@@ -1,0 +1,165 @@
+"""Tests for Component Feature augmentation: added data and state."""
+
+import pytest
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature, FeatureError
+from repro.core.graph import ProcessingGraph
+
+
+class CountingFeature(ComponentFeature):
+    """Adds a 'count' datum alongside every produced element and exposes
+    the running total as component state."""
+
+    name = "Counting"
+    provides = ("count",)
+
+    def __init__(self):
+        super().__init__()
+        self.total = 0
+
+    def produce(self, d):
+        self.total += 1
+        self.add_data(Datum("count", self.total, d.timestamp))
+        return d
+
+    def get_total(self):
+        return self.total
+
+    def reset(self):
+        self.total = 0
+
+
+class RequiresKind(ComponentFeature):
+    name = "Needy"
+    requires_kinds = ("special",)
+
+
+def make_graph(sink_accepts=("x",)):
+    graph = ProcessingGraph()
+    source = SourceComponent("s", ("x",))
+    middle = FunctionComponent("m", ("x",), ("x",), fn=lambda d: d)
+    sink = ApplicationSink("app", sink_accepts)
+    for c in (source, middle, sink):
+        graph.add(c)
+    graph.connect("s", "m")
+    graph.connect("m", "app")
+    return graph, source, middle, sink
+
+
+class TestAddedData:
+    def test_added_data_reaches_accepting_port(self):
+        _g, source, middle, sink = make_graph(sink_accepts=("x", "count"))
+        middle.attach_feature(CountingFeature())
+        source.inject(Datum("x", "a", 0.0))
+        source.inject(Datum("x", "b", 1.0))
+        kinds = [d.kind for d in sink.received]
+        assert kinds == ["count", "x", "count", "x"]
+        counts = [d.payload for d in sink.received if d.kind == "count"]
+        assert counts == [1, 2]
+
+    def test_added_data_dropped_by_non_accepting_port(self):
+        """Paper §2.1: generated data only propagates if the next
+        component explicitly declares that it accepts it."""
+        _g, source, middle, sink = make_graph(sink_accepts=("x",))
+        middle.attach_feature(CountingFeature())
+        source.inject(Datum("x", "a", 0.0))
+        assert [d.kind for d in sink.received] == ["x"]
+
+    def test_added_data_attributed_to_component_and_feature(self):
+        _g, source, middle, sink = make_graph(sink_accepts=("x", "count"))
+        middle.attach_feature(CountingFeature())
+        source.inject(Datum("x", "a", 0.0))
+        count = [d for d in sink.received if d.kind == "count"][0]
+        assert count.producer == "m#Counting"
+
+    def test_feature_extends_output_capabilities(self):
+        _g, _s, middle, _sink = make_graph()
+        assert not middle.output_port.can_produce("count")
+        middle.attach_feature(CountingFeature())
+        assert middle.output_port.can_produce("count")
+
+    def test_detach_removes_capability(self):
+        _g, _s, middle, _sink = make_graph()
+        middle.attach_feature(CountingFeature())
+        middle.detach_feature("Counting")
+        assert not middle.output_port.can_produce("count")
+
+    def test_add_data_outside_provides_rejected(self):
+        class Rogue(ComponentFeature):
+            name = "Rogue"
+            provides = ("count",)
+
+            def produce(self, d):
+                self.add_data(Datum("undeclared", 1, d.timestamp))
+                return d
+
+        _g, source, middle, _sink = make_graph()
+        middle.attach_feature(Rogue())
+        with pytest.raises(FeatureError):
+            source.inject(Datum("x", "a", 0.0))
+
+
+class TestAttachment:
+    def test_requires_kinds_checked_at_attach(self):
+        _g, _s, middle, _sink = make_graph()
+        with pytest.raises(FeatureError):
+            middle.attach_feature(RequiresKind())
+
+    def test_feature_cannot_attach_twice(self):
+        _g, _s, middle, _sink = make_graph()
+        feature = CountingFeature()
+        middle.attach_feature(feature)
+        other = FunctionComponent("m2", ("x",), ("x",), fn=lambda d: d)
+        with pytest.raises(FeatureError):
+            other.attach_feature(feature)
+
+    def test_unattached_feature_has_no_component(self):
+        feature = CountingFeature()
+        assert not feature.attached
+        with pytest.raises(FeatureError):
+            _ = feature.component
+
+    def test_lifecycle_hooks_called(self):
+        events = []
+
+        class Hooked(ComponentFeature):
+            name = "Hooked"
+
+            def on_attached(self):
+                events.append("attached")
+
+            def on_detached(self):
+                events.append("detached")
+
+        _g, _s, middle, _sink = make_graph()
+        middle.attach_feature(Hooked())
+        middle.detach_feature("Hooked")
+        assert events == ["attached", "detached"]
+
+
+class TestStateExposure:
+    def test_exposed_methods_listed(self):
+        feature = CountingFeature()
+        assert feature.exposed_methods() == ["get_total", "reset"]
+
+    def test_state_visible_through_component(self):
+        _g, source, middle, _sink = make_graph(sink_accepts=("x", "count"))
+        middle.attach_feature(CountingFeature())
+        source.inject(Datum("x", "a", 0.0))
+        feature = middle.get_feature("Counting")
+        assert feature.get_total() == 1
+        feature.reset()
+        assert feature.get_total() == 0
+
+    def test_feature_methods_in_component_method_list(self):
+        _g, _s, middle, _sink = make_graph()
+        middle.attach_feature(CountingFeature())
+        methods = middle.public_methods()
+        assert "Counting.get_total" in methods
+        assert "Counting.reset" in methods

@@ -1,0 +1,278 @@
+"""Tests for the processing graph: wiring, validation, routing."""
+
+import pytest
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    InputPort,
+    OutputPort,
+    ProcessingComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature
+from repro.core.graph import GraphError, GraphObserver, ProcessingGraph
+
+
+def passthrough(name, accepts=("x",), capabilities=("x",), **kwargs):
+    return FunctionComponent(
+        name, accepts, capabilities, fn=lambda d: d, **kwargs
+    )
+
+
+class TestMembership:
+    def test_duplicate_name_rejected(self):
+        graph = ProcessingGraph()
+        graph.add(passthrough("a"))
+        with pytest.raises(GraphError):
+            graph.add(passthrough("a"))
+
+    def test_unknown_component_lookup(self):
+        with pytest.raises(GraphError):
+            ProcessingGraph().component("ghost")
+
+    def test_contains(self):
+        graph = ProcessingGraph()
+        graph.add(passthrough("a"))
+        assert "a" in graph
+        assert "b" not in graph
+
+    def test_remove_detaches_delivery(self):
+        graph = ProcessingGraph()
+        a = SourceComponent("a", ("x",))
+        graph.add(a)
+        graph.remove("a")
+        # Producing after removal must not crash or deliver anywhere.
+        a.inject(Datum("x", 1, 0.0))
+        assert "a" not in graph
+
+
+class TestConnectValidation:
+    def test_connect_requires_kind_overlap(self):
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(passthrough("c", accepts=("y",)))
+        with pytest.raises(GraphError):
+            graph.connect("s", "c")
+
+    def test_connect_checks_required_features(self):
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(
+            passthrough("c", required_features=("SomeFeature",))
+        )
+        with pytest.raises(GraphError) as err:
+            graph.connect("s", "c")
+        assert "SomeFeature" in str(err.value)
+
+    def test_connect_succeeds_once_feature_attached(self):
+        class SomeFeature(ComponentFeature):
+            name = "SomeFeature"
+
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        graph.add(source)
+        graph.add(passthrough("c", required_features=("SomeFeature",)))
+        source.attach_feature(SomeFeature())
+        graph.connect("s", "c")
+
+    def test_self_loop_rejected(self):
+        graph = ProcessingGraph()
+        graph.add(passthrough("a"))
+        with pytest.raises(GraphError):
+            graph.connect("a", "a")
+
+    def test_cycle_rejected(self):
+        graph = ProcessingGraph()
+        for name in ("a", "b", "c"):
+            graph.add(passthrough(name))
+        graph.connect("a", "b")
+        graph.connect("b", "c")
+        with pytest.raises(GraphError):
+            graph.connect("c", "a")
+
+    def test_duplicate_connection_rejected(self):
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(passthrough("c"))
+        graph.connect("s", "c")
+        with pytest.raises(GraphError):
+            graph.connect("s", "c")
+
+    def test_port_autoselection(self):
+        class TwoPort(ProcessingComponent):
+            def __init__(self):
+                super().__init__(
+                    "two",
+                    inputs=(
+                        InputPort("first", ("y",)),
+                        InputPort("second", ("x",)),
+                    ),
+                    output=OutputPort(()),
+                )
+
+            def process(self, port_name, datum):
+                pass
+
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(TwoPort())
+        connection = graph.connect("s", "two")
+        assert connection.port == "second"
+
+    def test_disconnect_unknown_edge(self):
+        graph = ProcessingGraph()
+        graph.add(passthrough("a"))
+        graph.add(passthrough("b"))
+        with pytest.raises(GraphError):
+            graph.disconnect("a", "b")
+
+
+class TestRoutingAndManipulation:
+    def build_chain(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        mid = passthrough("m")
+        sink = ApplicationSink("app", ("x",))
+        for c in (source, mid, sink):
+            graph.add(c)
+        graph.connect("s", "m")
+        graph.connect("m", "app")
+        return graph, source, sink
+
+    def test_delivery_along_chain(self):
+        _graph, source, sink = self.build_chain()
+        source.inject(Datum("x", 7, 0.0))
+        assert sink.last().payload == 7
+
+    def test_fanout_delivers_to_all_consumers(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink_a = ApplicationSink("a", ("x",))
+        sink_b = ApplicationSink("b", ("x",))
+        for c in (source, sink_a, sink_b):
+            graph.add(c)
+        graph.connect("s", "a")
+        graph.connect("s", "b")
+        source.inject(Datum("x", 1, 0.0))
+        assert sink_a.last().payload == 1
+        assert sink_b.last().payload == 1
+
+    def test_kind_filtering_at_port(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x", "y"))
+        sink = ApplicationSink("app", ("x",))
+        graph.add(source)
+        graph.add(sink)
+        graph.connect("s", "app")
+        source.inject(Datum("y", "dropped", 0.0))
+        source.inject(Datum("x", "kept", 0.0))
+        assert [d.payload for d in sink.received] == ["kept"]
+
+    def test_insert_between(self):
+        graph, source, sink = self.build_chain()
+        stamp = FunctionComponent(
+            "stamp", ("x",), ("x",),
+            fn=lambda d: d.with_payload(f"[{d.payload}]"),
+        )
+        graph.insert_between("m", "app", stamp)
+        source.inject(Datum("x", "v", 0.0))
+        assert sink.last().payload == "[v]"
+        assert graph.downstream("m") == ["stamp"]
+
+    def test_insert_between_requires_existing_edge(self):
+        graph, _source, _sink = self.build_chain()
+        with pytest.raises(GraphError):
+            graph.insert_between("s", "app", passthrough("new"))
+
+    def test_remove_with_reconnect_keeps_flow(self):
+        graph, source, sink = self.build_chain()
+        graph.remove("m", reconnect=True)
+        source.inject(Datum("x", 3, 0.0))
+        assert sink.last().payload == 3
+
+    def test_remove_without_reconnect_breaks_flow(self):
+        graph, source, sink = self.build_chain()
+        graph.remove("m", reconnect=False)
+        source.inject(Datum("x", 3, 0.0))
+        assert sink.received == []
+
+
+class TestTraversal:
+    def diamond(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        left = passthrough("l")
+        right = passthrough("r")
+        merge = ApplicationSink("m", ("x",))
+        for c in (source, left, right, merge):
+            graph.add(c)
+        graph.connect("s", "l")
+        graph.connect("s", "r")
+        graph.connect("l", "m")
+        graph.connect("r", "m")
+        return graph
+
+    def test_upstream_downstream(self):
+        graph = self.diamond()
+        assert sorted(graph.downstream("s")) == ["l", "r"]
+        assert sorted(graph.upstream("m")) == ["l", "r"]
+
+    def test_ancestors_descendants(self):
+        graph = self.diamond()
+        assert graph.ancestors("m") == {"s", "l", "r"}
+        assert graph.descendants("s") == {"l", "r", "m"}
+
+    def test_sources_and_sinks(self):
+        graph = self.diamond()
+        assert [c.name for c in graph.sources()] == ["s"]
+        assert [c.name for c in graph.sinks()] == ["m"]
+
+    def test_merge_points(self):
+        graph = self.diamond()
+        assert [c.name for c in graph.merge_points()] == ["m"]
+
+    def test_render_tree(self):
+        graph = self.diamond()
+        text = graph.render_tree()
+        assert text.splitlines()[0] == "m"
+        assert "    s" in text
+
+
+class TestObservers:
+    def test_data_events_delivered(self):
+        events = []
+
+        class Recorder(GraphObserver):
+            def data_consumed(self, component, port, datum):
+                events.append(("consume", component.name, datum.payload))
+
+            def data_produced(self, component, datum):
+                events.append(("produce", component.name, datum.payload))
+
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",))
+        graph.add(source)
+        graph.add(sink)
+        graph.connect("s", "app")
+        graph.add_observer(Recorder())
+        source.inject(Datum("x", 9, 0.0))
+        assert ("produce", "s", 9) in events
+        assert ("consume", "app", 9) in events
+
+    def test_topology_events_and_unsubscribe(self):
+        count = [0]
+
+        class Topo(GraphObserver):
+            def topology_changed(self, graph):
+                count[0] += 1
+
+        graph = ProcessingGraph()
+        remove = graph.add_observer(Topo())
+        graph.add(passthrough("a"))
+        assert count[0] == 1
+        remove()
+        graph.add(passthrough("b"))
+        assert count[0] == 1

@@ -1,0 +1,154 @@
+"""Tests for the Process Channel Layer: derivation and maintenance."""
+
+import pytest
+
+from repro.core.channel import ChannelFeature
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.core.pcl import ProcessChannelLayer
+
+
+def passthrough(name):
+    return FunctionComponent(name, ("x",), ("x",), fn=lambda d: d)
+
+
+def build_fig2_like_graph():
+    """Two sources -> per-source chains -> merge -> app (Fig. 2 shape)."""
+    graph = ProcessingGraph()
+    gps = SourceComponent("gps", ("x",))
+    wifi = SourceComponent("wifi", ("x",))
+    parser = passthrough("parser")
+    interpreter = passthrough("interpreter")
+    merge = passthrough("filter")  # will have two upstreams
+    app = ApplicationSink("app", ("x",))
+    for c in (gps, wifi, parser, interpreter, merge, app):
+        graph.add(c)
+    graph.connect("gps", "parser")
+    graph.connect("parser", "interpreter")
+    graph.connect("interpreter", "filter")
+    graph.connect("wifi", "filter")
+    graph.connect("filter", "app")
+    return graph
+
+
+class Recorder(ChannelFeature):
+    name = "Recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def apply(self, tree):
+        self.count += 1
+
+
+class TestDerivation:
+    def test_channels_of_fig2_graph(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        ids = [c.id for c in pcl.channels()]
+        assert ids == ["filter->app", "gps->filter", "wifi->filter"]
+
+    def test_channel_members(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        gps_channel = pcl.channel("gps->filter")
+        assert [m.name for m in gps_channel.members] == [
+            "gps",
+            "parser",
+            "interpreter",
+        ]
+        assert gps_channel.endpoint == "filter"
+
+    def test_merge_channel_single_member(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        merged = pcl.channel("filter->app")
+        assert [m.name for m in merged.members] == ["filter"]
+
+    def test_channels_into(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        into_filter = pcl.channels_into("filter")
+        assert [c.id for c in into_filter] == ["gps->filter", "wifi->filter"]
+
+    def test_channel_delivering(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        channel = pcl.channel_delivering("filter", "interpreter")
+        assert channel is not None and channel.id == "gps->filter"
+        assert pcl.channel_delivering("filter", "parser") is None
+
+    def test_unknown_channel(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        with pytest.raises(GraphError):
+            pcl.channel("ghost->app")
+
+    def test_describe_and_render(self):
+        pcl = ProcessChannelLayer(build_fig2_like_graph())
+        descriptions = pcl.describe()
+        assert len(descriptions) == 3
+        text = pcl.render()
+        assert "gps -> parser -> interpreter ==> filter" in text
+
+
+class TestTopologyMaintenance:
+    def test_new_component_updates_channels(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        stage = passthrough("extra")
+        graph.insert_between("parser", "interpreter", stage)
+        gps_channel = pcl.channel("gps->filter")
+        assert [m.name for m in gps_channel.members] == [
+            "gps",
+            "parser",
+            "extra",
+            "interpreter",
+        ]
+
+    def test_unchanged_channels_preserve_features(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        feature = Recorder()
+        pcl.attach_feature("wifi->filter", feature)
+        # Modify the *other* strand; the wifi channel object must survive.
+        graph.insert_between("parser", "interpreter", passthrough("extra"))
+        assert pcl.channel("wifi->filter").get_feature("Recorder") is feature
+
+    def test_changed_channel_is_replaced(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        feature = Recorder()
+        pcl.attach_feature("gps->filter", feature)
+        graph.insert_between("parser", "interpreter", passthrough("extra"))
+        # The gps channel was rebuilt; the feature is gone with the old one.
+        assert pcl.channel("gps->filter").get_feature("Recorder") is None
+
+    def test_removed_strand_drops_channel(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        graph.disconnect("wifi", "filter")
+        graph.remove("wifi")
+        ids = [c.id for c in pcl.channels()]
+        assert "wifi->filter" not in ids
+
+    def test_close_stops_updates(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        pcl.close()
+        assert pcl.channels() == []
+
+
+class TestDataFlowThroughChannels:
+    def test_feature_sees_only_its_strand(self):
+        graph = build_fig2_like_graph()
+        pcl = ProcessChannelLayer(graph)
+        gps_recorder = Recorder()
+        wifi_recorder = Recorder()
+        pcl.attach_feature("gps->filter", gps_recorder)
+        pcl.attach_feature("wifi->filter", wifi_recorder)
+        graph.component("gps").inject(Datum("x", 1, 0.0))
+        graph.component("gps").inject(Datum("x", 2, 1.0))
+        graph.component("wifi").inject(Datum("x", 3, 2.0))
+        assert gps_recorder.count == 2
+        assert wifi_recorder.count == 1

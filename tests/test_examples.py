@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are public API documentation; a refactor that breaks one must
+fail the suite.  Each main() runs in-process with stdout captured, and a
+couple of headline output lines are sanity-checked.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "final position:" in out
+    assert "fixes delivered:" in out
+    assert "quickstart-app" in out
+
+
+def test_room_number_app(capsys):
+    out = run_example("room_number_app", capsys)
+    assert "final room: N2" in out
+    assert "[Process Channel Layer]" in out
+    assert "now in: CORR" in out
+
+
+def test_particle_filter_tracking(capsys):
+    out = run_example("particle_filter_tracking", capsys)
+    assert "Fig. 6 reproduction" in out
+    assert "particle filter" in out
+    assert "legend:" in out
+
+
+def test_entracked_power(capsys):
+    out = run_example("entracked_power", capsys)
+    assert "periodic baseline" in out
+    assert "energy saving" in out
+    assert "EnTracked, error threshold 50 m:" in out
+
+
+def test_seamful_inspection(capsys):
+    out = run_example("seamful_inspection", capsys)
+    assert "STRUCTURAL REFLECTION" in out
+    assert "satellite-filter" in out
+    assert "data tree behind delivered position" in out
+
+
+def test_transport_mode(capsys):
+    out = run_example("transport_mode", capsys)
+    assert "mode timeline" in out
+    assert "accuracy:" in out
+    assert "POSITIONING INFRASTRUCTURE" in out

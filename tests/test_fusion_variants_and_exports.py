@@ -1,0 +1,172 @@
+"""Variance-weighted fusion, configuration export, GeoJSON export."""
+
+import math
+
+import pytest
+
+from repro.core import Kind, PerPos
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.config import (
+    DEFAULT_TYPE_NAMES,
+    load_configuration,
+    save_configuration,
+)
+from repro.core.data import Datum
+from repro.core.graph import ProcessingGraph
+from repro.core.history import TrackHistoryService
+from repro.geo.wgs84 import Wgs84Position
+from repro.processing.fusion import VarianceWeightedFusionComponent
+
+HOME = Wgs84Position(56.17, 10.19)
+
+
+class TestVarianceWeightedFusion:
+    def wire(self):
+        fusion = VarianceWeightedFusionComponent()
+        graph = ProcessingGraph()
+        a = SourceComponent("a", (Kind.POSITION_WGS84,))
+        b = SourceComponent("b", (Kind.POSITION_WGS84,))
+        sink = ApplicationSink("app", (Kind.POSITION_WGS84,))
+        for c in (a, b, fusion, sink):
+            graph.add(c)
+        graph.connect("a", fusion.name)
+        graph.connect("b", fusion.name)
+        graph.connect(fusion.name, "app")
+        return a, b, sink
+
+    def position(self, lat, accuracy, t):
+        return Wgs84Position(lat, 10.19, accuracy_m=accuracy, timestamp=t)
+
+    def test_equal_accuracy_yields_midpoint(self):
+        a, b, sink = self.wire()
+        a.inject(Datum(Kind.POSITION_WGS84, self.position(56.0, 5.0, 0.0), 0.0))
+        b.inject(Datum(Kind.POSITION_WGS84, self.position(56.2, 5.0, 0.5), 0.5))
+        fused = sink.last().payload
+        assert fused.latitude_deg == pytest.approx(56.1)
+
+    def test_better_accuracy_dominates(self):
+        a, b, sink = self.wire()
+        a.inject(Datum(Kind.POSITION_WGS84, self.position(56.0, 1.0, 0.0), 0.0))
+        b.inject(Datum(Kind.POSITION_WGS84, self.position(56.2, 10.0, 0.5), 0.5))
+        fused = sink.last().payload
+        assert abs(fused.latitude_deg - 56.0) < 0.01
+
+    def test_combined_accuracy_improves(self):
+        a, b, sink = self.wire()
+        a.inject(Datum(Kind.POSITION_WGS84, self.position(56.0, 4.0, 0.0), 0.0))
+        b.inject(Datum(Kind.POSITION_WGS84, self.position(56.0, 4.0, 0.5), 0.5))
+        fused = sink.last().payload
+        assert fused.accuracy_m == pytest.approx(4.0 / math.sqrt(2.0))
+
+    def test_stale_sources_excluded(self):
+        a, b, sink = self.wire()
+        a.inject(Datum(Kind.POSITION_WGS84, self.position(56.0, 5.0, 0.0), 0.0))
+        b.inject(
+            Datum(Kind.POSITION_WGS84, self.position(56.2, 5.0, 100.0), 100.0)
+        )
+        fused = sink.last().payload
+        assert fused.latitude_deg == pytest.approx(56.2)
+        assert sink.last().attributes["contributors"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VarianceWeightedFusionComponent(freshness_window_s=0.0)
+
+
+class TestConfigurationExport:
+    def configured_middleware(self):
+        middleware = PerPos()
+        config = {
+            "components": [
+                {"type": "nmea-parser", "name": "parser"},
+                {"type": "nmea-interpreter", "name": "interpreter"},
+                {"type": "satellite-filter", "name": "filt"},
+            ],
+            "features": [
+                {"component": "parser", "type": "number-of-satellites"},
+                {"component": "parser", "type": "hdop"},
+            ],
+            "connections": [
+                {"from": "parser", "to": "filt"},
+                {"from": "filt", "to": "interpreter"},
+            ],
+            "providers": [
+                {
+                    "name": "app",
+                    "accepts": [Kind.POSITION_WGS84],
+                    "technologies": ["gps"],
+                    "connect_from": ["interpreter"],
+                }
+            ],
+        }
+        load_configuration(middleware, config)
+        return middleware
+
+    def test_export_structure(self):
+        middleware = self.configured_middleware()
+        exported = save_configuration(middleware)
+        component_names = {c["name"] for c in exported["components"]}
+        assert component_names == {"parser", "interpreter", "filt"}
+        feature_types = {f["type"] for f in exported["features"]}
+        assert feature_types == {"number-of-satellites", "hdop"}
+        assert exported["providers"][0]["connect_from"] == ["interpreter"]
+
+    def test_roundtrip_reproduces_topology(self):
+        original = self.configured_middleware()
+        exported = save_configuration(original)
+        clone = PerPos()
+        load_configuration(clone, exported)
+        assert set(clone.psl.components()) == set(
+            original.psl.components()
+        )
+        original_edges = {
+            (c.producer, c.consumer) for c in original.graph.connections()
+        }
+        clone_edges = {
+            (c.producer, c.consumer) for c in clone.graph.connections()
+        }
+        assert clone_edges == original_edges
+        assert clone.graph.component("parser").has_feature("HDOP")
+
+    def test_unknown_component_classes_skipped(self):
+        middleware = PerPos()
+        middleware.graph.add(SourceComponent("custom", ("x",)))
+        exported = save_configuration(middleware)
+        assert exported["components"] == []
+
+    def test_default_type_names_cover_registry(self):
+        from repro.core.config import default_registry
+
+        registry = default_registry()
+        assert set(DEFAULT_TYPE_NAMES.values()) == set(
+            registry.component_types()
+        ) | set(registry.feature_types())
+
+
+class TestGeoJsonExport:
+    def test_linestring_structure(self):
+        service = TrackHistoryService()
+        here = HOME
+        for i in range(4):
+            service.append("walk", float(i), here)
+            here = here.moved(90.0, 10.0)
+        feature = service.export_geojson("walk")
+        assert feature["type"] == "Feature"
+        geometry = feature["geometry"]
+        assert geometry["type"] == "LineString"
+        assert len(geometry["coordinates"]) == 4
+        lon, lat = geometry["coordinates"][0]
+        assert lat == pytest.approx(HOME.latitude_deg)
+        assert lon == pytest.approx(HOME.longitude_deg)
+        assert feature["properties"]["timestamps"] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_geojson_serialisable(self):
+        import json
+
+        service = TrackHistoryService()
+        service.append("t", 0.0, HOME)
+        json.dumps(service.export_geojson("t"))
+
+    def test_unknown_track(self):
+        with pytest.raises(KeyError):
+            TrackHistoryService().export_geojson("ghost")

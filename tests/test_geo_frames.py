@@ -1,0 +1,143 @@
+"""Tests for ECEF, ENU and building-grid conversions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.ellipsoid import EcefPosition, WGS84_ELLIPSOID
+from repro.geo.enu import EnuFrame, EnuPosition
+from repro.geo.grid import GridPosition, LocalGrid
+from repro.geo.wgs84 import Wgs84Position
+
+ORIGIN = Wgs84Position(56.1718, 10.1903)
+
+
+class TestEcef:
+    def test_equator_prime_meridian(self):
+        ecef = EcefPosition.from_geodetic(Wgs84Position(0.0, 0.0, 0.0))
+        assert ecef.x_m == pytest.approx(WGS84_ELLIPSOID.semi_major_m)
+        assert ecef.y_m == pytest.approx(0.0, abs=1e-6)
+        assert ecef.z_m == pytest.approx(0.0, abs=1e-6)
+
+    def test_north_pole_on_minor_axis(self):
+        ecef = EcefPosition.from_geodetic(Wgs84Position(90.0, 0.0, 0.0))
+        assert ecef.z_m == pytest.approx(
+            WGS84_ELLIPSOID.semi_minor_m, rel=1e-9
+        )
+        assert math.hypot(ecef.x_m, ecef.y_m) < 1e-6
+
+    def test_polar_axis_inverse(self):
+        pos = EcefPosition(0.0, 0.0, WGS84_ELLIPSOID.semi_minor_m + 100.0)
+        geo = pos.to_geodetic()
+        assert geo.latitude_deg == pytest.approx(90.0)
+        assert geo.altitude_m == pytest.approx(100.0, abs=1e-6)
+
+    @given(
+        st.floats(min_value=-89.0, max_value=89.0),
+        st.floats(min_value=-179.0, max_value=179.0),
+        st.floats(min_value=-100.0, max_value=9000.0),
+    )
+    def test_geodetic_roundtrip(self, lat, lon, alt):
+        original = Wgs84Position(lat, lon, alt)
+        back = EcefPosition.from_geodetic(original).to_geodetic()
+        assert back.latitude_deg == pytest.approx(lat, abs=1e-9)
+        assert back.longitude_deg == pytest.approx(lon, abs=1e-9)
+        assert back.altitude_m == pytest.approx(alt, abs=1e-6)
+
+    def test_chord_distance(self):
+        a = EcefPosition(0.0, 0.0, 0.0)
+        b = EcefPosition(3.0, 4.0, 0.0)
+        assert a.distance_to(b) == 5.0
+
+
+class TestEnuFrame:
+    def test_origin_maps_to_zero(self):
+        frame = EnuFrame(ORIGIN)
+        enu = frame.to_enu(ORIGIN)
+        assert abs(enu.east_m) < 1e-9
+        assert abs(enu.north_m) < 1e-9
+        assert abs(enu.up_m) < 1e-9
+
+    def test_point_north_has_positive_north(self):
+        # `moved` uses the spherical Earth, the frame the ellipsoid, so
+        # agreement is only to ~0.3% at this latitude.
+        frame = EnuFrame(ORIGIN)
+        north = ORIGIN.moved(bearing_deg=0.0, distance_m=100.0)
+        enu = frame.to_enu(north)
+        assert enu.north_m == pytest.approx(100.0, rel=5e-3)
+        assert abs(enu.east_m) < 0.5
+
+    def test_point_east_has_positive_east(self):
+        frame = EnuFrame(ORIGIN)
+        east = ORIGIN.moved(bearing_deg=90.0, distance_m=50.0)
+        enu = frame.to_enu(east)
+        assert enu.east_m == pytest.approx(50.0, rel=5e-3)
+        assert abs(enu.north_m) < 0.5
+
+    def test_altitude_maps_to_up(self):
+        frame = EnuFrame(ORIGIN)
+        above = Wgs84Position(
+            ORIGIN.latitude_deg, ORIGIN.longitude_deg, 30.0
+        )
+        assert frame.to_enu(above).up_m == pytest.approx(30.0, abs=1e-6)
+
+    @given(
+        st.floats(min_value=-500.0, max_value=500.0),
+        st.floats(min_value=-500.0, max_value=500.0),
+        st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def test_enu_roundtrip(self, east, north, up):
+        frame = EnuFrame(ORIGIN)
+        geo = frame.to_wgs84(EnuPosition(east, north, up))
+        back = frame.to_enu(geo)
+        assert back.east_m == pytest.approx(east, abs=1e-6)
+        assert back.north_m == pytest.approx(north, abs=1e-6)
+        assert back.up_m == pytest.approx(up, abs=1e-6)
+
+    def test_enu_distance_helpers(self):
+        a = EnuPosition(0.0, 0.0, 0.0)
+        b = EnuPosition(3.0, 4.0, 12.0)
+        assert a.horizontal_distance_to(b) == 5.0
+        assert a.distance_to(b) == 13.0
+
+
+class TestLocalGrid:
+    def test_unrotated_grid_matches_enu(self):
+        grid = LocalGrid(ORIGIN, rotation_deg=0.0)
+        north = ORIGIN.moved(0.0, 20.0)
+        pos = grid.to_grid(north)
+        assert pos.y_m == pytest.approx(20.0, rel=5e-3)
+        assert abs(pos.x_m) < 0.2
+
+    def test_rotation_rotates_axes(self):
+        # With a 90 degree rotation, north maps onto the grid x axis.
+        grid = LocalGrid(ORIGIN, rotation_deg=90.0)
+        north = ORIGIN.moved(0.0, 20.0)
+        pos = grid.to_grid(north)
+        assert pos.x_m == pytest.approx(-20.0, abs=0.2)
+        assert abs(pos.y_m) < 0.2
+
+    @given(
+        st.floats(min_value=-200.0, max_value=200.0),
+        st.floats(min_value=-200.0, max_value=200.0),
+        st.integers(min_value=-2, max_value=5),
+        st.floats(min_value=0.0, max_value=359.0),
+    )
+    def test_grid_roundtrip_any_rotation(self, x, y, floor, rotation):
+        grid = LocalGrid(ORIGIN, rotation_deg=rotation)
+        back = grid.to_grid(grid.to_wgs84(GridPosition(x, y, floor)))
+        assert back.x_m == pytest.approx(x, abs=1e-5)
+        assert back.y_m == pytest.approx(y, abs=1e-5)
+        assert back.floor == floor
+
+    def test_floor_from_altitude(self):
+        grid = LocalGrid(ORIGIN, floor_height_m=3.0)
+        second_floor = Wgs84Position(
+            ORIGIN.latitude_deg, ORIGIN.longitude_deg, 6.1
+        )
+        assert grid.to_grid(second_floor).floor == 2
+
+    def test_rejects_nonpositive_floor_height(self):
+        with pytest.raises(ValueError):
+            LocalGrid(ORIGIN, floor_height_m=0.0)

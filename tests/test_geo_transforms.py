@@ -1,0 +1,83 @@
+"""Tests for the reference-system transform registry."""
+
+import pytest
+
+from repro.geo.transforms import ReferenceSystem, TransformError, TransformRegistry
+
+WGS84 = ReferenceSystem("wgs84", "geodetic")
+ENU = ReferenceSystem("enu", "local")
+GRID = ReferenceSystem("grid", "local")
+ROOM = ReferenceSystem("room", "symbolic")
+
+
+def registry_chain():
+    """wgs84 <-> enu <-> grid -> room (room has no inverse)."""
+    reg = TransformRegistry()
+    reg.register(WGS84, ENU, lambda v: ("enu", v), lambda v: v[1])
+    reg.register(ENU, GRID, lambda v: ("grid", v), lambda v: v[1])
+    reg.register(GRID, ROOM, lambda v: ("room", v))
+    return reg
+
+
+def test_identity_path():
+    reg = registry_chain()
+    assert reg.path("wgs84", "wgs84") == ["wgs84"]
+    assert reg.convert(42, "wgs84", "wgs84") == 42
+
+
+def test_direct_conversion():
+    reg = registry_chain()
+    assert reg.convert("x", "wgs84", "enu") == ("enu", "x")
+
+
+def test_composed_conversion_via_path():
+    reg = registry_chain()
+    assert reg.path("wgs84", "room") == ["wgs84", "enu", "grid", "room"]
+    assert reg.convert("x", "wgs84", "room") == (
+        "room",
+        ("grid", ("enu", "x")),
+    )
+
+
+def test_inverse_edges_registered():
+    reg = registry_chain()
+    assert reg.convert(("grid", ("enu", "x")), "grid", "wgs84") == "x"
+
+
+def test_one_way_edge_has_no_inverse():
+    reg = registry_chain()
+    with pytest.raises(TransformError):
+        reg.path("room", "grid")
+
+
+def test_unknown_system_raises():
+    reg = registry_chain()
+    with pytest.raises(TransformError):
+        reg.convert(1, "wgs84", "mars")
+
+
+def test_shortest_path_preferred():
+    reg = registry_chain()
+    # Add a direct shortcut; the path should now use it.
+    reg.register(WGS84, ROOM, lambda v: ("direct-room", v))
+    assert reg.path("wgs84", "room") == ["wgs84", "room"]
+    assert reg.convert("x", "wgs84", "room") == ("direct-room", "x")
+
+
+def test_converter_is_reusable():
+    reg = registry_chain()
+    convert = reg.converter("wgs84", "grid")
+    assert convert("a") == ("grid", ("enu", "a"))
+    assert convert("b") == ("grid", ("enu", "b"))
+
+
+def test_systems_listing():
+    reg = registry_chain()
+    assert reg.systems() == ["enu", "grid", "room", "wgs84"]
+
+
+def test_reference_system_equality_by_name():
+    assert ReferenceSystem("wgs84", "geodetic") == ReferenceSystem(
+        "wgs84", "geodetic"
+    )
+    assert str(WGS84) == "wgs84"

@@ -1,0 +1,95 @@
+"""Tests for the plane-geometry helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.geometry import (
+    bounding_box,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+    segments_intersect,
+)
+
+SQUARE = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+L_SHAPE = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)]
+
+
+class TestPointInPolygon:
+    def test_interior_point(self):
+        assert point_in_polygon(5.0, 5.0, SQUARE)
+
+    def test_exterior_point(self):
+        assert not point_in_polygon(15.0, 5.0, SQUARE)
+        assert not point_in_polygon(-1.0, 5.0, SQUARE)
+
+    def test_boundary_counts_as_inside(self):
+        assert point_in_polygon(0.0, 5.0, SQUARE)
+        assert point_in_polygon(10.0, 10.0, SQUARE)
+
+    def test_concave_polygon(self):
+        assert point_in_polygon(1.0, 3.0, L_SHAPE)
+        assert not point_in_polygon(3.0, 3.0, L_SHAPE)
+
+    def test_degenerate_polygon(self):
+        assert not point_in_polygon(0.0, 0.0, [(0, 0), (1, 1)])
+
+    @given(
+        st.floats(min_value=0.1, max_value=9.9),
+        st.floats(min_value=0.1, max_value=9.9),
+    )
+    def test_square_interior_property(self, x, y):
+        assert point_in_polygon(x, y, SQUARE)
+
+    @given(st.floats(min_value=10.01, max_value=100.0),
+           st.floats(min_value=-100.0, max_value=100.0))
+    def test_square_exterior_property(self, x, y):
+        assert not point_in_polygon(x, y, SQUARE)
+
+
+class TestSegmentsIntersect:
+    def test_crossing_segments(self):
+        assert segments_intersect((0, 0), (10, 10), (0, 10), (10, 0))
+
+    def test_parallel_segments(self):
+        assert not segments_intersect((0, 0), (10, 0), (0, 1), (10, 1))
+
+    def test_touching_at_endpoint(self):
+        assert segments_intersect((0, 0), (5, 5), (5, 5), (10, 0))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (10, 0), (5, 0), (15, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (10, 0), (5, -5), (5, 0))
+
+    def test_near_miss(self):
+        assert not segments_intersect((0, 0), (10, 0), (5, 0.01), (5, 5))
+
+
+class TestAreaAndCentroid:
+    def test_square_area(self):
+        assert polygon_area(SQUARE) == pytest.approx(100.0)
+
+    def test_winding_sign(self):
+        assert polygon_area(list(reversed(SQUARE))) == pytest.approx(-100.0)
+
+    def test_l_shape_area(self):
+        assert abs(polygon_area(L_SHAPE)) == pytest.approx(12.0)
+
+    def test_square_centroid(self):
+        assert polygon_centroid(SQUARE) == pytest.approx((5.0, 5.0))
+
+    def test_centroid_inside_convex_polygon(self):
+        cx, cy = polygon_centroid(SQUARE)
+        assert point_in_polygon(cx, cy, SQUARE)
+
+    def test_degenerate_centroid_falls_back_to_mean(self):
+        cx, cy = polygon_centroid([(0, 0), (2, 0), (4, 0)])
+        assert (cx, cy) == pytest.approx((2.0, 0.0))
+
+    def test_bounding_box(self):
+        assert bounding_box(L_SHAPE) == (0, 0, 4, 4)

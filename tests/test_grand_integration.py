@@ -1,0 +1,174 @@
+"""Capstone integration: every subsystem composing in one scenario.
+
+One middleware instance runs GPS + WiFi + BLE through their pipelines
+into a particle filter, with the §3.1/§3.2 adaptations attached, the
+resolver and a mode-detection chain downstream, the track-history and
+report services watching, and criteria-based provider selection on top.
+If the paper's architecture holds, all of this composes without any
+component knowing about the others.
+"""
+
+import pytest
+
+from repro.core import Criteria, Kind, PerPos, PositioningError
+from repro.core.history import TrackHistoryService
+from repro.core.report import render_report
+from repro.geo.grid import GridPosition
+from repro.model.demo import (
+    demo_beacons,
+    demo_building,
+    demo_radio_environment,
+)
+from repro.processing.beacon_positioning import BeaconPositioningComponent
+from repro.processing.gps_features import HdopFeature, NumberOfSatellitesFeature
+from repro.processing.filters import SatelliteFilterComponent
+from repro.processing.pipelines import build_gps_pipeline, build_wifi_pipeline
+from repro.processing.resolver import RoomResolverComponent
+from repro.sensors.ble import BleScanner
+from repro.sensors.gps import GpsReceiver, INDOOR, OPEN_SKY
+from repro.sensors.trajectory import Waypoint, WaypointTrajectory
+from repro.sensors.wifi import WifiScanner
+from repro.tracking.likelihood import LikelihoodFeature
+from repro.tracking.particle_filter import ParticleFilterComponent
+
+
+@pytest.fixture(scope="module")
+def system():
+    building = demo_building()
+    grid = building.grid
+    trajectory = WaypointTrajectory(
+        [
+            Waypoint(0.0, grid.to_wgs84(GridPosition(-30.0, 7.5))),
+            Waypoint(30.0, grid.to_wgs84(GridPosition(-2.0, 7.5))),
+            Waypoint(55.0, grid.to_wgs84(GridPosition(15.0, 7.5))),
+            Waypoint(75.0, grid.to_wgs84(GridPosition(15.0, 12.0))),
+            Waypoint(150.0, grid.to_wgs84(GridPosition(15.0, 12.0))),
+        ]
+    )
+
+    def sky(t, position):
+        inside = building.contains(grid.to_grid(position))
+        return INDOOR if inside else OPEN_SKY
+
+    middleware = PerPos()
+    gps = GpsReceiver("gps-dev", trajectory, sky, seed=31)
+    wifi = WifiScanner(
+        "wifi-dev", trajectory, demo_radio_environment(building), grid,
+        seed=32,
+    )
+    ble = BleScanner(
+        "ble-dev", trajectory, demo_beacons(), grid, seed=33,
+        wall_counter=building.walls_between,
+    )
+
+    gps_pipe = build_gps_pipeline(middleware, gps, prefix="gps-dev")
+    wifi_pipe = build_wifi_pipeline(middleware, wifi, building, prefix="wifi-dev")
+    middleware.attach_sensor(ble, (Kind.BEACON_SCAN,))
+    ble_engine = BeaconPositioningComponent(demo_beacons(), grid)
+    middleware.graph.add(ble_engine)
+    middleware.graph.connect("ble-dev", ble_engine.name)
+
+    # §3.1: satellite filtering on the GPS strand.
+    parser = middleware.graph.component(gps_pipe.parser)
+    parser.attach_feature(NumberOfSatellitesFeature())
+    parser.attach_feature(HdopFeature())
+    middleware.psl.insert_between(
+        gps_pipe.parser,
+        gps_pipe.interpreter,
+        SatelliteFilterComponent(min_satellites=5),
+    )
+
+    # §3.2: particle filter as the fusion node, likelihood-driven.
+    pf = ParticleFilterComponent(
+        building, pcl=middleware.pcl, num_particles=400, seed=34
+    )
+    middleware.graph.add(pf)
+    middleware.graph.connect(gps_pipe.interpreter, pf.name)
+    middleware.graph.connect(wifi_pipe.engine, pf.name)
+    middleware.graph.connect(ble_engine.name, pf.name)
+    gps_channel = middleware.pcl.channel_delivering(
+        pf.name, gps_pipe.interpreter
+    )
+    gps_channel.attach_feature(LikelihoodFeature())
+
+    resolver = RoomResolverComponent(building, name="resolver")
+    middleware.graph.add(resolver)
+    middleware.graph.connect(pf.name, resolver.name)
+
+    provider = middleware.create_provider(
+        "grand-app",
+        accepts=(Kind.POSITION_WGS84, Kind.ROOM_ID),
+        technologies=("gps", "wifi", "ble"),
+    )
+    middleware.graph.connect(pf.name, provider.sink.name)
+    middleware.graph.connect(resolver.name, provider.sink.name)
+
+    history = TrackHistoryService()
+    history.follow_provider(provider)
+
+    middleware.run_until(150.0)
+    return building, trajectory, middleware, provider, history, pf
+
+
+class TestGrandIntegration:
+    def test_final_room_and_error(self, system):
+        building, trajectory, _mw, provider, _history, _pf = system
+        assert provider.last_known(Kind.ROOM_ID).payload.room_id == "N2"
+        truth = trajectory.position_at(150.0)
+        assert truth.distance_to(provider.last_position()) < 8.0
+
+    def test_all_three_technologies_contributed(self, system):
+        _b, _t, middleware, _provider, _history, pf = system
+        channel_ids = {c.id for c in middleware.pcl.channels()}
+        assert {"gps-dev->particle-filter", "wifi-dev->particle-filter",
+                "ble-dev->particle-filter"} <= channel_ids
+        assert pf.updates > 50
+
+    def test_adaptations_visible_from_top_layer(self, system):
+        _b, _t, _mw, provider, _history, _pf = system
+        features = provider.available_features()
+        assert "Likelihood" in features
+        assert "NumberOfSatellites" in features
+        assert "HDOP" in features
+
+    def test_criteria_selection_with_accuracy(self, system):
+        _b, _t, middleware, provider, _history, _pf = system
+        chosen = middleware.get_provider(
+            Criteria(technology="ble", horizontal_accuracy_m=50.0)
+        )
+        assert chosen is provider
+        with pytest.raises(PositioningError):
+            middleware.get_provider(
+                Criteria(horizontal_accuracy_m=0.001)
+            )
+
+    def test_history_service_tracked_the_walk(self, system):
+        _b, _t, _mw, _provider, history, _pf = system
+        assert history.size("grand-app") > 100
+        distance = history.distance_travelled("grand-app")
+        # The walk covers ~50 m of ground truth; estimates jitter more.
+        assert 30.0 < distance < 400.0
+        geojson = history.export_geojson("grand-app")
+        assert len(geojson["geometry"]["coordinates"]) == history.size(
+            "grand-app"
+        )
+
+    def test_infrastructure_report_covers_everything(self, system):
+        _b, _t, middleware, _provider, _history, _pf = system
+        report = render_report(middleware)
+        for fragment in (
+            "particle-filter",
+            "satellite-filter",
+            "ble-positioning",
+            "resolver",
+            "seam indicators",
+        ):
+            assert fragment in report
+
+    def test_satellite_filter_actually_filtered(self, system):
+        _b, _t, middleware, _provider, _history, _pf = system
+        filt = middleware.graph.component("satellite-filter")
+        # Indoors the receiver holds stale low-satellite fixes; the
+        # filter must have rejected some.
+        assert filt.rejected > 0
+        assert filt.passed > 0

@@ -1,0 +1,21 @@
+"""Tests for the ``python -m repro`` demo entry point."""
+
+from repro.__main__ import main
+
+
+def test_main_runs_and_reports(capsys):
+    exit_code = main(["--duration", "60", "--seed", "7"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Room Number Application" in out
+    assert "[Process Structure Layer]" in out
+    assert "final error:" in out
+    assert "POSITIONING INFRASTRUCTURE" in out
+
+
+def test_main_seed_changes_run(capsys):
+    main(["--duration", "40", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["--duration", "40", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first != second

@@ -1,0 +1,204 @@
+"""Tests for the NMEA 0183 codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sensors.nmea import (
+    GgaSentence,
+    GsaSentence,
+    GsvSatelliteInfo,
+    GsvSentence,
+    NmeaError,
+    RmcSentence,
+    VtgSentence,
+    checksum,
+    parse_sentence,
+)
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # XOR of a single character is its own code.
+        assert checksum("A") == "41"
+
+    def test_empty_body(self):
+        assert checksum("") == "00"
+
+
+class TestGga:
+    def roundtrip(self, sentence):
+        return parse_sentence(sentence.encode())
+
+    def test_roundtrip_valid_fix(self):
+        original = GgaSentence(
+            time_s=3600.0 + 120.0 + 3.0,
+            latitude_deg=56.1718,
+            longitude_deg=10.1903,
+            fix_quality=1,
+            num_satellites=8,
+            hdop=1.2,
+            altitude_m=42.5,
+        )
+        back = self.roundtrip(original)
+        assert back.sentence_type == "GGA"
+        assert back.latitude_deg == pytest.approx(56.1718, abs=1e-6)
+        assert back.longitude_deg == pytest.approx(10.1903, abs=1e-6)
+        assert back.num_satellites == 8
+        assert back.hdop == pytest.approx(1.2)
+        assert back.altitude_m == pytest.approx(42.5)
+        assert back.has_fix
+
+    def test_roundtrip_southern_western_hemispheres(self):
+        original = GgaSentence(
+            time_s=0.0,
+            latitude_deg=-33.8688,
+            longitude_deg=-70.6693,
+            fix_quality=1,
+            num_satellites=5,
+            hdop=2.0,
+            altitude_m=500.0,
+        )
+        back = self.roundtrip(original)
+        assert back.latitude_deg == pytest.approx(-33.8688, abs=1e-6)
+        assert back.longitude_deg == pytest.approx(-70.6693, abs=1e-6)
+
+    def test_no_fix_sentence_has_empty_position(self):
+        original = GgaSentence(
+            time_s=10.0,
+            latitude_deg=None,
+            longitude_deg=None,
+            fix_quality=0,
+            num_satellites=2,
+            hdop=None,
+            altitude_m=None,
+        )
+        back = self.roundtrip(original)
+        assert back.latitude_deg is None
+        assert not back.has_fix
+        assert back.num_satellites == 2
+
+    @given(
+        st.floats(min_value=-89.99, max_value=89.99),
+        st.floats(min_value=-179.99, max_value=179.99),
+        st.integers(min_value=0, max_value=12),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_roundtrip_property(self, lat, lon, sats, hdop):
+        original = GgaSentence(
+            time_s=0.0,
+            latitude_deg=lat,
+            longitude_deg=lon,
+            fix_quality=1,
+            num_satellites=sats,
+            hdop=hdop,
+            altitude_m=0.0,
+        )
+        back = parse_sentence(original.encode())
+        # NMEA minute format carries ~4 decimal places of minutes,
+        # i.e. about 1.9e-6 degrees of quantisation.
+        assert back.latitude_deg == pytest.approx(lat, abs=1e-5)
+        assert back.longitude_deg == pytest.approx(lon, abs=1e-5)
+        assert back.num_satellites == sats
+
+
+class TestRmc:
+    def test_roundtrip(self):
+        original = RmcSentence(
+            time_s=7261.5,
+            valid=True,
+            latitude_deg=56.0,
+            longitude_deg=10.0,
+            speed_knots=3.5,
+            course_deg=270.0,
+        )
+        back = parse_sentence(original.encode())
+        assert back.sentence_type == "RMC"
+        assert back.valid
+        assert back.speed_knots == pytest.approx(3.5)
+        assert back.course_deg == pytest.approx(270.0)
+
+    def test_invalid_flag_roundtrips(self):
+        original = RmcSentence(0.0, False, None, None, 0.0, 0.0)
+        back = parse_sentence(original.encode())
+        assert not back.valid
+        assert back.latitude_deg is None
+
+
+class TestGsa:
+    def test_roundtrip_with_partial_satellite_list(self):
+        original = GsaSentence(
+            fix_type=3,
+            satellite_ids=(4, 7, 12, 19, 23),
+            pdop=2.1,
+            hdop=1.1,
+            vdop=1.8,
+        )
+        back = parse_sentence(original.encode())
+        assert back.fix_type == 3
+        assert back.satellite_ids == (4, 7, 12, 19, 23)
+        assert back.hdop == pytest.approx(1.1)
+
+    def test_no_fix_has_empty_dops(self):
+        original = GsaSentence(1, (), None, None, None)
+        back = parse_sentence(original.encode())
+        assert back.satellite_ids == ()
+        assert back.hdop is None
+
+
+class TestGsv:
+    def test_roundtrip_page(self):
+        sats = tuple(
+            GsvSatelliteInfo(i, 10 * i, 30 * i, 40 - i) for i in range(1, 4)
+        )
+        original = GsvSentence(2, 1, 7, sats)
+        back = parse_sentence(original.encode())
+        assert back.total_sentences == 2
+        assert back.sentence_number == 1
+        assert back.satellites_in_view == 7
+        assert len(back.satellites) == 3
+        assert back.satellites[0].satellite_id == 1
+
+    def test_missing_snr_roundtrips_as_none(self):
+        sats = (GsvSatelliteInfo(5, 45, 180, None),)
+        back = parse_sentence(GsvSentence(1, 1, 1, sats).encode())
+        assert back.satellites[0].snr_db is None
+
+
+class TestVtg:
+    def test_roundtrip(self):
+        back = parse_sentence(VtgSentence(123.4, 5.5).encode())
+        assert back.sentence_type == "VTG"
+        assert back.course_deg == pytest.approx(123.4)
+        assert back.speed_knots == pytest.approx(5.5)
+
+
+class TestParserRobustness:
+    def test_missing_dollar_rejected(self):
+        with pytest.raises(NmeaError):
+            parse_sentence("GPGGA,foo*00")
+
+    def test_missing_checksum_rejected(self):
+        with pytest.raises(NmeaError):
+            parse_sentence("$GPGGA,000000.00,,,,,0,00,,,M,,M,,")
+
+    def test_wrong_checksum_rejected(self):
+        good = GgaSentence(0.0, 56.0, 10.0, 1, 8, 1.0, 0.0).encode()
+        corrupted = good[:-1] + ("0" if good[-1] != "0" else "1")
+        with pytest.raises(NmeaError):
+            parse_sentence(corrupted)
+
+    def test_corrupted_body_fails_checksum(self):
+        good = GgaSentence(0.0, 56.0, 10.0, 1, 8, 1.0, 0.0).encode()
+        corrupted = good.replace("GPGGA", "GPGGB", 1)
+        with pytest.raises(NmeaError):
+            parse_sentence(corrupted)
+
+    def test_unsupported_sentence_type_rejected(self):
+        body = "GPZDA,160012.71,11,03,2004,-1,00"
+        from repro.sensors.nmea import _frame
+        with pytest.raises(NmeaError):
+            parse_sentence(_frame(body))
+
+    def test_whitespace_tolerated(self):
+        good = VtgSentence(10.0, 1.0).encode()
+        assert parse_sentence("  " + good + "\r\n").course_deg == pytest.approx(10.0)

@@ -1,0 +1,99 @@
+"""Tests for the coordinate-conversion processing step."""
+
+import pytest
+
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum, Kind
+from repro.core.graph import ProcessingGraph
+from repro.geo.grid import GridPosition
+from repro.geo.transforms import TransformError
+from repro.model.demo import demo_building
+from repro.processing.conversion import (
+    CoordinateConverterComponent,
+    grid_system,
+    standard_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def building():
+    return demo_building()
+
+
+@pytest.fixture(scope="module")
+def registry(building):
+    return standard_registry(building)
+
+
+class TestStandardRegistry:
+    def test_grid_conversions_registered(self, building, registry):
+        assert registry.path("wgs84", "grid:hopper") == [
+            "wgs84",
+            "grid:hopper",
+        ]
+        assert registry.path("grid:hopper", "wgs84") == [
+            "grid:hopper",
+            "wgs84",
+        ]
+
+    def test_roundtrip_through_registry(self, building, registry):
+        original = GridPosition(12.0, 7.0)
+        wgs = registry.convert(original, "grid:hopper", "wgs84")
+        back = registry.convert(wgs, "wgs84", "grid:hopper")
+        assert back.x_m == pytest.approx(12.0, abs=1e-6)
+        assert back.y_m == pytest.approx(7.0, abs=1e-6)
+
+    def test_grid_system_naming(self, building):
+        assert grid_system(building).name == "grid:hopper"
+
+
+class TestConverterComponent:
+    def wire(self, building, registry):
+        graph = ProcessingGraph()
+        source = SourceComponent("grid-src", (Kind.POSITION_GRID,))
+        converter = CoordinateConverterComponent(
+            registry,
+            source="grid:hopper",
+            target="wgs84",
+            in_kind=Kind.POSITION_GRID,
+            out_kind=Kind.POSITION_WGS84,
+        )
+        sink = ApplicationSink("app", (Kind.POSITION_WGS84,))
+        for c in (source, converter, sink):
+            graph.add(c)
+        graph.connect("grid-src", converter.name)
+        graph.connect(converter.name, "app")
+        return source, converter, sink
+
+    def test_converts_and_rekinds(self, building, registry):
+        source, converter, sink = self.wire(building, registry)
+        source.inject(
+            Datum(Kind.POSITION_GRID, GridPosition(20.0, 7.5), 1.0)
+        )
+        out = sink.last()
+        assert out.kind == Kind.POSITION_WGS84
+        assert out.attributes["converted_from"] == "grid:hopper"
+        back = building.grid.to_grid(out.payload)
+        assert back.x_m == pytest.approx(20.0, abs=1e-6)
+        assert converter.converted == 1
+
+    def test_default_name_and_description(self, building, registry):
+        converter = CoordinateConverterComponent(
+            registry,
+            "grid:hopper",
+            "wgs84",
+            Kind.POSITION_GRID,
+            Kind.POSITION_WGS84,
+        )
+        assert converter.name == "convert-grid:hopper-to-wgs84"
+        assert converter.describe_conversion() == "grid:hopper -> wgs84"
+
+    def test_missing_conversion_fails_at_construction(self, registry):
+        with pytest.raises(TransformError):
+            CoordinateConverterComponent(
+                registry,
+                "wgs84",
+                "mars",
+                Kind.POSITION_WGS84,
+                Kind.POSITION_GRID,
+            )

@@ -1,0 +1,158 @@
+"""Tests for the §3.1 adaptation: GPS features and the satellite filter."""
+
+import pytest
+
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum, Kind
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.processing.filters import SatelliteFilterComponent
+from repro.processing.gps_features import HdopFeature, NumberOfSatellitesFeature
+from repro.processing.parser import NmeaParserComponent
+from repro.sensors.nmea import GgaSentence, GsaSentence, VtgSentence
+
+
+def gga(t=0.0, sats=8, hdop=1.2, quality=1):
+    lat, lon = (56.17, 10.19) if quality else (None, None)
+    return GgaSentence(t, lat, lon, quality, sats, hdop, 40.0)
+
+
+def build_parser_pipeline(sink_accepts):
+    graph = ProcessingGraph()
+    source = SourceComponent("gps", (Kind.NMEA_RAW,))
+    parser = NmeaParserComponent()
+    sink = ApplicationSink("app", sink_accepts)
+    for c in (source, parser, sink):
+        graph.add(c)
+    graph.connect("gps", "parser")
+    graph.connect("parser", "app")
+    return graph, source, parser, sink
+
+
+def inject(source, sentence, t=0.0):
+    source.inject(Datum(Kind.NMEA_RAW, sentence.encode() + "\r\n", t))
+
+
+class TestNumberOfSatellitesFeature:
+    def test_count_emitted_in_band(self):
+        _g, source, parser, sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE, Kind.NUM_SATELLITES)
+        )
+        parser.attach_feature(NumberOfSatellitesFeature())
+        inject(source, gga(sats=7))
+        kinds = [d.kind for d in sink.received]
+        assert Kind.NUM_SATELLITES in kinds
+        count = sink.last(Kind.NUM_SATELLITES)
+        assert count.payload == 7
+
+    def test_count_exposed_as_state(self):
+        _g, source, parser, _sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        feature = NumberOfSatellitesFeature()
+        parser.attach_feature(feature)
+        assert feature.get_number_of_satellites() is None
+        inject(source, gga(sats=5))
+        assert feature.get_number_of_satellites() == 5
+
+    def test_non_gga_sentences_do_not_update(self):
+        _g, source, parser, _sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        feature = NumberOfSatellitesFeature()
+        parser.attach_feature(feature)
+        inject(source, VtgSentence(0.0, 1.0))
+        assert feature.get_number_of_satellites() is None
+
+
+class TestHdopFeature:
+    def test_hdop_collected_from_gga_and_gsa(self):
+        _g, source, parser, _sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        feature = HdopFeature()
+        parser.attach_feature(feature)
+        inject(source, gga(hdop=1.5))
+        inject(source, GsaSentence(3, (1, 2, 3, 4), 2.5, 2.0, 1.0))
+        assert feature.get_hdop() == pytest.approx(2.0)
+        assert feature.recent_hdops() == [1.5, 2.0]
+
+    def test_history_bounded(self):
+        _g, source, parser, _sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        feature = HdopFeature(history=3)
+        parser.attach_feature(feature)
+        for i in range(6):
+            inject(source, gga(t=float(i), hdop=float(i + 1)), t=float(i))
+        assert feature.recent_hdops() == [4.0, 5.0, 6.0]
+
+    def test_hdop_emitted_in_band(self):
+        _g, source, parser, sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE, Kind.HDOP)
+        )
+        parser.attach_feature(HdopFeature())
+        inject(source, gga(hdop=1.7))
+        hdop = sink.last(Kind.HDOP)
+        assert hdop.payload == pytest.approx(1.7)
+
+
+class TestSatelliteFilter:
+    """The §3.1 scenario: insert a filter after the Parser."""
+
+    def build(self, min_satellites=4):
+        graph, source, parser, sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        parser.attach_feature(NumberOfSatellitesFeature())
+        filter_ = SatelliteFilterComponent(min_satellites=min_satellites)
+        graph.insert_between("parser", "app", filter_)
+        return graph, source, filter_, sink
+
+    def test_connection_requires_feature(self):
+        graph, _source, parser, _sink = build_parser_pipeline(
+            (Kind.NMEA_SENTENCE,)
+        )
+        filter_ = SatelliteFilterComponent()
+        graph.add(filter_)
+        with pytest.raises(GraphError):
+            graph.connect("parser", filter_.name)
+
+    def test_low_satellite_fixes_dropped(self):
+        _g, source, filter_, sink = self.build(min_satellites=4)
+        inject(source, gga(t=0.0, sats=2), t=0.0)
+        inject(source, gga(t=1.0, sats=8), t=1.0)
+        fixes = [
+            d
+            for d in sink.received
+            if isinstance(d.payload, GgaSentence) and d.payload.has_fix
+        ]
+        assert len(fixes) == 1
+        assert fixes[0].payload.num_satellites == 8
+        assert filter_.rejected == 1
+        assert filter_.passed == 1
+
+    def test_non_position_sentences_pass(self):
+        _g, source, _filter, sink = self.build(min_satellites=12)
+        inject(source, VtgSentence(0.0, 1.0))
+        assert len(sink.received) == 1
+
+    def test_threshold_adjustable_at_runtime(self):
+        _g, source, filter_, sink = self.build(min_satellites=10)
+        inject(source, gga(t=0.0, sats=8), t=0.0)
+        assert filter_.rejected == 1
+        filter_.set_threshold(4)
+        inject(source, gga(t=1.0, sats=8), t=1.0)
+        assert filter_.passed == 1
+
+    def test_rejection_rate(self):
+        _g, source, filter_, _sink = self.build(min_satellites=4)
+        assert filter_.rejection_rate() == 0.0
+        inject(source, gga(t=0.0, sats=2), t=0.0)
+        inject(source, gga(t=1.0, sats=8), t=1.0)
+        assert filter_.rejection_rate() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SatelliteFilterComponent(min_satellites=-1)
+        with pytest.raises(ValueError):
+            SatelliteFilterComponent().set_threshold(-2)

@@ -1,0 +1,121 @@
+"""Tests for the WiFi fingerprint positioning engine."""
+
+import pytest
+
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum, Kind
+from repro.core.graph import ProcessingGraph
+from repro.geo.grid import GridPosition
+from repro.model.demo import (
+    demo_building,
+    demo_radio_environment,
+    demo_survey_positions,
+)
+from repro.processing.wifi_positioning import (
+    FingerprintPositioningComponent,
+    signal_distance,
+)
+from repro.sensors.wifi import WifiObservation, WifiScan, build_radio_map
+
+
+class TestSignalDistance:
+    def test_identical_vectors(self):
+        assert signal_distance({"a": -50.0}, {"a": -50.0}) == 0.0
+
+    def test_disjoint_coverage_penalised(self):
+        near = signal_distance({"a": -50.0}, {"a": -55.0})
+        disjoint = signal_distance({"a": -50.0}, {"b": -50.0})
+        assert disjoint > near
+
+    def test_empty_vectors(self):
+        assert signal_distance({}, {}) == float("inf")
+
+    def test_symmetry(self):
+        a = {"x": -40.0, "y": -70.0}
+        b = {"x": -45.0, "z": -60.0}
+        assert signal_distance(a, b) == signal_distance(b, a)
+
+
+@pytest.fixture(scope="module")
+def engine_setup():
+    building = demo_building()
+    environment = demo_radio_environment(building)
+    radio_map = build_radio_map(environment, demo_survey_positions(2.0))
+    engine = FingerprintPositioningComponent(
+        radio_map, building.grid, k=3
+    )
+    graph = ProcessingGraph()
+    source = SourceComponent("wifi", (Kind.WIFI_SCAN,))
+    sink = ApplicationSink(
+        "app", (Kind.POSITION_WGS84, Kind.POSITION_GRID)
+    )
+    graph.add(source)
+    graph.add(engine)
+    graph.add(sink)
+    graph.connect("wifi", engine.name)
+    graph.connect(engine.name, "app")
+    return building, environment, engine, source, sink
+
+
+class TestEngine:
+    def test_validation(self):
+        building = demo_building()
+        with pytest.raises(ValueError):
+            FingerprintPositioningComponent([], building.grid)
+        radio_map = [(GridPosition(0, 0), {"a": -50.0})]
+        with pytest.raises(ValueError):
+            FingerprintPositioningComponent(
+                radio_map, building.grid, k=0
+            )
+
+    def test_noise_free_scan_located_accurately(self, engine_setup):
+        building, environment, engine, source, sink = engine_setup
+        truth = GridPosition(15.0, 7.5)
+        observations = tuple(
+            WifiObservation(
+                ap.bssid, environment.expected_rssi(ap, truth)
+            )
+            for ap in environment.access_points
+            if environment.expected_rssi(ap, truth)
+            >= environment.noise_floor_dbm
+        )
+        source.inject(
+            Datum(Kind.WIFI_SCAN, WifiScan(0.0, observations), 0.0)
+        )
+        grid_estimate = sink.last(Kind.POSITION_GRID).payload
+        assert truth.distance_to(grid_estimate) < 3.0
+
+    def test_produces_both_grid_and_wgs84(self, engine_setup):
+        _b, environment, _e, source, sink = engine_setup
+        truth = GridPosition(5.0, 3.0)
+        observations = tuple(
+            WifiObservation(ap.bssid, environment.expected_rssi(ap, truth))
+            for ap in environment.access_points
+        )
+        before = len(sink.received)
+        source.inject(
+            Datum(Kind.WIFI_SCAN, WifiScan(1.0, observations), 1.0)
+        )
+        new = sink.received[before:]
+        assert {d.kind for d in new} == {
+            Kind.POSITION_GRID,
+            Kind.POSITION_WGS84,
+        }
+        wgs = [d for d in new if d.kind == Kind.POSITION_WGS84][0]
+        assert wgs.payload.accuracy_m >= 1.0
+
+    def test_empty_scan_produces_nothing(self, engine_setup):
+        _b, _env, _e, source, sink = engine_setup
+        before = len(sink.received)
+        source.inject(Datum(Kind.WIFI_SCAN, WifiScan(2.0, ()), 2.0))
+        assert len(sink.received) == before
+
+    def test_non_scan_payload_ignored(self, engine_setup):
+        _b, _env, _e, source, sink = engine_setup
+        before = len(sink.received)
+        source.inject(Datum(Kind.WIFI_SCAN, "not-a-scan", 3.0))
+        assert len(sink.received) == before
+
+    def test_map_size_inspection(self, engine_setup):
+        _b, _env, engine, _s, _sink = engine_setup
+        assert engine.map_size() > 100

@@ -1,0 +1,182 @@
+"""Property-based tests on core middleware invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.channel import ChannelFeature
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.core.pcl import ProcessChannelLayer
+from repro.services.registry import ServiceRegistry
+
+
+class TreeCollector(ChannelFeature):
+    name = "TreeCollector"
+
+    def __init__(self):
+        super().__init__()
+        self.trees = []
+
+    def apply(self, tree):
+        self.trees.append(tree)
+
+
+def batching_pipeline(batch_sizes):
+    """source -> batcher(variable batch) -> sink, batch sizes scripted."""
+    graph = ProcessingGraph()
+    source = SourceComponent("src", ("x",))
+    state = {"buffer": [], "plan": list(batch_sizes), "index": 0}
+
+    def batch(d):
+        state["buffer"].append(d.payload)
+        target = state["plan"][state["index"] % len(state["plan"])]
+        if len(state["buffer"]) >= target:
+            merged = d.with_payload(tuple(state["buffer"]))
+            state["buffer"] = []
+            state["index"] += 1
+            return merged
+        return None
+
+    batcher = FunctionComponent("batcher", ("x",), ("x",), fn=batch)
+    sink = ApplicationSink("app", ("x",))
+    for c in (source, batcher, sink):
+        graph.add(c)
+    graph.connect("src", "batcher")
+    graph.connect("batcher", "app")
+    return graph, source
+
+
+class TestChannelInvariants:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_logical_time_partition(self, batch_sizes, n_inputs):
+        """Channel output ranges partition consumed inputs: contiguous,
+        non-overlapping, starting at 1."""
+        graph, source = batching_pipeline(batch_sizes)
+        pcl = ProcessChannelLayer(graph)
+        collector = TreeCollector()
+        pcl.attach_feature("src->app", collector)
+        for i in range(n_inputs):
+            source.inject(Datum("x", i, float(i)))
+        previous_end = 0
+        for index, tree in enumerate(collector.trees, start=1):
+            root = tree.root
+            assert root.logical_time == index
+            low, high = root.time_range
+            assert low == previous_end + 1
+            assert high >= low
+            previous_end = high
+            # The tree's source layer matches the declared range exactly.
+            source_times = [e.logical_time for e in tree.layer(0)]
+            assert source_times == list(range(low, high + 1))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tree_payloads_reconstruct_output(self, batch_sizes, n_inputs):
+        """The batcher's output tuple equals its tree's source payloads."""
+        graph, source = batching_pipeline(batch_sizes)
+        pcl = ProcessChannelLayer(graph)
+        collector = TreeCollector()
+        pcl.attach_feature("src->app", collector)
+        for i in range(n_inputs):
+            source.inject(Datum("x", i, float(i)))
+        for tree in collector.trees:
+            source_payloads = tuple(
+                e.datum.payload for e in tree.layer(0)
+            )
+            assert tree.root.datum.payload == source_payloads
+
+
+class TestGraphInvariants:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_random_wiring_never_creates_cycles(self, data):
+        """Whatever connect() accepts keeps the graph acyclic."""
+        n = data.draw(st.integers(min_value=2, max_value=7))
+        graph = ProcessingGraph()
+        for i in range(n):
+            graph.add(
+                FunctionComponent(f"c{i}", ("x",), ("x",), fn=lambda d: d)
+            )
+        attempts = data.draw(st.integers(min_value=1, max_value=20))
+        for _ in range(attempts):
+            a = data.draw(st.integers(min_value=0, max_value=n - 1))
+            b = data.draw(st.integers(min_value=0, max_value=n - 1))
+            try:
+                graph.connect(f"c{a}", f"c{b}")
+            except GraphError:
+                pass
+        for component in graph.components():
+            assert component.name not in graph.descendants(component.name)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_remove_leaves_consistent_edges(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=6))
+        graph = ProcessingGraph()
+        for i in range(n):
+            graph.add(
+                FunctionComponent(f"c{i}", ("x",), ("x",), fn=lambda d: d)
+            )
+        for i in range(n - 1):
+            graph.connect(f"c{i}", f"c{i + 1}")
+        victim = data.draw(st.integers(min_value=0, max_value=n - 1))
+        reconnect = data.draw(st.booleans())
+        graph.remove(f"c{victim}", reconnect=reconnect)
+        names = {c.name for c in graph.components()}
+        for connection in graph.connections():
+            assert connection.producer in names
+            assert connection.consumer in names
+
+
+class TestRegistryInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_returns_highest_ranking_oldest(self, entries):
+        registry = ServiceRegistry()
+        recorded = []
+        for index, (interface, ranking) in enumerate(entries):
+            registry.register(
+                interface, f"svc{index}", {"service.ranking": ranking}
+            )
+            recorded.append((interface, ranking, index))
+        for interface in {e[0] for e in entries}:
+            candidates = [
+                (ranking, index)
+                for (iface, ranking, index) in recorded
+                if iface == interface
+            ]
+            best = min(candidates, key=lambda pair: (-pair[0], pair[1]))
+            assert registry.find_service(interface) == f"svc{best[1]}"
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_register_unregister_count_invariant(self, keeps):
+        registry = ServiceRegistry()
+        registrations = []
+        for keep in keeps:
+            registrations.append((keep, registry.register("x", object())))
+        for keep, registration in registrations:
+            if not keep:
+                registration.unregister()
+        assert len(registry) == sum(1 for k in keeps if k)
+        assert len(registry.get_references("x")) == len(registry)

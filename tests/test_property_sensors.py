@@ -1,0 +1,125 @@
+"""Property-based tests on the sensing substrate (hypothesis)."""
+
+import statistics
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.gps import (
+    GpsReceiver,
+    OPEN_SKY,
+    constant_environment,
+)
+from repro.sensors.nmea import GgaSentence, NmeaError, parse_sentence
+from repro.sensors.trajectory import (
+    StationaryTrajectory,
+    Waypoint,
+    WaypointTrajectory,
+)
+
+START = Wgs84Position(56.17, 10.19)
+
+
+class TestGpsReceiverProperties:
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_stationary_apparent_speed_bounded(self, seed):
+        """Correlated error keeps a still receiver's apparent speed low.
+
+        This is the property the transportation-mode pipeline depends
+        on: white per-epoch noise would fake several m/s of movement.
+        """
+        gps = GpsReceiver(
+            "g",
+            StationaryTrajectory(START, 120.0),
+            constant_environment(OPEN_SKY),
+            seed=seed,
+            chunk_size=None,
+        )
+        gps.sample(120.0)
+        fixes = [
+            e.reported_position
+            for e in gps.epochs
+            if e.reported_position is not None
+        ]
+        deltas = [
+            a.distance_to(b) for a, b in zip(fixes, fixes[1:])
+        ]
+        assert statistics.mean(deltas) < 1.2
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_error_magnitude_tracks_hdop(self, seed):
+        """Fix error stays within a few sigma of the reported quality."""
+        gps = GpsReceiver(
+            "g",
+            StationaryTrajectory(START, 120.0),
+            constant_environment(OPEN_SKY),
+            seed=seed,
+            chunk_size=None,
+        )
+        gps.sample(120.0)
+        for epoch in gps.epochs:
+            if epoch.reported_position is None or epoch.is_stale:
+                continue
+            sigma = 5.0 * epoch.hdop  # uere * hdop, open-sky multiplier 1
+            error = epoch.reported_position.distance_to(
+                epoch.true_position
+            )
+            assert error < 6.0 * sigma + 1.0
+
+    @given(
+        st.integers(min_value=0, max_value=2**16),
+        st.integers(min_value=8, max_value=64),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fragmentation_preserves_stream(self, seed, chunk):
+        """Any fragment size reassembles to the identical NMEA stream."""
+        def make(chunk_size):
+            trajectory = WaypointTrajectory(
+                [Waypoint(0.0, START), Waypoint(30.0, START.moved(90, 40))]
+            )
+            gps = GpsReceiver(
+                "g",
+                trajectory,
+                constant_environment(OPEN_SKY),
+                seed=seed,
+                chunk_size=chunk_size,
+            )
+            return "".join(r.payload for r in gps.sample(10.0))
+
+        # Compare unfragmented vs fragmented byte streams directly.
+        whole = make(None)
+        fragged = make(chunk)
+        assert fragged == whole
+
+
+class TestNmeaProperties:
+    @given(
+        st.floats(min_value=-89.9, max_value=89.9),
+        st.floats(min_value=-179.9, max_value=179.9),
+        st.integers(min_value=0, max_value=99),
+        st.floats(min_value=0.1, max_value=99.0),
+        st.floats(min_value=-400.0, max_value=8000.0),
+        st.floats(min_value=0.0, max_value=86399.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gga_roundtrip_total(self, lat, lon, sats, hdop, alt, t):
+        sentence = GgaSentence(t, lat, lon, 1, sats, hdop, alt)
+        decoded = parse_sentence(sentence.encode())
+        assert decoded.latitude_deg is not None
+        assert abs(decoded.latitude_deg - lat) < 1e-5
+        assert abs(decoded.longitude_deg - lon) < 1e-5
+        assert decoded.num_satellites == sats
+        assert abs(decoded.altitude_m - alt) < 0.051
+        assert abs(decoded.time_s - t) < 0.011
+
+    @given(st.text(min_size=0, max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes_on_garbage(self, line):
+        """parse_sentence raises NmeaError or returns a sentence; it
+        never raises anything else."""
+        try:
+            parse_sentence(line)
+        except NmeaError:
+            pass

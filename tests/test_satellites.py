@@ -1,0 +1,128 @@
+"""Tests for constellation geometry and DOP computation."""
+
+import math
+
+import pytest
+
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.satellites import (
+    Constellation,
+    GPS_ORBIT_RADIUS_M,
+    SatelliteView,
+    compute_dops,
+)
+
+OBSERVER = Wgs84Position(56.17, 10.19)
+
+
+class TestConstellation:
+    def test_nominal_gps_has_30_satellites(self):
+        c = Constellation.nominal_gps()
+        assert len(c.satellites) == 30
+        assert len({s.prn for s in c.satellites}) == 30
+
+    def test_satellites_at_orbital_radius(self):
+        c = Constellation.nominal_gps()
+        for sat in c.satellites[:5]:
+            ecef = sat.ecef_at(1234.0)
+            radius = math.sqrt(
+                ecef.x_m**2 + ecef.y_m**2 + ecef.z_m**2
+            )
+            assert radius == pytest.approx(GPS_ORBIT_RADIUS_M, rel=1e-9)
+
+    def test_reasonable_visible_count_open_sky(self):
+        c = Constellation.nominal_gps()
+        views = c.views_from(OBSERVER, t=0.0, elevation_mask_deg=5.0)
+        # Mid-latitude observers see roughly 8-12 GPS satellites.
+        assert 6 <= len(views) <= 14
+
+    def test_views_respect_elevation_mask(self):
+        c = Constellation.nominal_gps()
+        low = c.views_from(OBSERVER, 0.0, elevation_mask_deg=5.0)
+        high = c.views_from(OBSERVER, 0.0, elevation_mask_deg=40.0)
+        assert len(high) < len(low)
+        assert all(v.elevation_deg >= 40.0 for v in high)
+
+    def test_visibility_changes_over_time(self):
+        c = Constellation.nominal_gps()
+        prns_now = {v.prn for v in c.views_from(OBSERVER, 0.0)}
+        prns_later = {v.prn for v in c.views_from(OBSERVER, 7200.0)}
+        assert prns_now != prns_later
+
+    def test_snr_increases_with_elevation(self):
+        c = Constellation.nominal_gps()
+        views = sorted(
+            c.views_from(OBSERVER, 0.0), key=lambda v: v.elevation_deg
+        )
+        assert views[-1].snr_db > views[0].snr_db
+
+
+class TestDops:
+    def make_view(self, prn, az, el):
+        return SatelliteView(prn, az, el, 40.0)
+
+    def test_fewer_than_four_satellites_yields_none(self):
+        views = [self.make_view(i, 90.0 * i, 45.0) for i in range(3)]
+        assert compute_dops(views) is None
+
+    def test_good_geometry_low_hdop(self):
+        # Four well-spread satellites plus one overhead: textbook geometry.
+        views = [
+            self.make_view(1, 0.0, 30.0),
+            self.make_view(2, 90.0, 30.0),
+            self.make_view(3, 180.0, 30.0),
+            self.make_view(4, 270.0, 30.0),
+            self.make_view(5, 0.0, 85.0),
+        ]
+        dops = compute_dops(views)
+        assert dops is not None
+        assert dops.hdop < 2.0
+        assert dops.pdop >= dops.hdop
+        assert dops.gdop >= dops.pdop
+
+    def test_clustered_geometry_high_hdop(self):
+        # Elevations must vary: four satellites at identical elevation make
+        # clock and altitude inseparable (a genuinely singular geometry).
+        spread = compute_dops(
+            [
+                self.make_view(1, 0.0, 30.0),
+                self.make_view(2, 90.0, 45.0),
+                self.make_view(3, 180.0, 30.0),
+                self.make_view(4, 270.0, 60.0),
+            ]
+        )
+        clustered = compute_dops(
+            [
+                self.make_view(1, 0.0, 30.0),
+                self.make_view(2, 10.0, 45.0),
+                self.make_view(3, 20.0, 30.0),
+                self.make_view(4, 30.0, 60.0),
+            ]
+        )
+        assert spread is not None and clustered is not None
+        assert clustered.hdop > spread.hdop
+
+    def test_degenerate_geometry_returns_none_or_huge(self):
+        # All satellites in exactly the same direction: singular matrix.
+        views = [self.make_view(i, 45.0, 45.0) for i in range(1, 7)]
+        assert compute_dops(views) is None
+
+    def test_more_satellites_improve_dop(self):
+        base = [
+            self.make_view(1, 0.0, 30.0),
+            self.make_view(2, 90.0, 45.0),
+            self.make_view(3, 180.0, 30.0),
+            self.make_view(4, 270.0, 60.0),
+        ]
+        extra = base + [
+            self.make_view(5, 45.0, 60.0),
+            self.make_view(6, 225.0, 60.0),
+        ]
+        assert compute_dops(extra).hdop < compute_dops(base).hdop
+
+    def test_real_constellation_geometry_produces_sane_dops(self):
+        c = Constellation.nominal_gps()
+        views = c.views_from(OBSERVER, 0.0)
+        dops = compute_dops(views)
+        assert dops is not None
+        assert 0.5 < dops.hdop < 3.0

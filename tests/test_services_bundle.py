@@ -1,0 +1,149 @@
+"""Tests for bundle lifecycle and the framework."""
+
+import pytest
+
+from repro.services.bundle import BundleState, Framework
+
+
+class RecordingActivator:
+    def __init__(self, fail_on_start=False):
+        self.events = []
+        self.fail_on_start = fail_on_start
+
+    def start(self, context):
+        self.events.append("start")
+        if self.fail_on_start:
+            raise RuntimeError("boom")
+        context.register_service("svc", f"service-of-{context.bundle.name}")
+
+    def stop(self, context):
+        self.events.append("stop")
+
+
+class TestLifecycle:
+    def test_install_starts_installed(self):
+        fw = Framework()
+        bundle = fw.install("b1")
+        assert bundle.state is BundleState.INSTALLED
+
+    def test_duplicate_install_rejected(self):
+        fw = Framework()
+        fw.install("b1")
+        with pytest.raises(ValueError):
+            fw.install("b1")
+
+    def test_start_activates_and_registers(self):
+        fw = Framework()
+        activator = RecordingActivator()
+        fw.install("b1", activator)
+        fw.start("b1")
+        assert fw.bundle("b1").state is BundleState.ACTIVE
+        assert fw.registry.find_service("svc") == "service-of-b1"
+
+    def test_start_twice_is_noop(self):
+        fw = Framework()
+        activator = RecordingActivator()
+        fw.install("b1", activator)
+        fw.start("b1")
+        fw.start("b1")
+        assert activator.events == ["start"]
+
+    def test_stop_unregisters_services(self):
+        fw = Framework()
+        fw.install("b1", RecordingActivator())
+        fw.start("b1")
+        fw.stop("b1")
+        assert fw.registry.find_service("svc") is None
+        assert fw.bundle("b1").state is BundleState.STOPPED
+
+    def test_failed_start_cleans_up(self):
+        fw = Framework()
+        fw.install("b1", RecordingActivator(fail_on_start=True))
+        with pytest.raises(RuntimeError):
+            fw.start("b1")
+        assert fw.bundle("b1").state is BundleState.INSTALLED
+        assert len(fw.registry) == 0
+
+    def test_uninstall_active_bundle_stops_it_first(self):
+        fw = Framework()
+        activator = RecordingActivator()
+        fw.install("b1", activator)
+        fw.start("b1")
+        fw.uninstall("b1")
+        assert activator.events == ["start", "stop"]
+        with pytest.raises(KeyError):
+            fw.bundle("b1")
+
+    def test_shutdown_stops_in_reverse_order(self):
+        fw = Framework()
+        order = []
+
+        class Ordered:
+            def __init__(self, name):
+                self.name = name
+
+            def start(self, ctx):
+                pass
+
+            def stop(self, ctx):
+                order.append(self.name)
+
+        for name in ("a", "b", "c"):
+            fw.install(name, Ordered(name))
+            fw.start(name)
+        fw.shutdown()
+        assert order == ["c", "b", "a"]
+
+
+class TestBundleContext:
+    def test_registrations_tagged_with_bundle(self):
+        fw = Framework()
+        fw.install("b1", RecordingActivator())
+        fw.start("b1")
+        ref = fw.registry.get_reference("svc")
+        assert ref.property("bundle") == "b1"
+
+    def test_listener_removed_on_stop(self):
+        fw = Framework()
+        events = []
+
+        class Listening:
+            def start(self, ctx):
+                ctx.add_service_listener(lambda e: events.append(e))
+
+            def stop(self, ctx):
+                pass
+
+        fw.install("b1", Listening())
+        fw.start("b1")
+        fw.registry.register("x", object())
+        count_while_active = len(events)
+        fw.stop("b1")
+        fw.registry.register("y", object())
+        assert len(events) == count_while_active
+
+    def test_context_service_lookup(self):
+        fw = Framework()
+        fw.registry.register("needed", "dependency")
+        captured = {}
+
+        class Consumer:
+            def start(self, ctx):
+                captured["service"] = ctx.get_service("needed")
+                captured["refs"] = ctx.get_references("needed")
+
+            def stop(self, ctx):
+                pass
+
+        fw.install("b1", Consumer())
+        fw.start("b1")
+        assert captured["service"] == "dependency"
+        assert len(captured["refs"]) == 1
+
+    def test_bundle_without_activator(self):
+        fw = Framework()
+        fw.install("plain")
+        fw.start("plain")
+        assert fw.bundle("plain").state is BundleState.ACTIVE
+        fw.stop("plain")
+        assert fw.bundle("plain").state is BundleState.STOPPED

@@ -1,0 +1,202 @@
+"""Tests for declarative components and dependency resolution."""
+
+import pytest
+
+from repro.services.declarative import (
+    ComponentDescriptor,
+    ComponentRuntime,
+    Reference,
+)
+from repro.services.registry import ServiceRegistry
+
+
+def make_runtime():
+    registry = ServiceRegistry()
+    return registry, ComponentRuntime(registry)
+
+
+class TestActivation:
+    def test_component_without_dependencies_activates_immediately(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor(
+                "a", factory=lambda: "instance-a", provides=("svc.A",)
+            )
+        )
+        assert runtime.active_components() == ["a"]
+        assert registry.find_service("svc.A") == "instance-a"
+
+    def test_component_waits_for_dependency(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor(
+                "consumer",
+                factory=lambda dep: f"got-{dep}",
+                references=(Reference("dep", "svc.Dep"),),
+            )
+        )
+        assert runtime.active_components() == []
+        registry.register("svc.Dep", "the-dep")
+        assert runtime.active_components() == ["consumer"]
+        assert runtime.component_instance("consumer") == "got-the-dep"
+
+    def test_chain_resolves_regardless_of_order(self):
+        registry, runtime = make_runtime()
+        # C needs B, B needs A; declare C first.
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda b: f"c({b})",
+                references=(Reference("b", "svc.B"),),
+            )
+        )
+        runtime.add(
+            ComponentDescriptor(
+                "b",
+                factory=lambda a: f"b({a})",
+                provides=("svc.B",),
+                references=(Reference("a", "svc.A"),),
+            )
+        )
+        assert runtime.active_components() == []
+        runtime.add(
+            ComponentDescriptor("a", factory=lambda: "a", provides=("svc.A",))
+        )
+        assert set(runtime.active_components()) == {"a", "b", "c"}
+        assert runtime.component_instance("c") == "c(b(a))"
+
+    def test_optional_reference_passes_none(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda extra: f"extra={extra}",
+                references=(
+                    Reference("extra", "svc.Extra", optional=True),
+                ),
+            )
+        )
+        assert runtime.component_instance("c") == "extra=None"
+
+    def test_reference_filter_respected(self):
+        registry, runtime = make_runtime()
+        registry.register("svc.S", "wrong", {"technology": "wifi"})
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda s: s,
+                references=(
+                    Reference("s", "svc.S", flt={"technology": "gps"}),
+                ),
+            )
+        )
+        assert runtime.active_components() == []
+        registry.register("svc.S", "right", {"technology": "gps"})
+        assert runtime.component_instance("c") == "right"
+
+    def test_duplicate_name_rejected(self):
+        _registry, runtime = make_runtime()
+        runtime.add(ComponentDescriptor("a", factory=lambda: 1))
+        with pytest.raises(ValueError):
+            runtime.add(ComponentDescriptor("a", factory=lambda: 2))
+
+
+class TestDeactivation:
+    def test_deactivates_when_dependency_unregisters(self):
+        registry, runtime = make_runtime()
+        dep_registration = registry.register("svc.Dep", "dep")
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda dep: dep,
+                provides=("svc.C",),
+                references=(Reference("dep", "svc.Dep"),),
+            )
+        )
+        assert runtime.active_components() == ["c"]
+        dep_registration.unregister()
+        assert runtime.active_components() == []
+        assert registry.find_service("svc.C") is None
+
+    def test_deactivate_hook_called(self):
+        registry, runtime = make_runtime()
+        calls = []
+
+        class Component:
+            def __init__(self, dep):
+                self.dep = dep
+
+            def deactivate(self):
+                calls.append("deactivated")
+
+        dep_reg = registry.register("svc.Dep", "dep")
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=Component,
+                references=(Reference("dep", "svc.Dep"),),
+            )
+        )
+        dep_reg.unregister()
+        assert calls == ["deactivated"]
+
+    def test_cascade_deactivation(self):
+        registry, runtime = make_runtime()
+        a_reg = registry.register("svc.A", "a")
+        runtime.add(
+            ComponentDescriptor(
+                "b",
+                factory=lambda a: "b",
+                provides=("svc.B",),
+                references=(Reference("a", "svc.A"),),
+            )
+        )
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda b: "c",
+                references=(Reference("b", "svc.B"),),
+            )
+        )
+        assert set(runtime.active_components()) == {"b", "c"}
+        a_reg.unregister()
+        assert runtime.active_components() == []
+
+    def test_reactivation_after_dependency_returns(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor(
+                "c",
+                factory=lambda dep: f"with-{dep}",
+                references=(Reference("dep", "svc.Dep"),),
+            )
+        )
+        reg = registry.register("svc.Dep", "first")
+        assert runtime.component_instance("c") == "with-first"
+        reg.unregister()
+        assert runtime.active_components() == []
+        registry.register("svc.Dep", "second")
+        assert runtime.component_instance("c") == "with-second"
+
+    def test_remove_component(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor("a", factory=lambda: "a", provides=("svc.A",))
+        )
+        runtime.remove("a")
+        assert registry.find_service("svc.A") is None
+        with pytest.raises(KeyError):
+            runtime.component_instance("a")
+
+    def test_remove_unknown_component(self):
+        _registry, runtime = make_runtime()
+        with pytest.raises(KeyError):
+            runtime.remove("ghost")
+
+    def test_close_deactivates_everything(self):
+        registry, runtime = make_runtime()
+        runtime.add(
+            ComponentDescriptor("a", factory=lambda: "a", provides=("svc.A",))
+        )
+        runtime.close()
+        assert registry.find_service("svc.A") is None

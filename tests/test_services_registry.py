@@ -1,0 +1,154 @@
+"""Tests for the service registry."""
+
+import pytest
+
+from repro.services.registry import (
+    ServiceEventType,
+    ServiceRegistry,
+)
+
+
+class TestRegistration:
+    def test_register_and_find(self):
+        registry = ServiceRegistry()
+        service = object()
+        registry.register("positioning.Provider", service)
+        assert registry.find_service("positioning.Provider") is service
+
+    def test_register_under_multiple_interfaces(self):
+        registry = ServiceRegistry()
+        service = object()
+        registry.register(["a.A", "b.B"], service)
+        assert registry.find_service("a.A") is service
+        assert registry.find_service("b.B") is service
+
+    def test_register_requires_interface(self):
+        registry = ServiceRegistry()
+        with pytest.raises(ValueError):
+            registry.register([], object())
+
+    def test_unregister_removes_service(self):
+        registry = ServiceRegistry()
+        registration = registry.register("x", object())
+        registration.unregister()
+        assert registry.find_service("x") is None
+        assert len(registry) == 0
+
+    def test_unregister_is_idempotent(self):
+        registry = ServiceRegistry()
+        registration = registry.register("x", object())
+        registration.unregister()
+        registration.unregister()
+
+    def test_get_service_after_unregister_raises(self):
+        registry = ServiceRegistry()
+        registration = registry.register("x", object())
+        reference = registration.reference
+        registration.unregister()
+        with pytest.raises(LookupError):
+            registry.get_service(reference)
+
+
+class TestLookup:
+    def test_filter_by_property_dict(self):
+        registry = ServiceRegistry()
+        registry.register("sensor", "gps", {"technology": "gps"})
+        registry.register("sensor", "wifi", {"technology": "wifi"})
+        assert registry.find_service(
+            "sensor", {"technology": "wifi"}
+        ) == "wifi"
+
+    def test_filter_by_predicate(self):
+        registry = ServiceRegistry()
+        registry.register("sensor", "a", {"rate": 1})
+        registry.register("sensor", "b", {"rate": 10})
+        result = registry.find_service(
+            "sensor", lambda props: props.get("rate", 0) > 5
+        )
+        assert result == "b"
+
+    def test_ranking_orders_references(self):
+        registry = ServiceRegistry()
+        registry.register("x", "low", {"service.ranking": 0})
+        registry.register("x", "high", {"service.ranking": 10})
+        assert registry.find_service("x") == "high"
+
+    def test_tie_breaks_toward_older_service(self):
+        registry = ServiceRegistry()
+        registry.register("x", "older")
+        registry.register("x", "newer")
+        assert registry.find_service("x") == "older"
+
+    def test_lookup_without_interface_lists_everything(self):
+        registry = ServiceRegistry()
+        registry.register("a", 1)
+        registry.register("b", 2)
+        assert len(registry.get_references()) == 2
+
+    def test_missing_service_returns_none(self):
+        registry = ServiceRegistry()
+        assert registry.find_service("nothing") is None
+        assert registry.get_reference("nothing") is None
+
+
+class TestProperties:
+    def test_service_id_assigned(self):
+        registry = ServiceRegistry()
+        reg = registry.register("x", object())
+        assert reg.reference.property("service.id") == reg.reference.service_id
+
+    def test_set_properties_fires_modified(self):
+        registry = ServiceRegistry()
+        events = []
+        registry.add_listener(lambda e: events.append(e.event_type))
+        reg = registry.register("x", object())
+        reg.set_properties({"mode": "fast"})
+        assert events == [
+            ServiceEventType.REGISTERED,
+            ServiceEventType.MODIFIED,
+        ]
+        assert reg.reference.property("mode") == "fast"
+
+    def test_set_properties_after_unregister_raises(self):
+        registry = ServiceRegistry()
+        reg = registry.register("x", object())
+        reg.unregister()
+        with pytest.raises(RuntimeError):
+            reg.set_properties({"a": 1})
+
+
+class TestEvents:
+    def test_lifecycle_events_in_order(self):
+        registry = ServiceRegistry()
+        events = []
+        registry.add_listener(
+            lambda e: events.append((e.event_type, e.reference.service_id))
+        )
+        reg = registry.register("x", object())
+        reg.unregister()
+        sid = reg.reference.service_id
+        assert events == [
+            (ServiceEventType.REGISTERED, sid),
+            (ServiceEventType.UNREGISTERING, sid),
+        ]
+
+    def test_unregistering_listener_can_still_resolve_service(self):
+        registry = ServiceRegistry()
+        seen = []
+
+        def listener(event):
+            if event.event_type is ServiceEventType.UNREGISTERING:
+                seen.append(registry.get_service(event.reference))
+
+        registry.add_listener(listener)
+        reg = registry.register("x", "value")
+        reg.unregister()
+        assert seen == ["value"]
+
+    def test_listener_removal(self):
+        registry = ServiceRegistry()
+        events = []
+        remove = registry.add_listener(lambda e: events.append(e))
+        remove()
+        registry.register("x", object())
+        assert events == []

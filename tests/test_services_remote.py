@@ -1,0 +1,125 @@
+"""Tests for simulated distribution (hosts, network, proxies)."""
+
+import pytest
+
+from repro.clock import SimulationClock
+from repro.services.remote import Host, Network, RemoteProxy
+
+
+class Calculator:
+    """A service with both methods and plain attributes."""
+
+    value = 42
+
+    def add(self, a, b):
+        return a + b
+
+    def fail(self):
+        raise RuntimeError("remote failure")
+
+
+def make_pair():
+    network = Network()
+    mobile = Host("mobile", network)
+    server = Host("server", network)
+    return network, mobile, server
+
+
+class TestExportImport:
+    def test_remote_call_returns_result(self):
+        _network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        assert proxy.add(2, 3) == 5
+
+    def test_import_unknown_service_raises(self):
+        _network, mobile, server = make_pair()
+        with pytest.raises(LookupError):
+            mobile.import_service(server, "nothing")
+
+    def test_imported_service_visible_in_local_registry(self):
+        _network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        mobile.import_service(server, "calc")
+        imported = mobile.framework.registry.get_reference("calc")
+        assert imported.property("service.imported") is True
+        assert imported.property("remote.host") == "server"
+
+    def test_export_tagged_with_host(self):
+        _network, _mobile, server = make_pair()
+        server.export("calc", Calculator())
+        ref = server.framework.registry.get_reference("calc")
+        assert ref.property("remote.host") == "server"
+
+
+class TestTrafficAccounting:
+    def test_each_call_records_request_and_response(self):
+        network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        proxy.add(1, 2)
+        proxy.add(3, 4)
+        assert network.message_count(source="mobile") == 2
+        assert network.message_count(source="server") == 2
+        assert network.message_count() == 4
+
+    def test_bytes_are_positive_and_direction_filtered(self):
+        network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        proxy.add(10, 20)
+        assert network.bytes_sent(source="mobile", destination="server") > 0
+        assert network.bytes_sent(source="server", destination="mobile") > 0
+        assert network.bytes_sent(source="server", destination="ghost") == 0
+
+    def test_call_counts_per_method(self):
+        _network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        proxy.add(1, 1)
+        proxy.add(2, 2)
+        assert proxy.call_counts == {"add": 2}
+
+    def test_messages_timestamped_from_clock(self):
+        clock = SimulationClock()
+        network = Network(clock=clock)
+        mobile = Host("mobile", network)
+        server = Host("server", network)
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        clock.advance(12.5)
+        proxy.add(1, 1)
+        assert all(m.time_s == 12.5 for m in network.messages)
+
+    def test_reset_clears_history(self):
+        network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        proxy.add(1, 1)
+        network.reset()
+        assert network.message_count() == 0
+
+
+class TestProxySemantics:
+    def test_non_callable_attribute_access_raises(self):
+        _network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        with pytest.raises(AttributeError):
+            _ = proxy.value
+
+    def test_remote_exception_propagates(self):
+        network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        with pytest.raises(RuntimeError):
+            proxy.fail()
+        # The request was sent even though the call failed.
+        assert network.message_count(source="mobile") == 1
+
+    def test_missing_method_raises_attribute_error(self):
+        _network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        with pytest.raises(AttributeError):
+            proxy.no_such_method()

@@ -1,0 +1,212 @@
+"""Tests for trajectories, the accelerometer, and the trace emulator."""
+
+import pytest
+
+from repro.geo.wgs84 import Wgs84Position
+from repro.sensors.base import SensorReading
+from repro.sensors.emulator import (
+    EmulatorSensor,
+    load_trace,
+    reading_from_json,
+    reading_to_json,
+    record_trace,
+)
+from repro.sensors.inertial import Accelerometer, AccelerometerReading
+from repro.sensors.trajectory import (
+    RandomWalkTrajectory,
+    StationaryTrajectory,
+    Waypoint,
+    WaypointTrajectory,
+)
+from repro.sensors.wifi import WifiObservation, WifiScan
+
+START = Wgs84Position(56.17, 10.19)
+
+
+class TestWaypointTrajectory:
+    def make(self):
+        east = START.moved(90.0, 100.0)
+        return WaypointTrajectory(
+            [Waypoint(0.0, START), Waypoint(100.0, east)]
+        )
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([Waypoint(0.0, START)])
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory(
+                [Waypoint(1.0, START), Waypoint(1.0, START)]
+            )
+
+    def test_clamps_before_start_and_after_end(self):
+        traj = self.make()
+        assert traj.position_at(-5.0) == traj.position_at(0.0)
+        assert traj.position_at(500.0).distance_to(
+            traj.position_at(100.0)
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_midpoint_is_halfway(self):
+        traj = self.make()
+        mid = traj.position_at(50.0)
+        assert START.distance_to(mid) == pytest.approx(50.0, rel=1e-3)
+
+    def test_constant_speed_between_waypoints(self):
+        traj = self.make()
+        assert traj.speed_at(50.0) == pytest.approx(1.0, rel=1e-2)
+
+    def test_pause_leg_has_zero_speed(self):
+        traj = WaypointTrajectory(
+            [
+                Waypoint(0.0, START),
+                Waypoint(50.0, START),
+                Waypoint(100.0, START.moved(0.0, 70.0)),
+            ]
+        )
+        assert traj.speed_at(20.0) == pytest.approx(0.0, abs=1e-6)
+        assert traj.speed_at(80.0) > 1.0
+
+    def test_from_legs(self):
+        traj = WaypointTrajectory.from_legs(
+            START, [(90.0, 100.0, 2.0), (0.0, 50.0, 1.0)]
+        )
+        assert traj.duration() == pytest.approx(100.0)
+        end = traj.position_at(traj.duration())
+        assert START.distance_to(end) == pytest.approx(111.8, rel=0.01)
+
+    def test_from_legs_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory.from_legs(START, [(0.0, 10.0, 0.0)])
+
+
+class TestOtherTrajectories:
+    def test_stationary_never_moves(self):
+        traj = StationaryTrajectory(START, 100.0)
+        assert traj.position_at(0.0) == traj.position_at(99.0)
+        assert traj.speed_at(50.0) == 0.0
+
+    def test_random_walk_deterministic_per_seed(self):
+        a = RandomWalkTrajectory(START, 300.0, seed=5)
+        b = RandomWalkTrajectory(START, 300.0, seed=5)
+        c = RandomWalkTrajectory(START, 300.0, seed=6)
+        assert a.position_at(123.0) == b.position_at(123.0)
+        assert a.position_at(123.0) != c.position_at(123.0)
+
+    def test_random_walk_covers_duration(self):
+        traj = RandomWalkTrajectory(START, 300.0, seed=5)
+        assert traj.duration() >= 300.0
+
+    def test_random_walk_moves_at_plausible_speed(self):
+        traj = RandomWalkTrajectory(
+            START, 600.0, seed=5, pause_probability=0.0, speed_mps=1.4
+        )
+        total = sum(
+            traj.position_at(t).distance_to(traj.position_at(t + 10.0))
+            for t in range(0, 590, 10)
+        )
+        average_speed = total / 590.0
+        assert 0.8 < average_speed < 1.6
+
+
+class TestAccelerometer:
+    def test_still_vs_moving_levels(self):
+        still = Accelerometer(
+            "acc", StationaryTrajectory(START, 100.0), seed=1
+        )
+        moving = Accelerometer(
+            "acc",
+            WaypointTrajectory(
+                [Waypoint(0.0, START), Waypoint(100.0, START.moved(0, 140))]
+            ),
+            seed=1,
+        )
+        still_vals = [r.payload.variance for r in still.sample(50.0)]
+        moving_vals = [r.payload.variance for r in moving.sample(50.0)]
+        assert max(still_vals) < min(moving_vals)
+
+    def test_variance_never_negative(self):
+        acc = Accelerometer(
+            "acc", StationaryTrajectory(START, 100.0), seed=2,
+            noise_sigma=1.0,
+        )
+        assert all(r.payload.variance >= 0.0 for r in acc.sample(100.0))
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            Accelerometer(
+                "acc", StationaryTrajectory(START, 1.0), period_s=0.0
+            )
+
+
+class TestEmulator:
+    def readings(self):
+        return [
+            SensorReading("gps0", 0.0, "$GPGGA,fake*00", {"format": "raw"}),
+            SensorReading(
+                "gps0",
+                1.0,
+                WifiScan(1.0, (WifiObservation("ap", -55.0),)),
+            ),
+            SensorReading("gps0", 2.0, AccelerometerReading(2.0, 0.5)),
+        ]
+
+    def test_json_roundtrip_all_payload_kinds(self):
+        for reading in self.readings():
+            back = reading_from_json(reading_to_json(reading))
+            assert back.sensor_id == reading.sensor_id
+            assert back.timestamp == reading.timestamp
+            assert back.payload == reading.payload
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = record_trace(self.readings(), path)
+        assert count == 3
+        loaded = load_trace(path)
+        assert [r.payload for r in loaded] == [
+            r.payload for r in self.readings()
+        ]
+
+    def test_replay_by_time(self):
+        emulator = EmulatorSensor(self.readings())
+        assert len(emulator.sample(0.5)) == 1
+        assert len(emulator.sample(2.0)) == 2
+        assert emulator.exhausted
+        assert emulator.sample(10.0) == []
+
+    def test_replay_preserves_sensor_identity(self):
+        emulator = EmulatorSensor(self.readings())
+        assert emulator.sensor_id == "gps0"
+        out = emulator.sample(5.0)
+        assert all(r.sensor_id == "gps0" for r in out)
+
+    def test_sensor_id_override(self):
+        emulator = EmulatorSensor(self.readings(), sensor_id="replay")
+        assert emulator.sample(5.0)[0].sensor_id == "replay"
+
+    def test_time_offset_shifts_replay(self):
+        emulator = EmulatorSensor(self.readings(), time_offset=100.0)
+        assert emulator.sample(99.0) == []
+        assert len(emulator.sample(100.0)) == 1
+
+    def test_speedup_compresses_schedule(self):
+        emulator = EmulatorSensor(self.readings(), speedup=2.0)
+        assert len(emulator.sample(1.0)) == 3
+
+    def test_rewind(self):
+        emulator = EmulatorSensor(self.readings())
+        emulator.sample(10.0)
+        emulator.rewind()
+        assert len(emulator.sample(10.0)) == 3
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record_trace(self.readings(), path)
+        emulator = EmulatorSensor.from_file(path)
+        assert len(emulator.sample(10.0)) == 3
+
+    def test_readings_sorted_by_timestamp(self):
+        shuffled = list(reversed(self.readings()))
+        emulator = EmulatorSensor(shuffled)
+        out = emulator.sample(10.0)
+        assert [r.timestamp for r in out] == [0.0, 1.0, 2.0]

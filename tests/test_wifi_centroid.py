@@ -1,0 +1,117 @@
+"""Tests for the weighted-centroid WiFi positioning baseline."""
+
+import random
+
+import pytest
+
+from repro.core.component import ApplicationSink, SourceComponent
+from repro.core.data import Datum, Kind
+from repro.core.graph import ProcessingGraph
+from repro.geo.grid import GridPosition
+from repro.model.demo import demo_access_points, demo_building, demo_radio_environment
+from repro.processing.wifi_centroid import CentroidPositioningComponent
+from repro.sensors.wifi import AccessPoint, WifiObservation, WifiScan
+
+
+def scan(*observations):
+    return WifiScan(0.0, tuple(WifiObservation(b, r) for b, r in observations))
+
+
+class TestEstimate:
+    def two_ap_engine(self, exponent=1.5):
+        building = demo_building()
+        aps = [
+            AccessPoint("west", GridPosition(0.0, 0.0)),
+            AccessPoint("east", GridPosition(10.0, 0.0)),
+        ]
+        return CentroidPositioningComponent(
+            aps, building.grid, exponent=exponent
+        )
+
+    def test_equal_rssi_yields_midpoint(self):
+        engine = self.two_ap_engine()
+        estimate, _spread = engine.estimate(
+            scan(("west", -50.0), ("east", -50.0))
+        )
+        assert estimate.x_m == pytest.approx(5.0)
+
+    def test_stronger_ap_pulls_estimate(self):
+        engine = self.two_ap_engine()
+        estimate, _spread = engine.estimate(
+            scan(("west", -40.0), ("east", -70.0))
+        )
+        assert estimate.x_m < 2.0
+
+    def test_unknown_bssids_ignored(self):
+        engine = self.two_ap_engine()
+        estimate, _ = engine.estimate(
+            scan(("west", -50.0), ("rogue", -30.0))
+        )
+        assert estimate.x_m == pytest.approx(0.0)
+
+    def test_no_known_aps_returns_none(self):
+        engine = self.two_ap_engine()
+        assert engine.estimate(scan(("rogue", -30.0))) is None
+
+    def test_exponent_sharpens_snapping(self):
+        soft = self.two_ap_engine(exponent=1.0)
+        sharp = self.two_ap_engine(exponent=3.0)
+        readings = scan(("west", -45.0), ("east", -60.0))
+        soft_x = soft.estimate(readings)[0].x_m
+        sharp_x = sharp.estimate(readings)[0].x_m
+        assert sharp_x < soft_x
+
+    def test_requires_access_points(self):
+        building = demo_building()
+        with pytest.raises(ValueError):
+            CentroidPositioningComponent([], building.grid)
+
+
+class TestComponentIntegration:
+    def test_produces_both_kinds_in_graph(self):
+        building = demo_building()
+        environment = demo_radio_environment(building)
+        engine = CentroidPositioningComponent(
+            demo_access_points(), building.grid
+        )
+        graph = ProcessingGraph()
+        source = SourceComponent("wifi", (Kind.WIFI_SCAN,))
+        sink = ApplicationSink(
+            "app", (Kind.POSITION_WGS84, Kind.POSITION_GRID)
+        )
+        for c in (source, engine, sink):
+            graph.add(c)
+        graph.connect("wifi", engine.name)
+        graph.connect(engine.name, "app")
+        observations = environment.observe(
+            GridPosition(15.0, 7.5), random.Random(1)
+        )
+        source.inject(
+            Datum(Kind.WIFI_SCAN, WifiScan(0.0, tuple(observations)), 0.0)
+        )
+        kinds = {d.kind for d in sink.received}
+        assert kinds == {Kind.POSITION_GRID, Kind.POSITION_WGS84}
+        grid_estimate = sink.last(Kind.POSITION_GRID).payload
+        assert GridPosition(15.0, 7.5).distance_to(grid_estimate) < 15.0
+
+    def test_empty_scan_ignored(self):
+        building = demo_building()
+        engine = CentroidPositioningComponent(
+            demo_access_points(), building.grid
+        )
+        graph = ProcessingGraph()
+        source = SourceComponent("wifi", (Kind.WIFI_SCAN,))
+        sink = ApplicationSink("app", (Kind.POSITION_GRID,))
+        for c in (source, engine, sink):
+            graph.add(c)
+        graph.connect("wifi", engine.name)
+        graph.connect(engine.name, "app")
+        source.inject(Datum(Kind.WIFI_SCAN, WifiScan(0.0, ()), 0.0))
+        assert sink.received == []
+
+    def test_known_ap_count(self):
+        building = demo_building()
+        engine = CentroidPositioningComponent(
+            demo_access_points(), building.grid
+        )
+        assert engine.known_ap_count() == 6
