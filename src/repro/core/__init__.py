@@ -49,6 +49,16 @@ from repro.core.positioning import (
 )
 from repro.core.psl import ProcessStructureLayer
 from repro.core.report import infrastructure_snapshot, render_report
+from repro.observability import (
+    ChannelTracingFeature,
+    FlowTrace,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    ObservabilityHub,
+    TraceHop,
+    TracingFeature,
+    trace_of,
+)
 
 __all__ = [
     "AutoAssembler",
@@ -89,4 +99,12 @@ __all__ = [
     "Target",
     "PositioningError",
     "PerPos",
+    "ChannelTracingFeature",
+    "FlowTrace",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "ObservabilityHub",
+    "TraceHop",
+    "TracingFeature",
+    "trace_of",
 ]

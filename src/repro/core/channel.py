@@ -337,5 +337,38 @@ class Channel(GraphObserver):
         history = self._history[-1]
         return history[-1] if history else None
 
+    # -- runtime observability ------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Live runtime statistics for this channel.
+
+        Combines the channel's own logical-time bookkeeping (outputs
+        delivered, feature errors) with the per-member metrics of the
+        graph's observability hub when one is installed.  The member
+        section is empty while observability is disabled.
+        """
+        latest = self.latest_output()
+        hub = self.graph.instrumentation
+        return {
+            "id": self.id,
+            "outputs_delivered": latest.logical_time if latest else 0,
+            "feature_errors": len(self.feature_errors),
+            "members": (
+                {
+                    m.name: hub.component_stats(m.name)
+                    for m in self.members
+                }
+                if hub is not None
+                else {}
+            ),
+        }
+
+    def latest_trace(self):
+        """Flow trace carried by the latest output datum, if tracing is on."""
+        from repro.observability.tracing import trace_of
+
+        latest = self.latest_output()
+        return trace_of(latest.datum) if latest else None
+
     def __repr__(self) -> str:
         return f"Channel({self.id!r}, members={len(self.members)})"

@@ -231,6 +231,10 @@ class ProcessingComponent(abc.ABC):
         for feature in self._features:
             intercepted = feature.consume(datum)
             if intercepted is None:
+                if self._observer is not None:
+                    self._observer.data_dropped(
+                        self, port_name, datum, feature.name
+                    )
                 return
             if intercepted.kind != datum.kind:
                 raise FeatureError(
@@ -287,8 +291,10 @@ class ProcessingComponent(abc.ABC):
         self._send(datum)
 
     def _send(self, datum: Datum) -> None:
-        if self._observer is not None:
-            self._observer.data_produced(self, datum)
+        # Delivery (wired by the graph at attach time) is the single
+        # hand-off point: the graph instruments the datum, notifies
+        # observers, and routes it, in that order, so every party sees
+        # the same (possibly trace-annotated) envelope.
         if self._deliver is not None:
             self._deliver(datum)
 
@@ -308,6 +314,15 @@ class ComponentObserver(abc.ABC):
     def data_produced(
         self, component: ProcessingComponent, datum: Datum
     ) -> None: ...
+
+    def data_dropped(
+        self,
+        component: ProcessingComponent,
+        port_name: str,
+        datum: Datum,
+        feature_name: str,
+    ) -> None:
+        """A Component Feature vetoed an inbound datum; default no-op."""
 
 
 class SourceComponent(ProcessingComponent):

@@ -62,6 +62,15 @@ class Datum:
     producer: str = ""
     attributes: Mapping[str, Any] = field(default_factory=dict)
 
+    def attribute(self, key: str, default: Any = None) -> Any:
+        """Look one annotation up; how trace/feature data is read back.
+
+        Attributes are the envelope's extension point (features and the
+        observability layer both ride on them), so reads go through one
+        accessor instead of poking the mapping directly.
+        """
+        return self.attributes.get(key, default)
+
     def with_payload(self, payload: Any) -> "Datum":
         """Copy with a different payload (same kind/time/provenance).
 

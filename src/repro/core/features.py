@@ -148,6 +148,17 @@ class ComponentFeature:
             and callable(getattr(self, name))
         )
 
+    def describe(self) -> dict:
+        """Reflective summary, mirroring ``ProcessingComponent.describe``."""
+        return {
+            "name": self.name,
+            "type": type(self).__name__,
+            "provides": list(self.provides),
+            "requires_kinds": list(self.requires_kinds),
+            "host": self._component.name if self._component else None,
+            "methods": self.exposed_methods(),
+        }
+
     def __repr__(self) -> str:
         host = self._component.name if self._component else "unattached"
         return f"{type(self).__name__}(name={self.name!r}, host={host})"

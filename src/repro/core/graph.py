@@ -17,10 +17,13 @@ connection the paper's reflection design calls for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.core.component import ComponentObserver, ProcessingComponent
 from repro.core.data import Datum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.observability.instrumentation import ObservabilityHub
 
 
 class GraphError(Exception):
@@ -53,6 +56,15 @@ class GraphObserver:
     ) -> None:  # pragma: no cover - default no-op
         pass
 
+    def data_dropped(
+        self,
+        component: ProcessingComponent,
+        port_name: str,
+        datum: Datum,
+        feature_name: str,
+    ) -> None:  # pragma: no cover - default no-op
+        pass
+
     def topology_changed(self, graph: "ProcessingGraph") -> None:  # pragma: no cover
         pass
 
@@ -64,6 +76,31 @@ class ProcessingGraph(ComponentObserver):
         self._components: Dict[str, ProcessingComponent] = {}
         self._connections: List[Connection] = []
         self._observers: List[GraphObserver] = []
+        # Optional runtime instrumentation; None keeps the hot path bare.
+        self._instrumentation: Optional["ObservabilityHub"] = None
+
+    # -- instrumentation ------------------------------------------------------
+
+    @property
+    def instrumentation(self) -> Optional["ObservabilityHub"]:
+        """The installed observability hub, or None while disabled."""
+        return self._instrumentation
+
+    def set_instrumentation(
+        self, hub: Optional["ObservabilityHub"]
+    ) -> Optional["ObservabilityHub"]:
+        """Install (or, with None, remove) the observability hub.
+
+        Returns the previously installed hub.  The hub immediately
+        receives the current topology so its gauges start correct.
+        """
+        previous = self._instrumentation
+        self._instrumentation = hub
+        if hub is not None:
+            hub.topology_changed(
+                len(self._components), len(self._connections)
+            )
+        return previous
 
     # -- membership ----------------------------------------------------------
 
@@ -76,8 +113,8 @@ class ProcessingGraph(ComponentObserver):
             )
         self._components[component.name] = component
         component._observer = self
-        component._deliver = lambda datum, _name=component.name: (
-            self._route(_name, datum)
+        component._deliver = lambda datum, _component=component: (
+            self._dispatch(_component, datum)
         )
         self._notify_topology()
         return component
@@ -316,7 +353,21 @@ class ProcessingGraph(ComponentObserver):
 
     # -- delivery -----------------------------------------------------------------
 
+    def _dispatch(self, component: ProcessingComponent, datum: Datum) -> None:
+        """Take one produced datum from a component into the graph.
+
+        Instrumentation runs first so observers and consumers all see
+        the (possibly trace-annotated) datum the application will
+        eventually receive.
+        """
+        hub = self._instrumentation
+        if hub is not None:
+            datum = hub.datum_dispatched(component.name, datum)
+        self.data_produced(component, datum)
+        self._route(component.name, datum)
+
     def _route(self, producer: str, datum: Datum) -> None:
+        hub = self._instrumentation
         for connection in list(self._connections):
             if connection.producer != producer:
                 continue
@@ -325,7 +376,10 @@ class ProcessingGraph(ComponentObserver):
                 continue
             port = consumer.input_port(connection.port)
             if port.accepts_kind(datum.kind):
-                consumer.receive(connection.port, datum)
+                if hub is None:
+                    consumer.receive(connection.port, datum)
+                else:
+                    hub.deliver(consumer, connection.port, datum)
 
     # -- observation ----------------------------------------------------------------
 
@@ -349,11 +403,30 @@ class ProcessingGraph(ComponentObserver):
     def data_produced(
         self, component: ProcessingComponent, datum: Datum
     ) -> None:
-        """Component callback: fan the produce event out to observers."""
+        """Fan the produce event out to observers (from :meth:`_dispatch`)."""
         for observer in list(self._observers):
             observer.data_produced(component, datum)
 
+    def data_dropped(
+        self,
+        component: ProcessingComponent,
+        port_name: str,
+        datum: Datum,
+        feature_name: str,
+    ) -> None:
+        """Component callback: a feature vetoed an inbound datum."""
+        hub = self._instrumentation
+        if hub is not None:
+            hub.datum_dropped(component, port_name, datum, feature_name)
+        for observer in list(self._observers):
+            observer.data_dropped(component, port_name, datum, feature_name)
+
     def _notify_topology(self) -> None:
+        hub = self._instrumentation
+        if hub is not None:
+            hub.topology_changed(
+                len(self._components), len(self._connections)
+            )
         for observer in list(self._observers):
             observer.topology_changed(self)
 

@@ -26,6 +26,9 @@ from repro.core.positioning import (
     PositioningLayer,
 )
 from repro.core.psl import ProcessStructureLayer
+from repro.observability.instrumentation import ObservabilityHub
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import FlowTrace, trace_of
 from repro.sensors.base import SensorReading, SimulatedSensor
 from repro.services.bundle import Framework
 
@@ -55,6 +58,51 @@ class PerPos:
         registry.register("perpos.ProcessStructureLayer", self.psl)
         registry.register("perpos.ProcessChannelLayer", self.pcl)
         registry.register("perpos.PositioningLayer", self.positioning)
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def observability(self) -> Optional[ObservabilityHub]:
+        """The installed hub, or None while observability is disabled."""
+        return self.graph.instrumentation
+
+    def enable_observability(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        tracing: bool = True,
+    ) -> ObservabilityHub:
+        """Install runtime metrics + flow tracing on this middleware.
+
+        The hub's clock is the middleware's simulation clock, so hop
+        timestamps and latencies are deterministic.  Re-enabling
+        replaces the previous hub; pass an explicit ``registry`` to keep
+        accumulating into existing series.
+        """
+        hub = ObservabilityHub(
+            registry=registry,
+            time_fn=lambda: self.clock.now,
+            tracing=tracing,
+        )
+        self.graph.set_instrumentation(hub)
+        registry_service = self.framework.registry
+        if registry_service.find_service("perpos.ObservabilityHub") is None:
+            registry_service.register("perpos.ObservabilityHub", hub)
+        return hub
+
+    def disable_observability(self) -> Optional[ObservabilityHub]:
+        """Remove the hub (recorded metrics stay readable on it)."""
+        return self.graph.set_instrumentation(None)
+
+    def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
+        """The component path (with timestamps) behind a delivered datum.
+
+        The runtime twin of the PCL data tree: for a position the
+        application received, this returns the exact source-to-sink
+        component sequence that produced it, or None when the datum was
+        produced while tracing was off.
+        """
+        return trace_of(position)
 
     # -- sensors ---------------------------------------------------------------
 

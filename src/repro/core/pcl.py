@@ -123,6 +123,33 @@ class ProcessChannelLayer(GraphObserver):
         """Reflective summary of the channel view (Fig. 2, middle layer)."""
         return [ch.describe() for ch in self.channels()]
 
+    # -- runtime observability ------------------------------------------------
+
+    def channel_metrics(self, channel_id: str) -> Dict[str, Any]:
+        """Live runtime statistics for one channel (see ``Channel.stats``)."""
+        return self.channel(channel_id).stats()
+
+    def flow_summary(self) -> List[Dict[str, Any]]:
+        """Outputs delivered + latest flow trace per channel.
+
+        The channel-layer view of runtime behaviour: how much each
+        strand has delivered and the concrete component path behind its
+        most recent output (None while tracing is disabled).
+        """
+        summary = []
+        for channel in self.channels():
+            trace = channel.latest_trace()
+            summary.append(
+                {
+                    "id": channel.id,
+                    "outputs_delivered": channel.stats()[
+                        "outputs_delivered"
+                    ],
+                    "latest_path": trace.path if trace else None,
+                }
+            )
+        return summary
+
     def render(self) -> str:
         """ASCII rendering of the channel view."""
         lines = []

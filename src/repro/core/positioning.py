@@ -88,6 +88,18 @@ class LocationProvider:
         datum = self.sink.last(Kind.POSITION_WGS84)
         return datum.payload if datum else None
 
+    def last_trace(self, kind: Optional[str] = None):
+        """Flow trace of the most recent delivery (of ``kind``).
+
+        The positioning-layer end of the runtime translucency stack:
+        which components, in order and at what times, produced the
+        position the application last saw.  None before the first
+        delivery or while tracing is disabled.
+        """
+        from repro.observability.tracing import trace_of
+
+        return trace_of(self.sink.last(kind))
+
     # -- push ------------------------------------------------------------------
 
     def add_listener(

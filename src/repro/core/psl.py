@@ -63,6 +63,26 @@ class ProcessStructureLayer:
         """
         return self.graph.component(name).public_methods()
 
+    # -- runtime observability ------------------------------------------------
+
+    def component_metrics(
+        self, name: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Live per-component runtime metrics (items in/out, latency).
+
+        The runtime counterpart of :meth:`describe`: where ``describe``
+        reflects what a component *is*, this reports what it has *done*.
+        With ``name`` the stats of one component; without, a mapping over
+        all instrumented components.  Empty while observability is
+        disabled -- inspection degrades gracefully rather than raising.
+        """
+        hub = self.graph.instrumentation
+        if hub is None:
+            return {}
+        if name is not None:
+            self.graph.component(name)  # validate existence
+        return hub.component_stats(name)
+
     # -- manipulation -------------------------------------------------------
 
     def insert(self, component: ProcessingComponent) -> None:

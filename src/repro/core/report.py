@@ -84,6 +84,7 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
             latest.logical_time if latest is not None else 0
         )
         channels.append(info)
+    hub = middleware.graph.instrumentation
     return {
         "components": components,
         "connections": [
@@ -94,6 +95,9 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
         "providers": [
             p.describe() for p in middleware.positioning.providers()
         ],
+        # Runtime behaviour (None while observability is disabled): the
+        # live twin of the structural sections above.
+        "observability": hub.snapshot() if hub is not None else None,
     }
 
 
@@ -132,6 +136,25 @@ def render_report(middleware: PerPos) -> str:
             f"  {provider['name']}: kinds={provider['kinds']}"
             f" features={provider['features']}"
         )
+    observability = snapshot["observability"]
+    lines.append("")
+    lines.append("live metrics:")
+    if observability is None:
+        lines.append("  (observability disabled)")
+    else:
+        for name, stats in sorted(observability["components"].items()):
+            parts = [
+                f"in={stats.get('items_in', 0)}",
+                f"out={stats.get('items_out', 0)}",
+            ]
+            if stats.get("items_dropped"):
+                parts.append(f"dropped={stats['items_dropped']}")
+            if stats.get("errors"):
+                parts.append(f"errors={stats['errors']}")
+            latency = stats.get("latency")
+            if latency and latency["count"]:
+                parts.append(f"mean_latency_s={_fmt(latency['mean'])}")
+            lines.append(f"  {name}: " + ", ".join(parts))
     return "\n".join(lines)
 
 

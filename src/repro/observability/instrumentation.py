@@ -1,0 +1,278 @@
+"""The ObservabilityHub: per-component metrics + flow tracing for a graph.
+
+The hub is the single instrumentation point the
+:class:`~repro.core.graph.ProcessingGraph` consults on its hot path.  It
+is installed with ``graph.set_instrumentation(hub)`` (or, one level up,
+``PerPos.enable_observability()``); while no hub is installed the graph
+pays exactly one ``is None`` check per event, which is what keeps the
+disabled default within the overhead budget measured by
+``benchmarks/bench_overhead_ablation.py``.
+
+Per event the hub records:
+
+* ``items_out{component=...}`` -- datums dispatched by a component;
+* ``items_in{component=...}`` -- datums delivered into a component;
+* ``items_dropped{component=...}`` -- datums a Component Feature vetoed;
+* ``errors{component=...}`` -- exceptions escaping ``receive``;
+* ``hop_latency_s{component=...}`` -- processing time per delivery;
+* ``graph_components`` / ``graph_connections`` gauges on topology change.
+
+With ``tracing=True`` (the default) the hub also maintains flow traces:
+each dispatched datum carries a :class:`~repro.observability.tracing
+.FlowTrace` extended with the producing component.  Because delivery is
+synchronous, the hub keeps a stack of "the trace of the datum currently
+being processed"; whatever a component produces while processing input X
+inherits X's trace.  Datums produced outside any delivery (sources, clock
+callbacks) start fresh traces.
+
+Two feature-mechanism entry points complete the surface:
+:class:`TracingFeature` (a Component Feature logging a component's
+in/out events) and :class:`ChannelTracingFeature` (a Channel Feature
+collecting the flow traces behind a channel's outputs) -- observability
+installable through the paper's own extension seams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.channel import ChannelFeature
+from repro.core.data import Datum
+from repro.core.datatree import DataTree
+from repro.core.features import ComponentFeature
+from repro.observability.metrics import (
+    MetricsRegistry,
+    default_registry,
+)
+from repro.observability.tracing import (
+    FlowTrace,
+    TraceHop,
+    trace_of,
+    with_trace,
+)
+
+
+class ObservabilityHub:
+    """Records runtime behaviour of one processing graph.
+
+    Parameters
+    ----------
+    registry:
+        Metric store; a fresh :class:`MetricsRegistry` by default.
+    time_fn:
+        Clock for hop timestamps and latencies.  Inject
+        ``lambda: clock.now`` for deterministic simulation-time traces
+        (what :meth:`~repro.core.middleware.PerPos.enable_observability`
+        does); defaults to the registry's ``time_fn``.
+    tracing:
+        Whether to attach/extend flow traces (costs one datum copy per
+        hop); metrics are always recorded while the hub is installed.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        time_fn: Optional[Callable[[], float]] = None,
+        tracing: bool = True,
+    ) -> None:
+        self.registry = registry or MetricsRegistry(time_fn=time_fn)
+        self._time = time_fn or self.registry.time_fn
+        self.tracing = tracing
+        # Traces of datums currently being processed (delivery is
+        # synchronous, so this is a proper nesting stack).
+        self._context: List[Optional[FlowTrace]] = []
+
+    # -- graph hooks (hot path) --------------------------------------------
+
+    def datum_dispatched(self, producer: str, datum: Datum) -> Datum:
+        """A component handed ``datum`` to the graph for routing."""
+        self.registry.counter("items_out", component=producer).inc()
+        if self.tracing:
+            hop = TraceHop(producer, self._time(), datum.kind)
+            parent = self._context[-1] if self._context else None
+            trace = (
+                parent.extended(hop)
+                if parent is not None
+                else FlowTrace((hop,))
+            )
+            datum = with_trace(datum, trace)
+        return datum
+
+    def deliver(self, consumer: Any, port: str, datum: Datum) -> None:
+        """Deliver ``datum`` into ``consumer`` under instrumentation."""
+        name = consumer.name
+        registry = self.registry
+        registry.counter("items_in", component=name).inc()
+        self._context.append(trace_of(datum) if self.tracing else None)
+        start = self._time()
+        try:
+            consumer.receive(port, datum)
+        except Exception:
+            registry.counter("errors", component=name).inc()
+            raise
+        finally:
+            self._context.pop()
+            registry.histogram("hop_latency_s", component=name).observe(
+                self._time() - start
+            )
+
+    def datum_dropped(
+        self, component: Any, port: str, datum: Datum, feature_name: str
+    ) -> None:
+        """A Component Feature vetoed a datum on its way in."""
+        self.registry.counter(
+            "items_dropped", component=component.name
+        ).inc()
+        self.registry.counter(
+            "feature_drops", feature=feature_name
+        ).inc()
+
+    def topology_changed(self, n_components: int, n_connections: int) -> None:
+        self.registry.gauge("graph_components").set(n_components)
+        self.registry.gauge("graph_connections").set(n_connections)
+
+    # -- queries -----------------------------------------------------------
+
+    def component_stats(
+        self, name: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Per-component roll-up of every recorded series.
+
+        With ``name`` the stats of one component; without, a mapping of
+        component name to stats.  Latency appears as the histogram
+        summary under ``"latency"``.
+        """
+        stats: Dict[str, Dict[str, Any]] = {}
+        for kind, series, labels, instrument in self.registry.series():
+            component = labels.get("component")
+            if component is None:
+                continue
+            entry = stats.setdefault(component, {})
+            if kind == "histogram" and series == "hop_latency_s":
+                entry["latency"] = instrument.summary()
+            elif kind == "counter":
+                entry[series] = instrument.value
+            elif kind == "gauge":
+                entry[series] = instrument.value
+        if name is not None:
+            return stats.get(name, {})
+        return stats
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full metrics dump plus the per-component roll-up."""
+        return {
+            "enabled": True,
+            "tracing": self.tracing,
+            "metrics": self.registry.snapshot(),
+            "components": self.component_stats(),
+        }
+
+    def reset(self) -> None:
+        """Zero all metrics (traces on in-flight datums are untouched)."""
+        self.registry.reset()
+
+
+class TracingFeature(ComponentFeature):
+    """A Component Feature logging its host's data events.
+
+    Installable through the paper's per-component extension seam
+    (:meth:`ProcessStructureLayer.attach_feature`), independent of any
+    hub: it keeps a bounded in-memory event log -- ``(time, direction,
+    kind, producer)`` -- and mirrors event counts into ``registry`` (the
+    process-wide default registry unless one is given, so attaching it
+    is free while observability is globally disabled).
+
+    Its public methods (``events``, ``last_event``, ``clear``) surface
+    through the component's reflective API like any feature methods.
+    """
+
+    name = "Tracing"
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        keep_last: int = 256,
+        time_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__()
+        self._registry = registry
+        self._keep_last = keep_last
+        self._time = time_fn
+        self._events: List[Tuple[float, str, str, str]] = []
+
+    def _record(self, direction: str, datum: Datum) -> None:
+        registry = (
+            self._registry if self._registry is not None else default_registry()
+        )
+        registry.counter(
+            "feature_events",
+            component=self.component.name,
+            direction=direction,
+        ).inc()
+        stamp = self._time() if self._time is not None else datum.timestamp
+        self._events.append((stamp, direction, datum.kind, datum.producer))
+        if len(self._events) > self._keep_last:
+            del self._events[: len(self._events) - self._keep_last]
+
+    def consume(self, datum: Datum) -> Optional[Datum]:
+        self._record("in", datum)
+        return datum
+
+    def produce(self, datum: Datum) -> Optional[Datum]:
+        self._record("out", datum)
+        return datum
+
+    # -- reflective surface ------------------------------------------------
+
+    def events(self) -> List[Tuple[float, str, str, str]]:
+        """The logged ``(time, direction, kind, producer)`` events."""
+        return list(self._events)
+
+    def last_event(self) -> Optional[Tuple[float, str, str, str]]:
+        return self._events[-1] if self._events else None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class ChannelTracingFeature(ChannelFeature):
+    """A Channel Feature collecting flow traces behind channel outputs.
+
+    Every time the channel delivers an output whose datum carries a
+    :class:`FlowTrace`, the trace is kept (bounded).  ``paths()`` then
+    answers "which concrete component routes fed this channel lately" --
+    the runtime complement of the channel's static member list.
+    """
+
+    name = "ChannelTracing"
+
+    def __init__(self, keep_last: int = 64) -> None:
+        super().__init__()
+        self._keep_last = keep_last
+        self._traces: List[FlowTrace] = []
+
+    def apply(self, data_tree: DataTree) -> None:
+        trace = trace_of(data_tree.root.datum)
+        if trace is None:
+            return
+        self._traces.append(trace)
+        if len(self._traces) > self._keep_last:
+            del self._traces[: len(self._traces) - self._keep_last]
+
+    # -- reflective surface ------------------------------------------------
+
+    def traces(self) -> List[FlowTrace]:
+        return list(self._traces)
+
+    def last_trace(self) -> Optional[FlowTrace]:
+        return self._traces[-1] if self._traces else None
+
+    def paths(self) -> List[List[str]]:
+        """Distinct component paths observed, in first-seen order."""
+        seen: List[List[str]] = []
+        for trace in self._traces:
+            path = trace.path
+            if path not in seen:
+                seen.append(path)
+        return seen

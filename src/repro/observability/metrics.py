@@ -1,0 +1,393 @@
+"""Metric instruments for the runtime observability layer.
+
+The paper's translucency story (§1 R2, §2.1-2.3) reifies the *structure*
+of the positioning process; this module reifies its *behaviour*: how many
+data items each component consumed and produced, how long each hop took,
+how often things failed.  Everything is pure stdlib and clock-injected --
+a :class:`MetricsRegistry` built over the
+:class:`~repro.clock.SimulationClock` records fully deterministic
+latencies, which is what keeps the observability tests reproducible.
+
+Two registry flavours exist:
+
+* :class:`MetricsRegistry` -- the real thing: lazily-created counters,
+  gauges and histograms keyed by ``(name, labels)``.
+* :class:`NullMetricsRegistry` -- the disabled default: every lookup
+  returns a shared no-op instrument, so instrumented code pays one
+  attribute call and nothing else.
+
+A process-wide *default registry* (:func:`default_registry` /
+:func:`set_default_registry`) lets loosely-coupled instrumentation (for
+example :class:`~repro.observability.instrumentation.TracingFeature`)
+record without a hub reference.  It starts out as the shared null
+registry; tests that swap it in must swap it back -- the tier-1 suite has
+a guard fixture that fails any test leaking global observability state
+(see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+SeriesKey = Tuple[str, LabelKey]
+
+#: Default latency bucket bounds (seconds): microseconds to ~1 minute.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+    1.0,
+    10.0,
+    60.0,
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current graph size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A latency/size distribution with fixed bucket bounds.
+
+    Keeps count/sum/min/max plus cumulative bucket counts, which is
+    enough for mean and coarse quantiles without storing samples.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound containing the q-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            cumulative += self.bucket_counts[index]
+            if cumulative >= target:
+                return bound
+        return self.max if self.max is not None else self.buckets[-1]
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager recording elapsed ``time_fn`` into a histogram."""
+
+    __slots__ = ("_histogram", "_time_fn", "_start")
+
+    def __init__(
+        self, histogram: Histogram, time_fn: Callable[[], float]
+    ) -> None:
+        self._histogram = histogram
+        self._time_fn = time_fn
+
+    def __enter__(self) -> "_Timer":
+        self._start = self._time_fn()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._histogram.observe(self._time_fn() - self._start)
+
+
+class MetricsRegistry:
+    """Lazily-created, label-keyed metric instruments.
+
+    ``time_fn`` is the injected clock for :meth:`timer`; pass
+    ``lambda: clock.now`` to drive latencies from the simulation clock
+    (deterministic) or leave the ``time.monotonic`` default for
+    wall-clock measurement.
+    """
+
+    #: Whether instruments returned by this registry record anything.
+    enabled: bool = True
+
+    def __init__(self, time_fn: Optional[Callable[[], float]] = None) -> None:
+        self.time_fn: Callable[[], float] = time_fn or time.monotonic
+        self._counters: Dict[SeriesKey, Counter] = {}
+        self._gauges: Dict[SeriesKey, Gauge] = {}
+        self._histograms: Dict[SeriesKey, Histogram] = {}
+
+    # -- instrument lookup -------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    def timer(self, name: str, **labels: Any) -> _Timer:
+        """``with registry.timer("step"):`` records the block's latency."""
+        return _Timer(self.histogram(name, **labels), self.time_fn)
+
+    # -- inspection --------------------------------------------------------
+
+    def series(
+        self,
+    ) -> Iterator[Tuple[str, str, Dict[str, str], Any]]:
+        """Yield ``(kind, name, labels, instrument)`` for every series."""
+        for (name, labels), instrument in self._counters.items():
+            yield "counter", name, dict(labels), instrument
+        for (name, labels), instrument in self._gauges.items():
+            yield "gauge", name, dict(labels), instrument
+        for (name, labels), instrument in self._histograms.items():
+            yield "histogram", name, dict(labels), instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time dump: ``{"counters": {...}, "gauges": ...}``."""
+        return {
+            "counters": {
+                _series_name(name, labels): c.value
+                for (name, labels), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series_name(name, labels): g.value
+                for (name, labels), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _series_name(name, labels): h.summary()
+                for (name, labels), h in sorted(self._histograms.items())
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable digest of current state; used by the test-state guard."""
+        return repr(self.snapshot())
+
+    def reset(self) -> None:
+        """Zero every instrument (series identities are kept)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for instrument in group.values():
+                instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every series entirely."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The zero-cost-when-disabled registry: every instrument is a no-op.
+
+    All lookups return shared singleton instruments whose recording
+    methods do nothing, so disabled instrumentation costs one method
+    call and no allocation.
+    """
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+    _TIMER = _NullTimer()
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def timer(self, name: str, **labels: Any) -> "_NullTimer":  # type: ignore[override]
+        return self._TIMER
+
+    def series(self) -> Iterator[Tuple[str, str, Dict[str, str], Any]]:
+        return iter(())
+
+    def fingerprint(self) -> str:
+        return "<null>"
+
+
+#: Shared disabled registry; also the initial process-wide default.
+NULL_REGISTRY = NullMetricsRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry for hub-less instrumentation."""
+    return _default_registry
+
+
+def set_default_registry(
+    registry: Optional[MetricsRegistry],
+) -> MetricsRegistry:
+    """Swap the process-wide default; returns the previous registry.
+
+    Passing ``None`` restores the shared null registry.  Anything that
+    swaps the default (tests included) is responsible for restoring it;
+    the tier-1 conftest guard fails tests that leak a swapped default.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def global_state_token() -> Tuple[int, str]:
+    """Opaque token identifying global observability state.
+
+    Equal tokens before and after a block mean the block neither swapped
+    the default registry nor left recordings behind in it.
+    """
+    return (id(_default_registry), _default_registry.fingerprint())
+
+
+def reset_global_state() -> None:
+    """Restore the pristine global default (null registry, empty)."""
+    global _default_registry
+    if isinstance(_default_registry, MetricsRegistry):
+        _default_registry.clear()
+    _default_registry = NULL_REGISTRY

@@ -1,0 +1,96 @@
+"""Flow traces: the runtime twin of the PCL data tree.
+
+A :class:`~repro.core.datatree.DataTree` answers "which *elements*
+contributed to this channel output" in logical time.  A
+:class:`FlowTrace` answers the runtime question one layer up: "which
+*components*, in order and at what clock times, did this datum actually
+traverse on its way to the application".  Where the data tree is scoped
+to one channel, a flow trace spans the whole graph -- across merge
+points -- because it rides on the datum itself.
+
+The trace is carried in ``Datum.attributes`` under :data:`TRACE_ATTR`.
+Datums are immutable, so extension copies the envelope; that cost is
+only paid when tracing is enabled (see
+:class:`~repro.observability.instrumentation.ObservabilityHub`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.data import Datum
+
+#: Attribute key under which a datum carries its flow trace.
+TRACE_ATTR = "perpos.trace"
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One traversal step: a component produced/forwarded the datum."""
+
+    component: str
+    timestamp: float
+    kind: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "component": self.component,
+            "timestamp": self.timestamp,
+            "kind": self.kind,
+        }
+
+
+@dataclass(frozen=True)
+class FlowTrace:
+    """An ordered, immutable sequence of hops, source first."""
+
+    hops: Tuple[TraceHop, ...] = ()
+
+    def extended(self, hop: TraceHop) -> "FlowTrace":
+        """A new trace with ``hop`` appended."""
+        return FlowTrace(self.hops + (hop,))
+
+    @property
+    def path(self) -> List[str]:
+        """Component names in traversal order."""
+        return [hop.component for hop in self.hops]
+
+    @property
+    def source(self) -> Optional[str]:
+        return self.hops[0].component if self.hops else None
+
+    @property
+    def duration(self) -> float:
+        """Clock time between the first and last hop."""
+        if len(self.hops) < 2:
+            return 0.0
+        return self.hops[-1].timestamp - self.hops[0].timestamp
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __iter__(self):
+        return iter(self.hops)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [hop.describe() for hop in self.hops]
+
+    def render(self) -> str:
+        """One-line rendering: ``src[t=0.0] -> parser[t=0.0] -> ...``."""
+        return " -> ".join(
+            f"{hop.component}[t={hop.timestamp:g}]" for hop in self.hops
+        )
+
+
+def trace_of(datum: Optional[Datum]) -> Optional[FlowTrace]:
+    """The flow trace a datum carries, or None if untraced."""
+    if datum is None:
+        return None
+    trace = datum.attribute(TRACE_ATTR)
+    return trace if isinstance(trace, FlowTrace) else None
+
+
+def with_trace(datum: Datum, trace: FlowTrace) -> Datum:
+    """Copy of ``datum`` carrying ``trace``."""
+    return datum.annotated(**{TRACE_ATTR: trace})

@@ -1,0 +1,46 @@
+"""Tier-1 suite configuration: global observability-state hygiene.
+
+The observability layer keeps one piece of process-global state -- the
+default metrics registry (``repro.observability.metrics``).  A test that
+swaps it in, or records into a swapped-in registry, and exits without
+restoring it silently contaminates every test that runs after it.  The
+autouse guard below snapshots the global state token around each test
+and *fails the offending test* (after repairing the state so the rest of
+the run stays clean).
+
+Tests that intentionally leave global state mutated -- there should be
+almost none -- can opt out with ``@pytest.mark.mutates_observability``;
+the guard then restores silently instead of failing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import metrics
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "mutates_observability: test may leave global observability state"
+        " mutated; the guard restores it silently instead of failing",
+    )
+
+
+@pytest.fixture(autouse=True)
+def observability_state_guard(request):
+    """Fail any test leaking global observability state."""
+    before = metrics.global_state_token()
+    yield
+    after = metrics.global_state_token()
+    if after == before:
+        return
+    metrics.reset_global_state()
+    if request.node.get_closest_marker("mutates_observability") is None:
+        pytest.fail(
+            "test mutated global observability state (default metrics"
+            " registry) without resetting it; restore via"
+            " set_default_registry(previous) / reset_global_state(), or"
+            " mark the test with @pytest.mark.mutates_observability"
+        )

@@ -1,0 +1,145 @@
+"""Property-based tests on observability invariants (hypothesis).
+
+Mirrors ``tests/test_property_core.py``: random DAGs and random datum
+sequences, with the hub installed.  Invariants:
+
+* conservation -- sinks cannot consume more items than sources produce
+  (components here never amplify data);
+* every recorded flow trace is a path that exists in the graph;
+* metrics bookkeeping matches ground truth observable at the sinks.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.observability import ObservabilityHub, trace_of
+
+
+def random_dag(data, max_nodes=6, max_edges=12):
+    """A random acyclic graph of pass-through components plus sinks.
+
+    Sources are components 0..k; whatever connect() accepts is kept,
+    exactly as in the core property tests.  Every terminal component
+    gets an ApplicationSink attached so deliveries are observable.
+    """
+    n = data.draw(st.integers(min_value=2, max_value=max_nodes))
+    graph = ProcessingGraph()
+    n_sources = data.draw(st.integers(min_value=1, max_value=n))
+    sources = []
+    for i in range(n_sources):
+        source = SourceComponent(f"s{i}", ("x",))
+        graph.add(source)
+        sources.append(source)
+    for i in range(n - n_sources):
+        graph.add(
+            FunctionComponent(f"c{i}", ("x",), ("x",), fn=lambda d: d)
+        )
+    names = [c.name for c in graph.components()]
+    attempts = data.draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(attempts):
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        try:
+            graph.connect(a, b)
+        except GraphError:
+            pass
+    sinks = []
+    for terminal in list(graph.sinks()):
+        if isinstance(terminal, (SourceComponent, FunctionComponent)):
+            sink = ApplicationSink(f"app-{terminal.name}", ("x",))
+            graph.add(sink)
+            graph.connect(terminal.name, sink.name)
+            sinks.append(sink)
+        elif isinstance(terminal, ApplicationSink):
+            sinks.append(terminal)
+    return graph, sources, sinks
+
+
+class TestObservedRandomDags:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_sinks_consume_at_most_what_sources_produce(self, data):
+        graph, sources, sinks = random_dag(data)
+        hub = ObservabilityHub(time_fn=lambda: 0.0)
+        graph.set_instrumentation(hub)
+        n_items = data.draw(st.integers(min_value=0, max_value=20))
+        for i in range(n_items):
+            source = data.draw(st.sampled_from(sources))
+            source.inject(Datum("x", i, float(i)))
+        stats = hub.component_stats()
+        produced_by_sources = sum(
+            stats.get(s.name, {}).get("items_out", 0) for s in sources
+        )
+        consumed_by_sinks = sum(
+            stats.get(k.name, {}).get("items_in", 0) for k in sinks
+        )
+        assert produced_by_sources == n_items
+        # Conservation: components never amplify data, so the sink set
+        # as a whole never consumes more than the graph produced in
+        # total (reconvergent fan-out can make one sink exceed the
+        # source count, but not the total), and each sink -- hanging
+        # off exactly one terminal -- sees exactly what that terminal
+        # emitted.
+        total_produced = sum(
+            s.get("items_out", 0) for s in stats.values()
+        )
+        assert consumed_by_sinks <= total_produced
+        for sink in sinks:
+            upstream = graph.upstream(sink.name)
+            assert len(upstream) == 1
+            assert stats.get(sink.name, {}).get("items_in", 0) == stats.get(
+                upstream[0], {}
+            ).get("items_out", 0)
+        # And items actually stored at sinks match the recorded metrics.
+        assert consumed_by_sinks == sum(len(k.received) for k in sinks)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_trace_is_a_graph_path(self, data):
+        graph, sources, sinks = random_dag(data)
+        hub = ObservabilityHub(time_fn=lambda: 0.0)
+        graph.set_instrumentation(hub)
+        n_items = data.draw(st.integers(min_value=1, max_value=15))
+        for i in range(n_items):
+            source = data.draw(st.sampled_from(sources))
+            source.inject(Datum("x", i, float(i)))
+        edges = {
+            (c.producer, c.consumer) for c in graph.connections()
+        }
+        component_names = {c.name for c in graph.components()}
+        for sink in sinks:
+            for datum in sink.received:
+                trace = trace_of(datum)
+                assert trace is not None and len(trace) >= 1
+                # The trace starts at a true source of the graph.
+                assert not graph.upstream(trace.path[0])
+                for node in trace.path:
+                    assert node in component_names
+                for a, b in zip(trace.path, trace.path[1:]):
+                    assert (a, b) in edges
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_hop_timestamps_never_decrease(self, data):
+        graph, sources, sinks = random_dag(data)
+        clock = {"now": 0.0}
+        hub = ObservabilityHub(time_fn=lambda: clock["now"])
+        graph.set_instrumentation(hub)
+        n_items = data.draw(st.integers(min_value=1, max_value=10))
+        for i in range(n_items):
+            clock["now"] += data.draw(
+                st.floats(min_value=0.0, max_value=5.0)
+            )
+            data.draw(st.sampled_from(sources)).inject(
+                Datum("x", i, clock["now"])
+            )
+        for sink in sinks:
+            for datum in sink.received:
+                stamps = [h.timestamp for h in trace_of(datum)]
+                assert stamps == sorted(stamps)
