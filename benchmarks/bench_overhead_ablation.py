@@ -118,7 +118,7 @@ def test_e8_overhead(benchmark, label, config):
     benchmark(run)
 
 
-def test_e8_overhead_summary(benchmark, results_writer):
+def test_e8_overhead_summary(benchmark, results_writer, bench_json_writer):
     """One comparable sweep in a single process, plus PSL manipulation."""
     import time
 
@@ -201,6 +201,17 @@ def test_e8_overhead_summary(benchmark, results_writer):
         " (must stay within 1.05x)",
     ]
     results_writer("E8_overhead_ablation", "\n".join(lines))
+    bench_json_writer(
+        "configs",
+        {
+            "n_datums": N_DATUMS,
+            "datums_per_s": {
+                label: round(rates[label], 1) for label, _cfg in CONFIGS
+            },
+            "psl_splice_ms": round(splice_ms, 4),
+            "bare_rerun_ratio": round(rerun_ratio, 4),
+        },
+    )
 
     # Shape: reflection costs, but within an order of magnitude.
     for label, _config in CONFIGS:
@@ -238,14 +249,19 @@ def build_wide_graph(strands, depth):
     return graph, sources
 
 
-def test_e8_scalability(benchmark, results_writer):
+#: (strands, depth) sweep for E8b; the last entry is the paper-sized
+#: configuration the shape assertions and the CI regression gate key on.
+SCALABILITY_SIZES = [(5, 2), (10, 5), (20, 5)]
+
+
+def test_e8_scalability(benchmark, results_writer, bench_json_writer):
     """Paper future work: 'scalability'.  PCL derivation and delivery on
-    a wide graph (20 strands x 5 stages = 122 components)."""
+    wide graphs up to 20 strands x 5 stages = 122 components."""
     import time
 
-    def workload():
+    def measure(strands, depth, rounds=3):
         start = time.perf_counter()
-        graph, sources = build_wide_graph(strands=20, depth=5)
+        graph, sources = build_wide_graph(strands=strands, depth=depth)
         build_s = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -254,24 +270,44 @@ def test_e8_scalability(benchmark, results_writer):
         channels = len(pcl.channels())
 
         n = 200
-        start = time.perf_counter()
-        for i in range(n):
-            for source in sources:
-                source.inject(Datum("x", i, float(i)))
-        throughput = (n * len(sources)) / (time.perf_counter() - start)
-        return build_s, derive_s, channels, throughput
+        throughput = 0.0
+        for _ in range(rounds):  # best-of: absorb scheduler noise
+            start = time.perf_counter()
+            for i in range(n):
+                for source in sources:
+                    source.inject(Datum("x", i, float(i)))
+            throughput = max(
+                throughput,
+                (n * len(sources)) / (time.perf_counter() - start),
+            )
+        return {
+            "components": len(graph.components()),
+            "channels": channels,
+            "build_ms": round(build_s * 1000, 2),
+            "derive_ms": round(derive_s * 1000, 2),
+            "throughput": round(throughput, 1),
+        }
 
-    build_s, derive_s, channels, throughput = benchmark.pedantic(
-        workload, rounds=1, iterations=1
-    )
-    lines = [
-        "Scalability: 20 strands x 5 stages (122 components)",
-        f"  graph construction : {build_s * 1000:.1f} ms",
-        f"  channel derivation : {derive_s * 1000:.1f} ms"
-        f" ({channels} channels)",
-        f"  delivery throughput: {throughput:,.0f} datums/s",
-    ]
+    def workload():
+        return {
+            f"{strands}x{depth}": measure(strands, depth)
+            for strands, depth in SCALABILITY_SIZES
+        }
+
+    sweep = benchmark.pedantic(workload, rounds=1, iterations=1)
+    lines = ["Scalability: strands x stages sweep, merge into one app"]
+    for key, row in sweep.items():
+        lines += [
+            f"{key} ({row['components']} components)",
+            f"  graph construction : {row['build_ms']:.1f} ms",
+            f"  channel derivation : {row['derive_ms']:.1f} ms"
+            f" ({row['channels']} channels)",
+            f"  delivery throughput: {row['throughput']:,.0f} datums/s",
+        ]
     results_writer("E8b_scalability", "\n".join(lines))
-    assert channels == 21  # 20 sensor strands + merge->app
-    assert derive_s < 2.0
-    assert throughput > 5_000
+    bench_json_writer("scalability", sweep)
+
+    largest = sweep["20x5"]
+    assert largest["channels"] == 21  # 20 sensor strands + merge->app
+    assert largest["derive_ms"] < 2000.0
+    assert largest["throughput"] > 5_000

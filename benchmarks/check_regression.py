@@ -1,0 +1,112 @@
+"""Gate dispatch throughput against a committed baseline (CI).
+
+Compares the machine-readable benchmark artefact
+(``benchmarks/results/BENCH_dispatch.json``, written by
+``bench_overhead_ablation.py``) against a committed baseline copy.
+
+Raw datums/s are not comparable across runner generations, so every
+scalability figure is first normalised by the *same run's* bare-pipeline
+rate; the gate then requires
+
+    (current throughput / current bare) /
+    (baseline throughput / baseline bare)  >=  --min-ratio
+
+per topology size -- i.e. the dispatch fast path may not lose more than
+(1 - min-ratio) of its relative advantage.  The per-configuration
+overhead curve is gated the same way (a config's slowdown factor vs bare
+may not grow by more than 1 / min-ratio), and the disabled-observability
+assertion re-checks that two bare runs agreed within 5%.
+
+Usage:
+    python benchmarks/check_regression.py \
+        --baseline /tmp/baseline.json \
+        --current benchmarks/results/BENCH_dispatch.json \
+        --min-ratio 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RERUN_TOLERANCE = 1.05
+
+
+def load(path: str) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def bare_rate(data: dict) -> float:
+    return float(data["configs"]["datums_per_s"]["bare pipeline"])
+
+
+def check(baseline: dict, current: dict, min_ratio: float) -> list:
+    failures = []
+
+    rerun = float(current["configs"]["bare_rerun_ratio"])
+    if not 1 / RERUN_TOLERANCE < rerun < RERUN_TOLERANCE:
+        failures.append(
+            "disabled-observability assertion: bare re-run ratio"
+            f" {rerun:.3f} outside +/-5%"
+        )
+
+    base_bare, cur_bare = bare_rate(baseline), bare_rate(current)
+
+    for size, base_row in baseline.get("scalability", {}).items():
+        cur_row = current.get("scalability", {}).get(size)
+        if cur_row is None:
+            failures.append(f"scalability size {size} missing from current")
+            continue
+        base_norm = float(base_row["throughput"]) / base_bare
+        cur_norm = float(cur_row["throughput"]) / cur_bare
+        ratio = cur_norm / base_norm
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"scalability {size}: normalised throughput ratio"
+            f" {ratio:.3f} (min {min_ratio}) [{status}]"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"scalability {size}: {ratio:.3f} < {min_ratio}"
+            )
+
+    base_rates = baseline["configs"]["datums_per_s"]
+    cur_rates = current["configs"]["datums_per_s"]
+    for label, base_value in base_rates.items():
+        if label not in cur_rates or "re-run" in label:
+            continue
+        # Overhead factor vs bare, in the same run: smaller is better.
+        base_overhead = base_bare / float(base_value)
+        cur_overhead = cur_bare / float(cur_rates[label])
+        ratio = base_overhead / cur_overhead
+        if ratio < min_ratio:
+            failures.append(
+                f"config {label!r}: overhead vs bare grew"
+                f" {base_overhead:.2f}x -> {cur_overhead:.2f}x"
+                f" (ratio {ratio:.3f} < {min_ratio})"
+            )
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--min-ratio", type=float, default=0.8)
+    args = parser.parse_args(argv)
+
+    failures = check(load(args.baseline), load(args.current), args.min_ratio)
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

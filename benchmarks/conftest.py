@@ -9,11 +9,13 @@ the artefacts survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+DISPATCH_JSON = RESULTS_DIR / "BENCH_dispatch.json"
 
 
 @pytest.fixture()
@@ -26,5 +28,32 @@ def results_writer():
         path.write_text(text + "\n", encoding="utf-8")
         # Also echo to stdout for -s runs.
         print(f"\n===== {exp_id} =====\n{text}")
+
+    return write
+
+
+@pytest.fixture()
+def bench_json_writer():
+    """Returns write(section, payload): merge one top-level section into
+    ``benchmarks/results/BENCH_dispatch.json``.
+
+    The dispatch benchmarks run as independent tests but feed one
+    machine-readable artefact (consumed by ``check_regression.py`` in
+    CI), so each test merges its own section rather than owning the
+    whole file -- run order does not matter.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(section: str, payload) -> None:
+        data = {}
+        if DISPATCH_JSON.exists():
+            data = json.loads(DISPATCH_JSON.read_text(encoding="utf-8"))
+        data[section] = payload
+        DISPATCH_JSON.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n===== BENCH_dispatch.json [{section}] =====")
+        print(json.dumps(payload, indent=2, sort_keys=True))
 
     return write

@@ -137,6 +137,12 @@ class Channel(GraphObserver):
     ``history_limit`` bounds how many elements are remembered per layer;
     data trees only ever reference recent elements, so the bound exists
     to keep long runs in constant memory.
+
+    With ``subscribe=False`` the channel does not register itself as a
+    graph observer; the owner (the PCL) routes ``data_consumed`` /
+    ``data_produced`` events to it through a member index instead, so a
+    graph with many channels pays one observer fan-out per event rather
+    than one call per channel.
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class Channel(GraphObserver):
         members: Sequence[ProcessingComponent],
         endpoint: str,
         history_limit: int = 512,
+        subscribe: bool = True,
     ) -> None:
         if not members:
             raise ValueError("a channel needs at least one member")
@@ -161,7 +168,9 @@ class Channel(GraphObserver):
         self._features: List[ChannelFeature] = []
         #: (feature name, exception) pairs from failed ``apply`` calls.
         self.feature_errors: List[Tuple[str, Exception]] = []
-        self._unsubscribe = graph.add_observer(self)
+        self._unsubscribe = (
+            graph.add_observer(self) if subscribe else (lambda: None)
+        )
 
     # -- identity & inspection ------------------------------------------------
 
@@ -251,8 +260,10 @@ class Channel(GraphObserver):
         upstream = self.members[index - 1].name
         # Only count elements arriving from this channel's own previous
         # layer; merge endpoints also consume from other channels.
-        producer = datum.producer.split("#", 1)[0]
-        if producer != upstream:
+        # Feature-added data carries a "component#Feature" producer --
+        # only split when the plain name does not already match.
+        producer = datum.producer
+        if producer != upstream and producer.split("#", 1)[0] != upstream:
             return
         self._pending[index].append(self._counters[index - 1])
 
@@ -263,15 +274,13 @@ class Channel(GraphObserver):
         index = self._member_index.get(component.name)
         if index is None:
             return
-        self._counters[index] += 1
-        logical_time = self._counters[index]
-        if index == 0 or not self._pending[index]:
-            time_range = None
-        else:
-            time_range = (
-                min(self._pending[index]),
-                max(self._pending[index]),
-            )
+        counters = self._counters
+        counters[index] += 1
+        logical_time = counters[index]
+        pending = self._pending[index] if index else None
+        # Pending logical times arrive in counter order, so the span is
+        # just the ends of the list -- no min()/max() scan.
+        time_range = (pending[0], pending[-1]) if pending else None
         element = DataTreeElement(
             datum=datum,
             logical_time=logical_time,
@@ -287,9 +296,8 @@ class Channel(GraphObserver):
         # *during* the host's produce chain: it annotates the pending
         # inputs but must not consume them, or the host's own output
         # would lose its time range.
-        is_feature_data = "#" in (datum.producer or "")
-        if index > 0 and not is_feature_data:
-            self._pending[index].clear()
+        if pending and "#" not in (datum.producer or ""):
+            pending.clear()
         if index == len(self.members) - 1:
             self._deliver_output(element)
 

@@ -62,8 +62,14 @@ class InputPort:
     optional: bool = False
     multiple: bool = False
 
+    def __post_init__(self) -> None:
+        # The accept-set is treated as immutable after construction (the
+        # graph's routing tables key on it); frozen once here so the
+        # per-delivery kind check is set membership, not a tuple scan.
+        self._accepts_set = frozenset(self.accepts)
+
     def accepts_kind(self, kind: str) -> bool:
-        return kind in self.accepts
+        return kind in self._accepts_set
 
 
 @dataclass
@@ -72,8 +78,14 @@ class OutputPort:
 
     capabilities: Tuple[str, ...]
 
+    def __post_init__(self) -> None:
+        # Frozen once for O(1) capability checks on the produce path;
+        # capability changes go through replacing the port object
+        # (see ``ProcessingComponent.attach_feature``).
+        self._capabilities_set = frozenset(self.capabilities)
+
     def can_produce(self, kind: str) -> bool:
-        return kind in self.capabilities
+        return kind in self._capabilities_set
 
 
 class ProcessingComponent(abc.ABC):
@@ -222,26 +234,29 @@ class ProcessingComponent(abc.ABC):
 
     def receive(self, port_name: str, datum: Datum) -> None:
         """Deliver one datum to an input port (called by the graph)."""
-        port = self.input_port(port_name)
-        if not port.accepts_kind(datum.kind):
+        port = self._inputs.get(port_name)
+        if port is None:
+            self.input_port(port_name)  # raises with the right message
+        if datum.kind not in port._accepts_set:
             raise ComponentError(
                 f"port {self.name}.{port_name} does not accept kind"
                 f" {datum.kind!r}"
             )
-        for feature in self._features:
-            intercepted = feature.consume(datum)
-            if intercepted is None:
-                if self._observer is not None:
-                    self._observer.data_dropped(
-                        self, port_name, datum, feature.name
+        if self._features:
+            for feature in self._features:
+                intercepted = feature.consume(datum)
+                if intercepted is None:
+                    if self._observer is not None:
+                        self._observer.data_dropped(
+                            self, port_name, datum, feature.name
+                        )
+                    return
+                if intercepted.kind != datum.kind:
+                    raise FeatureError(
+                        f"feature {feature.name} changed data kind"
+                        f" {datum.kind!r} -> {intercepted.kind!r}"
                     )
-                return
-            if intercepted.kind != datum.kind:
-                raise FeatureError(
-                    f"feature {feature.name} changed data kind"
-                    f" {datum.kind!r} -> {intercepted.kind!r}"
-                )
-            datum = intercepted
+                datum = intercepted
         if self._observer is not None:
             self._observer.data_consumed(self, port_name, datum)
         self.process(port_name, datum)
@@ -257,7 +272,7 @@ class ProcessingComponent(abc.ABC):
         graph for delivery.  Producing a kind outside the output port's
         capabilities is a contract violation and raises.
         """
-        if not self.output_port.can_produce(datum.kind):
+        if datum.kind not in self.output_port._capabilities_set:
             raise ComponentError(
                 f"component {self.name} declared capabilities"
                 f" {list(self.output_port.capabilities)}, cannot produce"
@@ -265,17 +280,21 @@ class ProcessingComponent(abc.ABC):
             )
         if not datum.producer:
             datum = datum.from_producer(self.name)
-        for feature in self._features:
-            intercepted = feature.produce(datum)
-            if intercepted is None:
-                return
-            if intercepted.kind != datum.kind:
-                raise FeatureError(
-                    f"feature {feature.name} changed data kind"
-                    f" {datum.kind!r} -> {intercepted.kind!r}"
-                )
-            datum = intercepted
-        self._send(datum)
+        if self._features:
+            for feature in self._features:
+                intercepted = feature.produce(datum)
+                if intercepted is None:
+                    return
+                if intercepted.kind != datum.kind:
+                    raise FeatureError(
+                        f"feature {feature.name} changed data kind"
+                        f" {datum.kind!r} -> {intercepted.kind!r}"
+                    )
+                datum = intercepted
+        # _send inlined: one less interpreter frame per produced datum.
+        deliver = self._deliver
+        if deliver is not None:
+            deliver(datum)
 
     def emit_feature_data(self, datum: Datum) -> None:
         """Emit feature-added data, bypassing the produce hooks.
@@ -401,11 +420,13 @@ class ApplicationSink(ProcessingComponent):
         self._listeners: List[Callable[[Datum], None]] = []
 
     def process(self, port_name: str, datum: Datum) -> None:
-        self.received.append(datum)
-        if len(self.received) > self._keep_last:
-            del self.received[: len(self.received) - self._keep_last]
-        for listener in list(self._listeners):
-            listener(datum)
+        received = self.received
+        received.append(datum)
+        if len(received) > self._keep_last:
+            del received[: len(received) - self._keep_last]
+        if self._listeners:
+            for listener in list(self._listeners):
+                listener(datum)
 
     def add_listener(
         self, listener: Callable[[Datum], None]

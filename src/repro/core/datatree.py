@@ -17,26 +17,59 @@ fix -- renders exactly via :meth:`DataTree.render`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.data import Datum
 
 
-@dataclass(frozen=True)
 class DataTreeElement:
     """One ``(data, logical time, time range)`` tuple of Fig. 4.
 
     ``time_range`` is the inclusive span of logical times at the layer
     below whose elements contributed to this one; ``None`` for layer 0
     (the paper renders it "N/A").
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: channels
+    mint one element per produce event on the graph's hot path, and the
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
+    measurably drags on dispatch throughput.  Treat instances as
+    immutable.
     """
 
-    datum: Datum
-    logical_time: int
-    time_range: Optional[Tuple[int, int]]
-    layer: int
-    producer: str
+    __slots__ = ("datum", "logical_time", "time_range", "layer", "producer")
+
+    def __init__(
+        self,
+        datum: Datum,
+        logical_time: int,
+        time_range: Optional[Tuple[int, int]],
+        layer: int,
+        producer: str,
+    ) -> None:
+        self.datum = datum
+        self.logical_time = logical_time
+        self.time_range = time_range
+        self.layer = layer
+        self.producer = producer
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataTreeElement):
+            return NotImplemented
+        return (
+            self.datum == other.datum
+            and self.logical_time == other.logical_time
+            and self.time_range == other.time_range
+            and self.layer == other.layer
+            and self.producer == other.producer
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataTreeElement(datum={self.datum!r},"
+            f" logical_time={self.logical_time!r},"
+            f" time_range={self.time_range!r}, layer={self.layer!r},"
+            f" producer={self.producer!r})"
+        )
 
     def describe(self) -> str:
         span = (

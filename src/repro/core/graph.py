@@ -12,12 +12,47 @@ structure to keep causally connected: components hand produced data to the
 graph, and the graph routes it along the current edge set.  Manipulating
 the graph therefore changes the live process, which is exactly the causal
 connection the paper's reflection design calls for.
+
+Dispatch fast path
+------------------
+Reflection makes the *structure* mutable; it must not make every datum
+pay for that mutability.  The graph therefore keeps the authoritative
+edge list (`_connections`, the slow/reflective representation) and a set
+of derived, lazily rebuilt indexes used on the per-datum hot path:
+
+* a **routing table** keyed by producer name whose entries carry the
+  consumer component object, the port name, and the port's accept-set;
+* a per-``(producer, kind)`` **route memo** of the entries that accept
+  that kind, so steady-state routing is one dict lookup;
+* **adjacency indexes** (``upstream``/``downstream`` name maps) backing
+  traversal, channel derivation and source/sink/merge queries;
+* cached **reachability** (``descendants``/``ancestors``) for the
+  acyclicity check in :meth:`connect`.
+
+All of them are invalidated by a single monotonically increasing
+**topology version** bumped by every structural mutation
+(``add``/``remove``/``connect``/``disconnect`` and the operations built
+on them).  Reflective manipulation stays exactly as expressive -- it
+just pays the (lazy) rebuild once per mutation instead of a linear scan
+per datum.  Input-port accept-sets are treated as immutable after
+component construction, which is what makes the memo sound.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
+from functools import partial
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.component import ComponentObserver, ProcessingComponent
 from repro.core.data import Datum
@@ -37,6 +72,11 @@ class Connection:
     producer: str
     consumer: str
     port: str
+
+
+#: One precompiled routing-table entry: the live consumer component, the
+#: input port name, and the port's accept-set frozen for O(1) matching.
+RouteEntry = Tuple[ProcessingComponent, str, FrozenSet[str]]
 
 
 class GraphObserver:
@@ -76,8 +116,23 @@ class ProcessingGraph(ComponentObserver):
         self._components: Dict[str, ProcessingComponent] = {}
         self._connections: List[Connection] = []
         self._observers: List[GraphObserver] = []
+        # Immutable fan-out snapshot, rebuilt on (un)subscription only;
+        # the hot path iterates it without a per-event list copy.
+        self._observer_tuple: Tuple[GraphObserver, ...] = ()
         # Optional runtime instrumentation; None keeps the hot path bare.
         self._instrumentation: Optional["ObservabilityHub"] = None
+        # -- derived indexes (dispatch fast path) -------------------------
+        # Bumped by every structural mutation; compared by in-flight
+        # routing loops to detect reentrant manipulation.
+        self._version: int = 0
+        self._routing: Optional[Dict[str, List[RouteEntry]]] = None
+        self._route_memo: Dict[
+            Tuple[str, str], Tuple[Tuple[ProcessingComponent, str], ...]
+        ] = {}
+        self._upstream_index: Optional[Dict[str, List[str]]] = None
+        self._downstream_index: Optional[Dict[str, List[str]]] = None
+        self._descendants_cache: Dict[str, FrozenSet[str]] = {}
+        self._ancestors_cache: Dict[str, FrozenSet[str]] = {}
 
     # -- instrumentation ------------------------------------------------------
 
@@ -98,9 +153,85 @@ class ProcessingGraph(ComponentObserver):
         self._instrumentation = hub
         if hub is not None:
             hub.topology_changed(
-                len(self._components), len(self._connections)
+                len(self._components), len(self._connections), self._version
             )
         return previous
+
+    # -- derived indexes -------------------------------------------------------
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter, bumped by every structural mutation."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        """Structural mutation: bump the version, drop derived indexes."""
+        self._version += 1
+        self._routing = None
+        if self._route_memo:
+            self._route_memo = {}
+        self._upstream_index = None
+        self._downstream_index = None
+        if self._descendants_cache:
+            self._descendants_cache = {}
+        if self._ancestors_cache:
+            self._ancestors_cache = {}
+
+    def _routing_table(self) -> Dict[str, List[RouteEntry]]:
+        table = self._routing
+        if table is None:
+            table = {}
+            components = self._components
+            for connection in self._connections:
+                consumer = components[connection.consumer]
+                port = consumer.input_port(connection.port)
+                table.setdefault(connection.producer, []).append(
+                    (consumer, connection.port, frozenset(port.accepts))
+                )
+            self._routing = table
+        return table
+
+    def _route_entries(
+        self, producer: str, kind: str
+    ) -> Tuple[Tuple[ProcessingComponent, str], ...]:
+        entries = tuple(
+            (consumer, port_name)
+            for consumer, port_name, accepts in self._routing_table().get(
+                producer, ()
+            )
+            if kind in accepts
+        )
+        self._route_memo[(producer, kind)] = entries
+        return entries
+
+    def _adjacency(
+        self,
+    ) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        up = self._upstream_index
+        if up is None:
+            up = {}
+            down: Dict[str, List[str]] = {}
+            for c in self._connections:
+                up.setdefault(c.consumer, []).append(c.producer)
+                down.setdefault(c.producer, []).append(c.consumer)
+            self._upstream_index = up
+            self._downstream_index = down
+        return up, self._downstream_index  # type: ignore[return-value]
+
+    def upstream_map(self) -> Mapping[str, List[str]]:
+        """Consumer name -> producer names, in edge order.
+
+        A live snapshot of the adjacency index: valid until the next
+        structural mutation, must not be mutated by callers.  Components
+        without inbound edges are absent.  The PCL derives its channel
+        decomposition from this map instead of per-node scans.
+        """
+        return self._adjacency()[0]
+
+    def downstream_map(self) -> Mapping[str, List[str]]:
+        """Producer name -> consumer names, in edge order (see
+        :meth:`upstream_map` for the snapshot contract)."""
+        return self._adjacency()[1]
 
     # -- membership ----------------------------------------------------------
 
@@ -113,9 +244,10 @@ class ProcessingGraph(ComponentObserver):
             )
         self._components[component.name] = component
         component._observer = self
-        component._deliver = lambda datum, _component=component: (
-            self._dispatch(_component, datum)
-        )
+        # partial() dispatches without an extra interpreter frame per
+        # produced datum (vs. a capturing lambda).
+        component._deliver = partial(self._dispatch, component)
+        self._invalidate()
         self._notify_topology()
         return component
 
@@ -128,21 +260,34 @@ class ProcessingGraph(ComponentObserver):
         out.
         """
         component = self.component(name)
-        upstream = [c for c in self._connections if c.consumer == name]
-        downstream = [c for c in self._connections if c.producer == name]
-        self._connections = [
-            c
-            for c in self._connections
-            if c.producer != name and c.consumer != name
+        upstream, _down = self._adjacency()
+        producers = list(upstream.get(name, ()))
+        downstream_ports = [
+            (consumer.name, port_name)
+            for consumer, port_name, _accepts in self._routing_table().get(
+                name, ()
+            )
         ]
+        if producers or downstream_ports:
+            self._connections = [
+                c
+                for c in self._connections
+                if c.producer != name and c.consumer != name
+            ]
         del self._components[name]
+        self._invalidate()
         component._observer = None
         component._deliver = None
         if reconnect:
-            for up in upstream:
-                for down in downstream:
+            for up in producers:
+                for consumer, port in downstream_ports:
+                    if up == consumer:
+                        # Splicing out a node must never wire a component
+                        # to itself; skip instead of relying on the cycle
+                        # check to reject the self-loop.
+                        continue
                     try:
-                        self.connect(up.producer, down.consumer, down.port)
+                        self.connect(up, consumer, port)
                     except GraphError:
                         continue
         self._notify_topology()
@@ -204,11 +349,12 @@ class ProcessingGraph(ComponentObserver):
         connection = Connection(producer, consumer, port)
         if connection in self._connections:
             raise GraphError(f"duplicate connection {connection}")
-        if producer in self.descendants(consumer) or producer == consumer:
+        if producer == consumer or producer in self.descendants(consumer):
             raise GraphError(
                 f"connecting {producer} -> {consumer} would create a cycle"
             )
         self._connections.append(connection)
+        self._invalidate()
         self._notify_topology()
         return connection
 
@@ -242,6 +388,7 @@ class ProcessingGraph(ComponentObserver):
                 f"no connection {producer} -> {consumer}"
                 + (f".{port}" if port else "")
             )
+        self._invalidate()
         self._notify_topology()
 
     def insert_between(
@@ -272,9 +419,8 @@ class ProcessingGraph(ComponentObserver):
             self.add(component)
         for edge in existing:
             self.disconnect(edge.producer, edge.consumer, edge.port)
-        already_fed = any(
-            c.producer == producer and c.consumer == component.name
-            for c in self._connections
+        already_fed = component.name in self.downstream_map().get(
+            producer, ()
         )
         if not already_fed:
             # Splicing the same component into several edges of one
@@ -288,67 +434,70 @@ class ProcessingGraph(ComponentObserver):
     def upstream(self, name: str) -> List[str]:
         """Direct producers feeding ``name``."""
         self.component(name)
-        return [c.producer for c in self._connections if c.consumer == name]
+        return list(self._adjacency()[0].get(name, ()))
 
     def downstream(self, name: str) -> List[str]:
         """Direct consumers of ``name``'s output."""
         self.component(name)
-        return [c.consumer for c in self._connections if c.producer == name]
+        return list(self._adjacency()[1].get(name, ()))
 
     def ancestors(self, name: str) -> Set[str]:
         """All transitive producers feeding ``name``."""
-        seen: Set[str] = set()
-        frontier = list(self.upstream(name))
-        while frontier:
-            node = frontier.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            frontier.extend(self.upstream(node))
-        return seen
+        self.component(name)
+        cached = self._ancestors_cache.get(name)
+        if cached is None:
+            cached = self._reachable(name, self._adjacency()[0])
+            self._ancestors_cache[name] = cached
+        return set(cached)
 
     def descendants(self, name: str) -> Set[str]:
         """All transitive consumers of ``name``'s output."""
+        self.component(name)
+        cached = self._descendants_cache.get(name)
+        if cached is None:
+            cached = self._reachable(name, self._adjacency()[1])
+            self._descendants_cache[name] = cached
+        return set(cached)
+
+    @staticmethod
+    def _reachable(
+        name: str, index: Dict[str, List[str]]
+    ) -> FrozenSet[str]:
         seen: Set[str] = set()
-        frontier = list(self.downstream(name))
+        frontier = list(index.get(name, ()))
         while frontier:
             node = frontier.pop()
             if node in seen:
                 continue
             seen.add(node)
-            frontier.extend(self.downstream(node))
-        return seen
+            frontier.extend(index.get(node, ()))
+        return frozenset(seen)
 
     def sources(self) -> List[ProcessingComponent]:
         """Leaf nodes: components with no inbound connections."""
-        consumers = {c.consumer for c in self._connections}
-        have_inputs = {
-            name
-            for name, comp in self._components.items()
-            if comp.input_ports
-        }
+        upstream, _down = self._adjacency()
         return [
             comp
             for name, comp in self._components.items()
-            if name not in consumers or name not in have_inputs
-            if not self.upstream(name)
+            if not upstream.get(name)
         ]
 
     def sinks(self) -> List[ProcessingComponent]:
         """Root nodes: components with no outbound connections."""
-        producers = {c.producer for c in self._connections}
+        _up, downstream = self._adjacency()
         return [
             comp
             for name, comp in self._components.items()
-            if name not in producers
+            if not downstream.get(name)
         ]
 
     def merge_points(self) -> List[ProcessingComponent]:
         """Components combining data from two or more producers."""
+        upstream, _down = self._adjacency()
         return [
             comp
             for name, comp in self._components.items()
-            if len(self.upstream(name)) >= 2
+            if len(upstream.get(name, ())) >= 2
         ]
 
     # -- delivery -----------------------------------------------------------------
@@ -363,33 +512,53 @@ class ProcessingGraph(ComponentObserver):
         hub = self._instrumentation
         if hub is not None:
             datum = hub.datum_dispatched(component.name, datum)
-        self.data_produced(component, datum)
+        for observer in self._observer_tuple:
+            observer.data_produced(component, datum)
         self._route(component.name, datum)
 
     def _route(self, producer: str, datum: Datum) -> None:
+        entries = self._route_memo.get((producer, datum.kind))
+        if entries is None:
+            entries = self._route_entries(producer, datum.kind)
+        if not entries:
+            return
+        # The entry tuple is a snapshot: consumers connected *during*
+        # this delivery wait for the next datum (same as the pre-index
+        # edge-list snapshot).  If a reentrant mutation bumps the
+        # version mid-loop, stale entries whose consumer has left the
+        # graph are skipped -- removal semantics are checked against the
+        # live component table, exactly as the linear scan did.
+        version = self._version
+        components = self._components
         hub = self._instrumentation
-        for connection in list(self._connections):
-            if connection.producer != producer:
-                continue
-            consumer = self._components.get(connection.consumer)
-            if consumer is None:
-                continue
-            port = consumer.input_port(connection.port)
-            if port.accepts_kind(datum.kind):
-                if hub is None:
-                    consumer.receive(connection.port, datum)
-                else:
-                    hub.deliver(consumer, connection.port, datum)
+        if hub is None:
+            for consumer, port_name in entries:
+                if (
+                    version != self._version
+                    and components.get(consumer.name) is not consumer
+                ):
+                    continue
+                consumer.receive(port_name, datum)
+        else:
+            for consumer, port_name in entries:
+                if (
+                    version != self._version
+                    and components.get(consumer.name) is not consumer
+                ):
+                    continue
+                hub.deliver(consumer, port_name, datum)
 
     # -- observation ----------------------------------------------------------------
 
     def add_observer(self, observer: GraphObserver) -> Callable[[], None]:
         """Subscribe to graph events; returns an unsubscribe callable."""
         self._observers.append(observer)
+        self._observer_tuple = tuple(self._observers)
 
         def _remove() -> None:
             if observer in self._observers:
                 self._observers.remove(observer)
+                self._observer_tuple = tuple(self._observers)
 
         return _remove
 
@@ -397,14 +566,14 @@ class ProcessingGraph(ComponentObserver):
         self, component: ProcessingComponent, port_name: str, datum: Datum
     ) -> None:
         """Component callback: fan the consume event out to observers."""
-        for observer in list(self._observers):
+        for observer in self._observer_tuple:
             observer.data_consumed(component, port_name, datum)
 
     def data_produced(
         self, component: ProcessingComponent, datum: Datum
     ) -> None:
         """Fan the produce event out to observers (from :meth:`_dispatch`)."""
-        for observer in list(self._observers):
+        for observer in self._observer_tuple:
             observer.data_produced(component, datum)
 
     def data_dropped(
@@ -418,16 +587,16 @@ class ProcessingGraph(ComponentObserver):
         hub = self._instrumentation
         if hub is not None:
             hub.datum_dropped(component, port_name, datum, feature_name)
-        for observer in list(self._observers):
+        for observer in self._observer_tuple:
             observer.data_dropped(component, port_name, datum, feature_name)
 
     def _notify_topology(self) -> None:
         hub = self._instrumentation
         if hub is not None:
             hub.topology_changed(
-                len(self._components), len(self._connections)
+                len(self._components), len(self._connections), self._version
             )
-        for observer in list(self._observers):
+        for observer in self._observer_tuple:
             observer.topology_changed(self)
 
     # -- display -----------------------------------------------------------------------

@@ -11,16 +11,28 @@ Channels are "dynamically created when the PerPos middleware assembles
 the Processing Components" -- here, recomputed on every topology change,
 preserving the channel objects (their logical-time state and attached
 Channel Features) whose member chain is unchanged.
+
+Derivation walks the graph's adjacency indexes
+(:meth:`~repro.core.graph.ProcessingGraph.upstream_map` /
+``downstream_map``) rather than issuing per-node edge scans, and the PCL
+registers as the graph's *single* observer for all of its channels: data
+events are forwarded through a member-name index to just the channels
+whose strand contains the producing/consuming component, so event cost
+scales with strand membership, not with the total channel count.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.channel import Channel, ChannelFeature
+from repro.core.component import ProcessingComponent
+from repro.core.data import Datum
 from repro.core.graph import GraphError, GraphObserver, ProcessingGraph
 
 ChannelKey = Tuple[Tuple[str, ...], str]
+
+_NO_CHANNELS: Tuple[Channel, ...] = ()
 
 
 class ProcessChannelLayer(GraphObserver):
@@ -29,6 +41,9 @@ class ProcessChannelLayer(GraphObserver):
     def __init__(self, graph: ProcessingGraph) -> None:
         self.graph = graph
         self._channels: Dict[ChannelKey, Channel] = {}
+        # Member component name -> channels whose strand contains it;
+        # rebuilt with the decomposition, consulted per data event.
+        self._member_channels: Dict[str, Tuple[Channel, ...]] = {}
         self._unsubscribe = graph.add_observer(self)
         self._rebuild()
 
@@ -38,6 +53,7 @@ class ProcessChannelLayer(GraphObserver):
         for channel in self._channels.values():
             channel.close()
         self._channels.clear()
+        self._member_channels = {}
 
     # -- channel derivation -----------------------------------------------------
 
@@ -45,32 +61,66 @@ class ProcessChannelLayer(GraphObserver):
         """Graph observation: re-derive the channel decomposition."""
         self._rebuild()
 
+    # -- event forwarding (hot path) --------------------------------------------
+
+    def data_consumed(
+        self, component: ProcessingComponent, port_name: str, datum: Datum
+    ) -> None:
+        """Forward the consume event to the channels containing the member."""
+        for channel in self._member_channels.get(component.name, _NO_CHANNELS):
+            channel.data_consumed(component, port_name, datum)
+
+    def data_produced(
+        self, component: ProcessingComponent, datum: Datum
+    ) -> None:
+        """Forward the produce event to the channels containing the member."""
+        for channel in self._member_channels.get(component.name, _NO_CHANNELS):
+            channel.data_produced(component, datum)
+
+    # -- derivation internals ---------------------------------------------------
+
     def _is_pcl_node(self, name: str) -> bool:
         """PCL nodes: data sources, merge components, and applications.
 
         Components flagged ``pcl_node`` (fusion by role) count as merge
         components regardless of their current in-degree.
         """
+        return self._classify(
+            name, self.graph.upstream_map(), self.graph.downstream_map()
+        )
+
+    def _classify(
+        self,
+        name: str,
+        upstream: Mapping[str, Sequence[str]],
+        downstream: Mapping[str, Sequence[str]],
+    ) -> bool:
         if self.graph.component(name).pcl_node:
             return True
-        upstream = self.graph.upstream(name)
-        if len(upstream) != 1:
+        if len(upstream.get(name, ())) != 1:
             return True  # source (0) or merge (>= 2)
-        return not self.graph.downstream(name)  # application/sink
+        return not downstream.get(name)  # application/sink
 
     def _derive_keys(self) -> List[ChannelKey]:
+        graph = self.graph
+        upstream = graph.upstream_map()
+        downstream = graph.downstream_map()
+        is_pcl_node = {
+            component.name: self._classify(
+                component.name, upstream, downstream
+            )
+            for component in graph.components()
+        }
         keys = []
-        for component in self.graph.components():
-            name = component.name
-            if not self._is_pcl_node(name) or not self.graph.upstream(name):
+        for name, node_is_pcl in is_pcl_node.items():
+            if not node_is_pcl:
                 continue
             # Walk each inbound strand up to the previous PCL node.
-            for producer in self.graph.upstream(name):
+            for producer in upstream.get(name, ()):
                 chain = [producer]
                 node = producer
-                while not self._is_pcl_node(node):
-                    ups = self.graph.upstream(node)
-                    node = ups[0]
+                while not is_pcl_node[node]:
+                    node = upstream[node][0]
                     chain.append(node)
                 keys.append((tuple(reversed(chain)), name))
         return keys
@@ -83,7 +133,17 @@ class ProcessChannelLayer(GraphObserver):
         for key in wanted - current:
             member_names, endpoint = key
             members = [self.graph.component(n) for n in member_names]
-            self._channels[key] = Channel(self.graph, members, endpoint)
+            self._channels[key] = Channel(
+                self.graph, members, endpoint, subscribe=False
+            )
+        member_channels: Dict[str, List[Channel]] = {}
+        for channel in self._channels.values():
+            for member in channel.members:
+                member_channels.setdefault(member.name, []).append(channel)
+        self._member_channels = {
+            name: tuple(channels)
+            for name, channels in member_channels.items()
+        }
 
     # -- inspection ----------------------------------------------------------------
 

@@ -49,6 +49,16 @@ class ProcessStructureLayer:
         """All edges of the reified process."""
         return self.graph.connections()
 
+    def topology_version(self) -> int:
+        """Monotonic version of the reified structure.
+
+        Every manipulation (insert/delete/connect/disconnect and the
+        splicing operations built on them) bumps it; data flow never
+        does.  Applications can poll it to cheaply detect whether the
+        process changed since they last inspected the structure.
+        """
+        return self.graph.topology_version
+
     def structure(self) -> str:
         """ASCII tree of the whole process, applications at the roots."""
         return self.graph.render_tree()

@@ -15,7 +15,8 @@ Per event the hub records:
 * ``items_dropped{component=...}`` -- datums a Component Feature vetoed;
 * ``errors{component=...}`` -- exceptions escaping ``receive``;
 * ``hop_latency_s{component=...}`` -- processing time per delivery;
-* ``graph_components`` / ``graph_connections`` gauges on topology change.
+* ``graph_components`` / ``graph_connections`` /
+  ``graph_topology_version`` gauges on topology change.
 
 With ``tracing=True`` (the default) the hub also maintains flow traces:
 each dispatched datum carries a :class:`~repro.observability.tracing
@@ -82,12 +83,23 @@ class ObservabilityHub:
         # Traces of datums currently being processed (delivery is
         # synchronous, so this is a proper nesting stack).
         self._context: List[Optional[FlowTrace]] = []
+        # Per-component instrument memos: registry lookups build a
+        # sorted label key per call, which is pure overhead on the
+        # graph's per-datum hot path.  Instrument identity survives
+        # ``registry.reset()``, so these never need invalidation.
+        self._out_counters: Dict[str, Any] = {}
+        self._in_instruments: Dict[str, Tuple[Any, Any, Any]] = {}
 
     # -- graph hooks (hot path) --------------------------------------------
 
     def datum_dispatched(self, producer: str, datum: Datum) -> Datum:
         """A component handed ``datum`` to the graph for routing."""
-        self.registry.counter("items_out", component=producer).inc()
+        counter = self._out_counters.get(producer)
+        if counter is None:
+            counter = self._out_counters[producer] = self.registry.counter(
+                "items_out", component=producer
+            )
+        counter.inc()
         if self.tracing:
             hop = TraceHop(producer, self._time(), datum.kind)
             parent = self._context[-1] if self._context else None
@@ -102,20 +114,26 @@ class ObservabilityHub:
     def deliver(self, consumer: Any, port: str, datum: Datum) -> None:
         """Deliver ``datum`` into ``consumer`` under instrumentation."""
         name = consumer.name
-        registry = self.registry
-        registry.counter("items_in", component=name).inc()
+        instruments = self._in_instruments.get(name)
+        if instruments is None:
+            registry = self.registry
+            instruments = self._in_instruments[name] = (
+                registry.counter("items_in", component=name),
+                registry.counter("errors", component=name),
+                registry.histogram("hop_latency_s", component=name),
+            )
+        items_in, errors, latency = instruments
+        items_in.inc()
         self._context.append(trace_of(datum) if self.tracing else None)
         start = self._time()
         try:
             consumer.receive(port, datum)
         except Exception:
-            registry.counter("errors", component=name).inc()
+            errors.inc()
             raise
         finally:
             self._context.pop()
-            registry.histogram("hop_latency_s", component=name).observe(
-                self._time() - start
-            )
+            latency.observe(self._time() - start)
 
     def datum_dropped(
         self, component: Any, port: str, datum: Datum, feature_name: str
@@ -128,9 +146,16 @@ class ObservabilityHub:
             "feature_drops", feature=feature_name
         ).inc()
 
-    def topology_changed(self, n_components: int, n_connections: int) -> None:
+    def topology_changed(
+        self,
+        n_components: int,
+        n_connections: int,
+        version: Optional[int] = None,
+    ) -> None:
         self.registry.gauge("graph_components").set(n_components)
         self.registry.gauge("graph_connections").set(n_connections)
+        if version is not None:
+            self.registry.gauge("graph_topology_version").set(version)
 
     # -- queries -----------------------------------------------------------
 

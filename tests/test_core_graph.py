@@ -240,6 +240,153 @@ class TestTraversal:
         assert "    s" in text
 
 
+class TestTopologyVersionAndIndexes:
+    """The dispatch fast path: versioned routing tables + indexes."""
+
+    def test_version_bumps_on_every_mutation(self):
+        graph = ProcessingGraph()
+        v0 = graph.topology_version
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(passthrough("a"))
+        assert graph.topology_version > v0
+        v1 = graph.topology_version
+        graph.connect("s", "a")
+        assert graph.topology_version > v1
+        v2 = graph.topology_version
+        graph.disconnect("s", "a")
+        assert graph.topology_version > v2
+        v3 = graph.topology_version
+        graph.remove("a")
+        assert graph.topology_version > v3
+
+    def test_version_untouched_by_data_flow(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",))
+        graph.add(source)
+        graph.add(sink)
+        graph.connect("s", "app")
+        version = graph.topology_version
+        for i in range(5):
+            source.inject(Datum("x", i, 0.0))
+        assert graph.topology_version == version
+
+    def test_routing_tracks_disconnect(self):
+        """The (producer, kind) memo must invalidate on edge removal."""
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink_a = ApplicationSink("a", ("x",))
+        sink_b = ApplicationSink("b", ("x",))
+        for c in (source, sink_a, sink_b):
+            graph.add(c)
+        graph.connect("s", "a")
+        graph.connect("s", "b")
+        source.inject(Datum("x", 1, 0.0))  # warms the route memo
+        graph.disconnect("s", "b")
+        source.inject(Datum("x", 2, 0.0))
+        assert [d.payload for d in sink_a.received] == [1, 2]
+        assert [d.payload for d in sink_b.received] == [1]
+
+    def test_routing_tracks_new_connection(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink_a = ApplicationSink("a", ("x",))
+        sink_b = ApplicationSink("b", ("x",))
+        for c in (source, sink_a, sink_b):
+            graph.add(c)
+        graph.connect("s", "a")
+        source.inject(Datum("x", 1, 0.0))
+        graph.connect("s", "b")
+        source.inject(Datum("x", 2, 0.0))
+        assert [d.payload for d in sink_b.received] == [2]
+
+    def test_upstream_downstream_maps(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        mid = passthrough("m")
+        sink = ApplicationSink("app", ("x",))
+        for c in (source, mid, sink):
+            graph.add(c)
+        graph.connect("s", "m")
+        graph.connect("m", "app")
+        assert graph.downstream_map() == {"s": ["m"], "m": ["app"]}
+        assert graph.upstream_map() == {"m": ["s"], "app": ["m"]}
+
+    def test_sources_with_unconnected_consumer(self):
+        """A component with declared inputs but no inbound edge is a
+        source by the 'no inbound connections' definition."""
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("s", ("x",)))
+        graph.add(passthrough("loose"))
+        graph.add(ApplicationSink("app", ("x",)))
+        graph.connect("s", "app")
+        assert sorted(c.name for c in graph.sources()) == ["loose", "s"]
+
+    def test_remove_merge_point_reconnects_all_upstreams(self):
+        """Regression: deleting a merge component splices every upstream
+        producer into every downstream consumer."""
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        left = passthrough("l")
+        right = passthrough("r")
+        merge = passthrough("m")
+        sink = ApplicationSink("app", ("x",))
+        for c in (source, left, right, merge, sink):
+            graph.add(c)
+        graph.connect("s", "l")
+        graph.connect("s", "r")
+        graph.connect("l", "m")
+        graph.connect("r", "m")
+        graph.connect("m", "app")
+        graph.remove("m", reconnect=True)
+        assert sorted(graph.upstream("app")) == ["l", "r"]
+        source.inject(Datum("x", 5, 0.0))
+        # Both strands still deliver: the datum arrives once per strand.
+        assert [d.payload for d in sink.received] == [5, 5]
+
+    def test_reentrant_removal_mid_delivery_skips_stale_consumer(self):
+        """A component removed by an upstream consumer *during* delivery
+        must not receive the in-flight datum."""
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink_c = ApplicationSink("c", ("x",))
+
+        def remove_c(datum):
+            if "c" in graph:
+                graph.remove("c")
+            return None
+
+        remover = FunctionComponent("b", ("x",), ("x",), fn=remove_c)
+        for c in (source, remover, sink_c):
+            graph.add(c)
+        graph.connect("s", "b")  # delivered first (edge order)
+        graph.connect("s", "c")
+        source.inject(Datum("x", 1, 0.0))
+        assert sink_c.received == []
+        assert "c" not in graph
+
+    def test_reentrant_connect_takes_effect_for_next_dispatch(self):
+        """An edge wired from inside ``process`` is live for every
+        dispatch that *starts* afterwards -- including the produce call
+        of the very component that added it."""
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        late = ApplicationSink("late", ("x",))
+
+        def wire_late(datum):
+            if "late" not in graph.downstream("b"):
+                graph.connect("b", "late")
+            return datum
+
+        mid = FunctionComponent("b", ("x",), ("x",), fn=wire_late)
+        for c in (source, mid, late):
+            graph.add(c)
+        graph.connect("s", "b")
+        source.inject(Datum("x", 1, 0.0))
+        source.inject(Datum("x", 2, 0.0))
+        assert [d.payload for d in late.received] == [1, 2]
+
+
 class TestObservers:
     def test_data_events_delivered(self):
         events = []

@@ -61,6 +61,17 @@ class TestInspection:
         methods = psl.methods_of("m")
         assert "Threshold.get_level" in methods
 
+    def test_topology_version_tracks_manipulation_only(self):
+        psl, source, _sink = build_layer()
+        before = psl.topology_version()
+        source.inject(Datum("x", 1, 0.0))
+        assert psl.topology_version() == before
+        psl.insert(FunctionComponent("f", ("x",), ("x",), fn=lambda d: d))
+        assert psl.topology_version() > before
+        after_insert = psl.topology_version()
+        psl.insert_between("s", "m", psl.component("f"))
+        assert psl.topology_version() > after_insert
+
 
 class TestManipulation:
     def test_insert_and_connect(self):
