@@ -10,6 +10,9 @@ the reproduction's reflection machinery costs:
 * + 1/4/8 Component Features in the interception chain;
 * + the observability hub: per-component metrics, then metrics + flow
   tracing (``repro.observability``);
+* + a graph supervisor in ``quarantine`` mode on an all-healthy
+  pipeline (``repro.robustness``): the cost of the supervised
+  delivery boundary when nothing fails;
 * PSL manipulation cost: splice + remove a component on a live graph.
 
 With observability *disabled* (the default), the graph pays one ``is
@@ -63,7 +66,11 @@ class NoopChannelFeature(ChannelFeature):
 
 
 def build_pipeline(
-    with_pcl=False, channel_feature=False, features=0, observability=None
+    with_pcl=False,
+    channel_feature=False,
+    features=0,
+    observability=None,
+    supervision=None,
 ):
     graph = ProcessingGraph()
     source = SourceComponent("src", ("x",))
@@ -88,6 +95,12 @@ def build_pipeline(
         graph.set_instrumentation(
             ObservabilityHub(tracing=(observability == "tracing"))
         )
+    if supervision:
+        from repro.robustness import SupervisionPolicy, Supervisor
+
+        graph.set_supervisor(
+            Supervisor(SupervisionPolicy(mode=supervision))
+        )
     return graph, source
 
 
@@ -106,6 +119,7 @@ CONFIGS = [
     ("+ 8 component features", dict(channel_feature=True, features=8)),
     ("+ observability metrics", dict(observability="metrics")),
     ("+ observability metrics+tracing", dict(observability="tracing")),
+    ("+ supervision (quarantine)", dict(supervision="quarantine")),
 ]
 
 

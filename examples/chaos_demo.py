@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Chaos demo: quarantine, provider failover, and half-open recovery.
+
+Builds two positioning strands -- a GPS pipeline and a WiFi-style
+fallback -- enables the ``quarantine`` supervision policy, and then
+breaks the GPS interpreter stage with a :class:`FaultInjectionFeature`
+attached through the PSL (the paper's own Component Feature seam).
+
+The demo walks the full failure lifecycle:
+
+1. injected failures are reified as inspectable FailureRecords;
+2. the circuit breaker trips and routing quarantines the stage while the
+   sibling strand keeps delivering;
+3. ``get_provider`` fails over to the criteria-matching fallback and the
+   failover listener is notified;
+4. after the half-open window a probe delivery succeeds (the fault is
+   disarmed through the PSL's reflective surface) and the recovered
+   provider takes preference again.
+
+Run:  python examples/chaos_demo.py
+"""
+
+from repro.core import Criteria, Kind, PerPos
+from repro.core.component import FunctionComponent, SourceComponent
+from repro.core.data import Datum
+from repro.robustness import FaultInjectionFeature, SupervisionPolicy
+
+
+def main() -> None:
+    middleware = PerPos()
+    graph = middleware.graph
+
+    # Two strands: gps-src -> gps-stage -> gps-app, wifi-src -> wifi-app.
+    gps_src = SourceComponent("gps-src", (Kind.POSITION_WGS84,))
+    gps_stage = FunctionComponent(
+        "gps-stage",
+        (Kind.POSITION_WGS84,),
+        (Kind.POSITION_WGS84,),
+        fn=lambda d: d,
+    )
+    wifi_src = SourceComponent("wifi-src", (Kind.POSITION_WGS84,))
+    for component in (gps_src, gps_stage, wifi_src):
+        graph.add(component)
+    gps = middleware.create_provider(
+        "gps-app", (Kind.POSITION_WGS84,), technologies=("gps",)
+    )
+    wifi = middleware.create_provider(
+        "wifi-app", (Kind.POSITION_WGS84,), technologies=("wifi",)
+    )
+    graph.connect("gps-src", "gps-stage")
+    graph.connect("gps-stage", gps.sink.name)
+    graph.connect("wifi-src", wifi.sink.name)
+
+    supervisor = middleware.enable_supervision(
+        SupervisionPolicy(
+            mode="quarantine",
+            failure_threshold=3,
+            window_s=60.0,
+            half_open_after_s=30.0,
+        )
+    )
+    supervisor.add_listener(
+        lambda event, name, record: print(
+            f"  [supervision] {name}: {event}"
+            + (f" ({record.error_type}: {record.message})" if record else "")
+        )
+    )
+    middleware.positioning.add_failover_listener(
+        lambda demoted, selected: print(
+            f"  [failover] demoted {demoted} -> selected {selected!r}"
+        )
+    )
+
+    # Break the GPS stage through the paper's Component Feature seam.
+    middleware.psl.attach_feature(
+        "gps-stage", FaultInjectionFeature(fail_every=1)
+    )
+
+    def tick(payload):
+        middleware.clock.advance(1.0)
+        now = middleware.clock.now
+        gps_src.inject(Datum(Kind.POSITION_WGS84, payload, now))
+        wifi_src.inject(Datum(Kind.POSITION_WGS84, payload, now))
+
+    criteria = Criteria(kind=Kind.POSITION_WGS84)
+
+    print("phase 1: GPS stage failing every datum")
+    for i in range(3):
+        tick(("fix", i))
+    print(f"  gps-stage health: {supervisor.health('gps-stage')}")
+    print(f"  quarantined: {middleware.psl.quarantined()}")
+    print(f"  wifi strand deliveries: {len(wifi.sink.received)}")
+
+    print("\nphase 2: provider failover")
+    selected = middleware.get_provider(criteria)
+    print(f"  selected provider: {selected.name}")
+    print(f"  gps-app degraded: {gps.is_degraded()}")
+
+    print("\nphase 3: recovery through the half-open probe")
+    middleware.psl.invoke("gps-stage", "FaultInjection.disarm")
+    middleware.clock.advance(30.0)
+    tick(("fix", 99))
+    print(f"  gps-stage health: {supervisor.health('gps-stage')}")
+    restored = middleware.get_provider(criteria)
+    print(f"  selected provider after recovery: {restored.name}")
+
+    print("\nfailure records (bounded ring):")
+    for record in supervisor.failure_records("gps-stage"):
+        print(f"  {record.summary()}")
+
+
+if __name__ == "__main__":
+    main()

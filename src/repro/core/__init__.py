@@ -59,6 +59,14 @@ from repro.observability import (
     TracingFeature,
     trace_of,
 )
+from repro.robustness import (
+    FailureRecord,
+    FaultInjected,
+    FaultInjectionFeature,
+    SupervisionError,
+    SupervisionPolicy,
+    Supervisor,
+)
 
 __all__ = [
     "AutoAssembler",
@@ -107,4 +115,10 @@ __all__ = [
     "TraceHop",
     "TracingFeature",
     "trace_of",
+    "FailureRecord",
+    "FaultInjected",
+    "FaultInjectionFeature",
+    "SupervisionError",
+    "SupervisionPolicy",
+    "Supervisor",
 ]

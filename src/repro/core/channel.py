@@ -152,13 +152,17 @@ class Channel(GraphObserver):
         endpoint: str,
         history_limit: int = 512,
         subscribe: bool = True,
+        feature_error_limit: int = 64,
     ) -> None:
         if not members:
             raise ValueError("a channel needs at least one member")
+        if feature_error_limit < 1:
+            raise ValueError("feature_error_limit must be >= 1")
         self.graph = graph
         self.members: List[ProcessingComponent] = list(members)
         self.endpoint = endpoint
         self.history_limit = history_limit
+        self.feature_error_limit = feature_error_limit
         self._member_index = {m.name: i for i, m in enumerate(self.members)}
         self._counters: List[int] = [0] * len(self.members)
         self._pending: List[List[int]] = [[] for _ in self.members]
@@ -166,8 +170,12 @@ class Channel(GraphObserver):
             [] for _ in self.members
         ]
         self._features: List[ChannelFeature] = []
-        #: (feature name, exception) pairs from failed ``apply`` calls.
+        #: (feature name, exception) pairs from failed ``apply`` calls;
+        #: bounded to the most recent ``feature_error_limit`` entries,
+        #: so a feature failing per-datum cannot grow memory unboundedly.
         self.feature_errors: List[Tuple[str, Exception]] = []
+        #: Total failed ``apply`` calls ever (the buffer above is capped).
+        self.feature_error_count: int = 0
         self._unsubscribe = (
             graph.add_observer(self) if subscribe else (lambda: None)
         )
@@ -312,7 +320,14 @@ class Channel(GraphObserver):
                 # Channel Features observe the process; a broken observer
                 # must not take the positioning pipeline down with it.
                 # Failures are recorded and inspectable (a seam, exposed).
-                self.feature_errors.append((feature.name, exc))
+                self.feature_error_count += 1
+                errors = self.feature_errors
+                errors.append((feature.name, exc))
+                if len(errors) > self.feature_error_limit:
+                    del errors[: len(errors) - self.feature_error_limit]
+                hub = self.graph.instrumentation
+                if hub is not None:
+                    hub.channel_feature_error(self.id, feature.name)
 
     # -- data tree construction ----------------------------------------------------
 
@@ -360,7 +375,7 @@ class Channel(GraphObserver):
         return {
             "id": self.id,
             "outputs_delivered": latest.logical_time if latest else 0,
-            "feature_errors": len(self.feature_errors),
+            "feature_errors": self.feature_error_count,
             "members": (
                 {
                     m.name: hub.component_stats(m.name)

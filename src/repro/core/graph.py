@@ -59,6 +59,7 @@ from repro.core.data import Datum
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.observability.instrumentation import ObservabilityHub
+    from repro.robustness.supervision import Supervisor
 
 
 class GraphError(Exception):
@@ -121,6 +122,8 @@ class ProcessingGraph(ComponentObserver):
         self._observer_tuple: Tuple[GraphObserver, ...] = ()
         # Optional runtime instrumentation; None keeps the hot path bare.
         self._instrumentation: Optional["ObservabilityHub"] = None
+        # Optional failure supervision; None keeps the hot path bare.
+        self._supervisor: Optional["Supervisor"] = None
         # -- derived indexes (dispatch fast path) -------------------------
         # Bumped by every structural mutation; compared by in-flight
         # routing loops to detect reentrant manipulation.
@@ -155,6 +158,32 @@ class ProcessingGraph(ComponentObserver):
             hub.topology_changed(
                 len(self._components), len(self._connections), self._version
             )
+        return previous
+
+    # -- supervision ----------------------------------------------------------
+
+    @property
+    def supervisor(self) -> Optional["Supervisor"]:
+        """The installed supervisor, or None while supervision is off."""
+        return self._supervisor
+
+    def set_supervisor(
+        self, supervisor: Optional["Supervisor"]
+    ) -> Optional["Supervisor"]:
+        """Install (or, with None, remove) the failure supervisor.
+
+        Returns the previously installed supervisor.  While one is
+        installed every delivery crosses
+        :meth:`~repro.robustness.supervision.Supervisor.deliver`; while
+        none is, routing is the bare fast path plus one ``is None``
+        check per routed datum.
+        """
+        previous = self._supervisor
+        if previous is not None:
+            previous._graph = None
+        self._supervisor = supervisor
+        if supervisor is not None:
+            supervisor._graph = self
         return previous
 
     # -- derived indexes -------------------------------------------------------
@@ -531,7 +560,19 @@ class ProcessingGraph(ComponentObserver):
         version = self._version
         components = self._components
         hub = self._instrumentation
-        if hub is None:
+        supervisor = self._supervisor
+        if supervisor is not None:
+            # Supervised delivery: the supervisor wraps each consumer's
+            # receive (and the hub, when installed, stays inside the
+            # wrap so error counters keep recording) in the policy.
+            for consumer, port_name in entries:
+                if (
+                    version != self._version
+                    and components.get(consumer.name) is not consumer
+                ):
+                    continue
+                supervisor.deliver(consumer, port_name, datum, hub)
+        elif hub is None:
             for consumer, port_name in entries:
                 if (
                     version != self._version

@@ -29,6 +29,7 @@ from repro.core.psl import ProcessStructureLayer
 from repro.observability.instrumentation import ObservabilityHub
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import FlowTrace, trace_of
+from repro.robustness.supervision import SupervisionPolicy, Supervisor
 from repro.sensors.base import SensorReading, SimulatedSensor
 from repro.services.bundle import Framework
 
@@ -93,6 +94,34 @@ class PerPos:
     def disable_observability(self) -> Optional[ObservabilityHub]:
         """Remove the hub (recorded metrics stay readable on it)."""
         return self.graph.set_instrumentation(None)
+
+    # -- supervision -------------------------------------------------------------
+
+    @property
+    def supervision(self) -> Optional[Supervisor]:
+        """The installed supervisor, or None while supervision is off."""
+        return self.graph.supervisor
+
+    def enable_supervision(
+        self, policy: Optional[SupervisionPolicy] = None
+    ) -> Supervisor:
+        """Install failure supervision on this middleware's graph.
+
+        The supervisor's clock is the middleware's simulation clock, so
+        sliding failure windows and half-open probe recovery are fully
+        deterministic.  Re-enabling replaces the previous supervisor
+        (and its failure history).
+        """
+        supervisor = Supervisor(policy, time_fn=lambda: self.clock.now)
+        self.graph.set_supervisor(supervisor)
+        registry_service = self.framework.registry
+        if registry_service.find_service("perpos.Supervisor") is None:
+            registry_service.register("perpos.Supervisor", supervisor)
+        return supervisor
+
+    def disable_supervision(self) -> Optional[Supervisor]:
+        """Remove the supervisor (its failure records stay readable)."""
+        return self.graph.set_supervisor(None)
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
         """The component path (with timestamps) behind a delivered datum.

@@ -193,8 +193,9 @@ class ProcessChannelLayer(GraphObserver):
         """Outputs delivered + latest flow trace per channel.
 
         The channel-layer view of runtime behaviour: how much each
-        strand has delivered and the concrete component path behind its
-        most recent output (None while tracing is disabled).
+        strand has delivered, how often its Channel Features failed, and
+        the concrete component path behind its most recent output (None
+        while tracing is disabled).
         """
         summary = []
         for channel in self.channels():
@@ -205,6 +206,7 @@ class ProcessChannelLayer(GraphObserver):
                     "outputs_delivered": channel.stats()[
                         "outputs_delivered"
                     ],
+                    "feature_errors": channel.feature_error_count,
                     "latest_path": trace.path if trace else None,
                 }
             )

@@ -269,14 +269,41 @@ class LocationProvider:
                 names.extend(f.name for f in member.features)
         return sorted(set(names))
 
+    # -- health (supervision seam) --------------------------------------------
+
+    def quarantined_components(self) -> List[str]:
+        """Backing components currently quarantined by the supervisor.
+
+        Walks the provider's whole channel tree (plus the sink itself)
+        and intersects it with the supervisor's quarantine set.  Empty
+        while supervision is disabled or everything is healthy.
+        """
+        supervisor = self.pcl.graph.supervisor
+        if supervisor is None:
+            return []
+        quarantined = set(supervisor.quarantined())
+        if not quarantined:
+            return []
+        names = {self.sink.name}
+        for channel in self.channels():
+            names.update(member.name for member in channel.members)
+        return sorted(names & quarantined)
+
+    def is_degraded(self) -> bool:
+        """Whether any backing component is quarantined right now."""
+        return bool(self.quarantined_components())
+
     def describe(self) -> Dict[str, Any]:
         """Reflective summary of this provider."""
+        quarantined = self.quarantined_components()
         return {
             "name": self.name,
             "kinds": list(self.kinds),
             "technologies": list(self.technologies),
             "features": self.available_features(),
             "channels": [c.id for c in self.channels()],
+            "health": "degraded" if quarantined else "ok",
+            "quarantined": quarantined,
         }
 
 
@@ -321,6 +348,9 @@ class PositioningLayer:
     def __init__(self) -> None:
         self._providers: Dict[str, LocationProvider] = {}
         self._targets: Dict[str, Target] = {}
+        self._failover_listeners: List[
+            Callable[[List[str], str], None]
+        ] = []
 
     # -- providers ----------------------------------------------------------------
 
@@ -344,34 +374,86 @@ class PositioningLayer:
             raise PositioningError(f"no provider {name!r}") from None
 
     def get_provider(self, criteria: Criteria) -> LocationProvider:
-        """First registered provider matching the criteria.
+        """First registered *healthy* provider matching the criteria.
 
-        Raises :class:`PositioningError` when nothing matches -- the
-        JSR-179 contract for unsatisfiable criteria.
+        Providers whose backing components are quarantined by the graph
+        supervisor are demoted: a criteria-matching fallback takes over
+        and failover listeners are notified.  When every match is
+        degraded the first one is returned anyway -- a degraded provider
+        beats none, and the demotion is still announced so applications
+        can react.  Raises :class:`PositioningError` when nothing
+        matches at all (the JSR-179 contract for unsatisfiable
+        criteria).
         """
+        demoted: List[LocationProvider] = []
         for provider in self.providers():
-            if criteria.kind not in provider.kinds:
+            if not self._matches(provider, criteria):
                 continue
-            if (
-                criteria.technology is not None
-                and criteria.technology not in provider.technologies
-            ):
+            if provider.is_degraded():
+                demoted.append(provider)
                 continue
-            if any(
-                provider.get_feature(f) is None
-                for f in criteria.required_features
-            ):
-                continue
-            if criteria.horizontal_accuracy_m is not None:
-                position = provider.last_position()
-                if (
-                    position is None
-                    or position.accuracy_m is None
-                    or position.accuracy_m > criteria.horizontal_accuracy_m
-                ):
-                    continue
+            if demoted:
+                self._notify_failover(
+                    [p.name for p in demoted], provider.name
+                )
             return provider
+        if demoted:
+            fallback = demoted[0]
+            self._notify_failover(
+                [p.name for p in demoted], fallback.name
+            )
+            return fallback
         raise PositioningError(f"no provider satisfies {criteria}")
+
+    @staticmethod
+    def _matches(provider: LocationProvider, criteria: Criteria) -> bool:
+        """Whether one provider satisfies the functional criteria."""
+        if criteria.kind not in provider.kinds:
+            return False
+        if (
+            criteria.technology is not None
+            and criteria.technology not in provider.technologies
+        ):
+            return False
+        if any(
+            provider.get_feature(f) is None
+            for f in criteria.required_features
+        ):
+            return False
+        if criteria.horizontal_accuracy_m is not None:
+            position = provider.last_position()
+            if (
+                position is None
+                or position.accuracy_m is None
+                or position.accuracy_m > criteria.horizontal_accuracy_m
+            ):
+                return False
+        return True
+
+    # -- failover notifications --------------------------------------------------
+
+    def add_failover_listener(
+        self, listener: Callable[[List[str], str], None]
+    ) -> Callable[[], None]:
+        """Notify ``listener(demoted_names, selected_name)`` on failover.
+
+        Fired by :meth:`get_provider` whenever a matching provider was
+        passed over because its backing components are quarantined.
+        Returns an unsubscribe callable.
+        """
+        self._failover_listeners.append(listener)
+
+        def _remove() -> None:
+            if listener in self._failover_listeners:
+                self._failover_listeners.remove(listener)
+
+        return _remove
+
+    def _notify_failover(
+        self, demoted: List[str], selected: str
+    ) -> None:
+        for listener in list(self._failover_listeners):
+            listener(demoted, selected)
 
     # -- targets --------------------------------------------------------------------
 

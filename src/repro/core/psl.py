@@ -42,8 +42,19 @@ class ProcessStructureLayer:
         return self.graph.component(name)
 
     def describe(self, name: str) -> Dict[str, Any]:
-        """Full reflective summary of one component."""
-        return self.graph.component(name).describe()
+        """Full reflective summary of one component.
+
+        While a supervisor is installed the summary carries the
+        component's failure seam too: circuit-breaker ``health``
+        (``closed``/``open``/``half-open``) and the total ``failures``
+        recorded against it.
+        """
+        info = self.graph.component(name).describe()
+        supervisor = self.graph.supervisor
+        if supervisor is not None:
+            info["health"] = supervisor.health(name)
+            info["failures"] = supervisor.failure_count(name)
+        return info
 
     def connections(self) -> List[Connection]:
         """All edges of the reified process."""
@@ -92,6 +103,45 @@ class ProcessStructureLayer:
         if name is not None:
             self.graph.component(name)  # validate existence
         return hub.component_stats(name)
+
+    # -- supervision (failure seams) -----------------------------------------
+
+    def component_health(
+        self, name: Optional[str] = None
+    ) -> Dict[str, str]:
+        """Circuit-breaker health of components, as the PSL sees it.
+
+        With ``name`` a one-entry mapping for that component; without,
+        the health of every component the supervisor has seen fail.
+        Empty while supervision is disabled -- like
+        :meth:`component_metrics`, inspection degrades gracefully.
+        """
+        supervisor = self.graph.supervisor
+        if supervisor is None:
+            return {}
+        if name is not None:
+            self.graph.component(name)  # validate existence
+            return {name: supervisor.health(name)}
+        return supervisor.health_states()
+
+    def failure_records(self, name: Optional[str] = None) -> List[Any]:
+        """Reified delivery failures (bounded), optionally per component.
+
+        Each entry is a
+        :class:`~repro.robustness.supervision.FailureRecord`; empty
+        while supervision is disabled.
+        """
+        supervisor = self.graph.supervisor
+        if supervisor is None:
+            return []
+        if name is not None:
+            self.graph.component(name)  # validate existence
+        return supervisor.failure_records(name)
+
+    def quarantined(self) -> List[str]:
+        """Components currently skipped by routing (breaker ``open``)."""
+        supervisor = self.graph.supervisor
+        return supervisor.quarantined() if supervisor is not None else []
 
     # -- manipulation -------------------------------------------------------
 

@@ -57,8 +57,13 @@ def component_seams(component: Any) -> Dict[str, Any]:
         if callable(fn):
             try:
                 seams[probe] = fn()
-            except Exception:  # noqa: BLE001 - a probe failing is itself a seam
-                seams[probe] = "<probe failed>"
+            except Exception as exc:  # noqa: BLE001 - a probe failing is itself a seam
+                # The failed probe is itself inspectable: report what
+                # went wrong instead of collapsing it to a marker.
+                seams[probe] = {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
     for counter in SEAM_COUNTERS:
         value = getattr(component, counter, None)
         if isinstance(value, (int, float)):
@@ -68,10 +73,13 @@ def component_seams(component: Any) -> Dict[str, Any]:
 
 def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
     """Structured snapshot of the whole positioning infrastructure."""
+    supervisor = middleware.graph.supervisor
     components = []
     for component in middleware.graph.components():
         info = component.describe()
         info["seams"] = component_seams(component)
+        if supervisor is not None:
+            info["health"] = supervisor.health(component.name)
         components.append(info)
     channels = []
     for channel in middleware.pcl.channels():
@@ -98,6 +106,11 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
         # Runtime behaviour (None while observability is disabled): the
         # live twin of the structural sections above.
         "observability": hub.snapshot() if hub is not None else None,
+        # Failure seams (None while supervision is disabled): policy,
+        # per-component breaker health, and the reified failure ring.
+        "supervision": (
+            supervisor.snapshot() if supervisor is not None else None
+        ),
     }
 
 
@@ -136,6 +149,27 @@ def render_report(middleware: PerPos) -> str:
             f"  {provider['name']}: kinds={provider['kinds']}"
             f" features={provider['features']}"
         )
+    supervision = snapshot["supervision"]
+    lines.append("")
+    lines.append("supervision:")
+    if supervision is None:
+        lines.append("  (supervision disabled)")
+    else:
+        lines.append(f"  policy: {supervision['policy']['mode']}")
+        if not supervision["components"]:
+            lines.append("  all components healthy")
+        for name, state in sorted(supervision["components"].items()):
+            lines.append(
+                f"  {name}: {state['health']}"
+                f" (failures={state['failures']},"
+                f" skipped={state['skipped']}, trips={state['trips']})"
+            )
+        for record in supervision["records"][-5:]:
+            lines.append(
+                f"    ! failure #{record['seq']} {record['component']}"
+                f".{record['port']}: {record['error_type']}:"
+                f" {record['message']}"
+            )
     observability = snapshot["observability"]
     lines.append("")
     lines.append("live metrics:")

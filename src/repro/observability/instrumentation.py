@@ -146,6 +146,12 @@ class ObservabilityHub:
             "feature_drops", feature=feature_name
         ).inc()
 
+    def channel_feature_error(self, channel_id: str, feature_name: str) -> None:
+        """A Channel Feature's ``apply`` raised during output delivery."""
+        self.registry.counter(
+            "channel_feature_errors", channel=channel_id, feature=feature_name
+        ).inc()
+
     def topology_changed(
         self,
         n_components: int,

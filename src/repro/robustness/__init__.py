@@ -1,0 +1,40 @@
+"""Robustness: supervised dispatch, quarantine, and fault injection.
+
+Failures become first-class, inspectable seams of the positioning
+process, the same way the PSL reifies structure and the observability
+layer reifies behaviour.  See :mod:`repro.robustness.supervision` for
+the policy/breaker machinery and :mod:`repro.robustness.fault_injection`
+for deterministic chaos testing through the Component Feature seam.
+"""
+
+from repro.robustness.fault_injection import (
+    FaultInjected,
+    FaultInjectionFeature,
+)
+from repro.robustness.supervision import (
+    CLOSED,
+    HALF_OPEN,
+    ISOLATE,
+    OPEN,
+    PROPAGATE,
+    QUARANTINE,
+    FailureRecord,
+    SupervisionError,
+    SupervisionPolicy,
+    Supervisor,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "PROPAGATE",
+    "ISOLATE",
+    "QUARANTINE",
+    "FailureRecord",
+    "SupervisionError",
+    "SupervisionPolicy",
+    "Supervisor",
+    "FaultInjected",
+    "FaultInjectionFeature",
+]

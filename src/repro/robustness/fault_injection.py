@@ -1,0 +1,167 @@
+"""Deterministic chaos testing through the paper's own extension seam.
+
+:class:`FaultInjectionFeature` is an ordinary Component Feature (paper
+§2.1, Fig. 3a): attached through ``psl.attach_feature`` it intercepts
+the host component's ``consume`` chain and injects failures, drops and
+delays -- either on a fixed cadence (``fail_every``/``drop_every``) or
+probabilistically from a seeded RNG (``fail_rate``/``drop_rate``), so a
+chaos run replays identically from the same seed.
+
+* a *failure* raises :class:`FaultInjected` inside the host's
+  ``receive``; under a graph :class:`~repro.robustness.supervision
+  .Supervisor` this exercises exactly the isolation/quarantine path a
+  genuinely broken component would;
+* a *drop* vetoes the datum (the graph records ``data_dropped`` with
+  this feature's name, like any feature veto);
+* a *delay* withholds the datum and releases it ``delay_datums``
+  consumed datums later -- a deterministic lag in logical datum time,
+  with the in-flight window inspectable via :meth:`pending`.
+
+``arm()``/``disarm()`` surface through the component's reflective API,
+so a chaos experiment can be switched off through the PSL
+(``psl.invoke(name, "FaultInjection.disarm")``) without detaching the
+feature -- which is how the end-to-end recovery tests let a quarantined
+component heal.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature, FeatureError
+
+
+class FaultInjected(RuntimeError):
+    """A failure deliberately injected by :class:`FaultInjectionFeature`."""
+
+
+class FaultInjectionFeature(ComponentFeature):
+    """Seeded, deterministic failure/drop/delay injection on ``consume``.
+
+    Parameters
+    ----------
+    fail_every / drop_every:
+        Inject on every Nth consumed datum (1 = every datum).
+    fail_rate / drop_rate:
+        Inject with this probability per datum, drawn from
+        ``random.Random(seed)`` -- reruns with the same seed and the
+        same traffic inject identically.
+    delay_datums:
+        Lag each datum by this many subsequently consumed datums.
+    fail_limit:
+        Stop injecting failures after this many (None = unlimited);
+        lets a test trip a breaker and then observe recovery without
+        reaching into the feature.
+    """
+
+    name = "FaultInjection"
+
+    def __init__(
+        self,
+        *,
+        fail_every: Optional[int] = None,
+        fail_rate: Optional[float] = None,
+        drop_every: Optional[int] = None,
+        drop_rate: Optional[float] = None,
+        delay_datums: int = 0,
+        fail_limit: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        for label, every in (
+            ("fail_every", fail_every),
+            ("drop_every", drop_every),
+        ):
+            if every is not None and every < 1:
+                raise FeatureError(f"{label} must be >= 1")
+        for label, rate in (
+            ("fail_rate", fail_rate),
+            ("drop_rate", drop_rate),
+        ):
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise FeatureError(f"{label} must be within [0, 1]")
+        if delay_datums < 0:
+            raise FeatureError("delay_datums must be >= 0")
+        if fail_limit is not None and fail_limit < 0:
+            raise FeatureError("fail_limit must be >= 0")
+        self._fail_every = fail_every
+        self._fail_rate = fail_rate
+        self._drop_every = drop_every
+        self._drop_rate = drop_rate
+        self._delay_datums = delay_datums
+        self._fail_limit = fail_limit
+        self._rng = random.Random(seed)
+        self._armed = True
+        self._consumed = 0
+        self._held: Deque[Datum] = deque()
+        #: Injection counters; plain ints so they surface as seams.
+        self.injected_failures = 0
+        self.injected_drops = 0
+        self.injected_delays = 0
+
+    # -- interception -------------------------------------------------------
+
+    def consume(self, datum: Datum) -> Optional[Datum]:
+        if not self._armed:
+            return datum
+        self._consumed += 1
+        if self._should(self._fail_every, self._fail_rate) and (
+            self._fail_limit is None
+            or self.injected_failures < self._fail_limit
+        ):
+            self.injected_failures += 1
+            raise FaultInjected(
+                f"injected failure #{self.injected_failures} in"
+                f" {self.component.name} (datum #{self._consumed},"
+                f" kind {datum.kind!r})"
+            )
+        if self._should(self._drop_every, self._drop_rate):
+            self.injected_drops += 1
+            return None
+        if self._delay_datums:
+            self._held.append(datum)
+            if len(self._held) <= self._delay_datums:
+                self.injected_delays += 1
+                return None
+            return self._held.popleft()
+        return datum
+
+    def _should(
+        self, every: Optional[int], rate: Optional[float]
+    ) -> bool:
+        if every is not None and self._consumed % every == 0:
+            return True
+        if rate is not None and self._rng.random() < rate:
+            return True
+        return False
+
+    # -- reflective surface --------------------------------------------------
+
+    def arm(self) -> None:
+        """(Re-)enable injection."""
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting; datums pass through untouched."""
+        self._armed = False
+
+    def armed(self) -> bool:
+        return self._armed
+
+    def pending(self) -> int:
+        """Datums currently withheld by the delay window."""
+        return len(self._held)
+
+    def stats(self) -> Dict[str, Any]:
+        """Injection accounting (also exposed as seam counters)."""
+        return {
+            "armed": self._armed,
+            "consumed": self._consumed,
+            "injected_failures": self.injected_failures,
+            "injected_drops": self.injected_drops,
+            "injected_delays": self.injected_delays,
+            "pending": len(self._held),
+        }

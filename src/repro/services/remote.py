@@ -34,6 +34,30 @@ class MessageRecord:
     description: str
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for remote calls.
+
+    ``max_attempts`` counts the first try: 3 means one call plus at most
+    two retries.  Between attempts the *simulation* clock advances by
+    ``backoff_s`` (growing by ``multiplier`` each retry) -- no real
+    sleeps, and a network without a clock retries immediately while
+    still recording every attempt on the ledger.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.1
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+
 def _estimate_size(value: Any) -> int:
     """Crude wire-size estimate: length of the repr, floor 8 bytes.
 
@@ -110,10 +134,16 @@ class Network:
 class RemoteProxy:
     """Call-forwarding proxy for a service exported on another host.
 
-    Each method call records a request and a response message on the
-    network, then invokes the target synchronously.  Only plain method
-    calls are proxied -- attribute reads of non-callables raise, keeping
-    accidental chatty access patterns visible.
+    Each method call records a request message, invokes the target
+    synchronously, and records either a response or an ``:error``
+    message on the network -- a raising target therefore leaves a
+    *matched* request/error pair on the ledger plus a per-method entry
+    in ``failure_counts``, instead of an unmatched request and no
+    accounting.  With a :class:`RetryPolicy` each failed attempt is
+    retried after a simulated backoff (injected clock, no real sleeps).
+    Only plain method calls are proxied -- attribute reads of
+    non-callables raise, keeping accidental chatty access patterns
+    visible.
     """
 
     def __init__(
@@ -123,13 +153,17 @@ class RemoteProxy:
         source_host: str,
         target_host: str,
         interface: str,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._target = target
         self._network = network
         self._source_host = source_host
         self._target_host = target_host
         self._interface = interface
+        self._retry = retry
         self.call_counts: Dict[str, int] = {}
+        #: Per-method count of raising attempts (retries included).
+        self.failure_counts: Dict[str, int] = {}
 
     def __getattr__(self, name: str) -> Callable[..., Any]:
         attr = getattr(self._target, name)
@@ -140,21 +174,43 @@ class RemoteProxy:
             )
 
         def _remote_call(*args: Any, **kwargs: Any) -> Any:
-            self.call_counts[name] = self.call_counts.get(name, 0) + 1
-            self._network.record(
-                self._source_host,
-                self._target_host,
-                (args, kwargs),
-                f"{self._interface}.{name}:request",
-            )
-            result = attr(*args, **kwargs)
-            self._network.record(
-                self._target_host,
-                self._source_host,
-                result,
-                f"{self._interface}.{name}:response",
-            )
-            return result
+            retry = self._retry
+            attempts = retry.max_attempts if retry is not None else 1
+            backoff = retry.backoff_s if retry is not None else 0.0
+            for attempt in range(1, attempts + 1):
+                self.call_counts[name] = self.call_counts.get(name, 0) + 1
+                self._network.record(
+                    self._source_host,
+                    self._target_host,
+                    (args, kwargs),
+                    f"{self._interface}.{name}:request",
+                )
+                try:
+                    result = attr(*args, **kwargs)
+                except Exception as exc:
+                    self.failure_counts[name] = (
+                        self.failure_counts.get(name, 0) + 1
+                    )
+                    self._network.record(
+                        self._target_host,
+                        self._source_host,
+                        repr(exc),
+                        f"{self._interface}.{name}:error",
+                    )
+                    if attempt == attempts:
+                        raise
+                    clock = self._network.clock
+                    if clock is not None and backoff > 0:
+                        clock.advance(backoff)
+                    backoff *= retry.multiplier
+                    continue
+                self._network.record(
+                    self._target_host,
+                    self._source_host,
+                    result,
+                    f"{self._interface}.{name}:response",
+                )
+                return result
 
         return _remote_call
 
@@ -185,8 +241,14 @@ class Host:
         remote: "Host",
         interface: str,
         flt: ServiceFilter = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> RemoteProxy:
-        """Import an exported service from ``remote`` as a proxy."""
+        """Import an exported service from ``remote`` as a proxy.
+
+        Pass ``retry`` to wrap every proxied call in bounded
+        retry-with-backoff (simulated-clock delays, each attempt on the
+        ledger).
+        """
         try:
             service, _props = remote._exports[interface]
         except KeyError:
@@ -199,6 +261,7 @@ class Host:
             source_host=self.name,
             target_host=remote.name,
             interface=interface,
+            retry=retry,
         )
         # Imported services appear in the local registry, as D-OSGi does.
         props = {"remote.host": remote.name, "service.imported": True}

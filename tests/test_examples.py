@@ -52,6 +52,15 @@ def test_entracked_power(capsys):
     assert "EnTracked, error threshold 50 m:" in out
 
 
+def test_chaos_demo(capsys):
+    out = run_example("chaos_demo", capsys)
+    assert "[supervision] gps-stage: open" in out
+    assert "selected provider: wifi-app" in out
+    assert "gps-stage health: closed" in out
+    assert "selected provider after recovery: gps-app" in out
+    assert "FaultInjected" in out
+
+
 def test_seamful_inspection(capsys):
     out = run_example("seamful_inspection", capsys)
     assert "STRUCTURAL REFLECTION" in out

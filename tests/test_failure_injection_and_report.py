@@ -221,6 +221,21 @@ class TestInfrastructureReport:
         assert seams["dropped_lines"] == 0
         assert seams["pending_bytes"] == 0
 
+    def test_failing_probe_reports_error_type_and_message(self):
+        class BrokenProbe:
+            dropped_lines = 3
+
+            def rejection_rate(self):
+                raise ZeroDivisionError("no samples yet")
+
+        seams = component_seams(BrokenProbe())
+        assert seams["rejection_rate"] == {
+            "error": "ZeroDivisionError",
+            "message": "no samples yet",
+        }
+        # Healthy indicators on the same component still collect.
+        assert seams["dropped_lines"] == 3
+
     def test_snapshot_structure(self):
         middleware, source, _parser = self.middleware_with_pipeline()
         source.inject(Datum(Kind.NMEA_RAW, "$BAD*00\r\n", 0.0))

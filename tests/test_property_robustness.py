@@ -1,0 +1,138 @@
+"""Property tests: isolation is exact non-interference (hypothesis).
+
+The supervision contract under the ``isolate`` policy is that a failing
+component is contained at its own delivery boundary: every *other*
+consumer must receive exactly the deliveries -- same payloads, same
+order -- it would have received in a fault-free run of the same traffic.
+These tests drive randomly generated fan-out topologies and failure
+patterns through the real graph twice (faulty + supervised vs clean +
+unsupervised) and compare the two runs consumer by consumer.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import ProcessingGraph
+from repro.robustness import SupervisionPolicy, Supervisor
+
+scenarios = st.fixed_dictionaries(
+    {
+        # Sibling strands next to the faulty component; each is either
+        # a bare sink or a stage -> sink chain (exercising downstream
+        # hops that must also stay untouched).
+        "siblings": st.lists(st.booleans(), min_size=1, max_size=4),
+        # Which of the injected datums the faulty component raises on.
+        "fail_pattern": st.lists(st.booleans(), min_size=1, max_size=20),
+    }
+)
+
+
+def run_traffic(siblings, fail_pattern, faulty, policy):
+    """Build src -> [fault, strand...] and push one datum per pattern.
+
+    ``faulty`` switches the failure injection on; ``policy`` (or None)
+    installs a supervisor.  Returns the payload lists every non-failing
+    sink received, keyed by sink name.
+    """
+    graph = ProcessingGraph()
+    source = SourceComponent("src", ("x",))
+    graph.add(source)
+
+    index = {"i": -1}
+
+    def fault_fn(datum):
+        index["i"] += 1
+        if faulty and fail_pattern[index["i"]]:
+            raise RuntimeError(f"injected #{index['i']}")
+        return datum
+
+    fault = FunctionComponent("fault", ("x",), ("x",), fn=fault_fn)
+    graph.add(fault)
+    graph.connect("src", "fault")
+    fault_sink = ApplicationSink("fault-sink", ("x",))
+    graph.add(fault_sink)
+    graph.connect("fault", "fault-sink")
+
+    sinks = []
+    for i, chained in enumerate(siblings):
+        sink = ApplicationSink(f"sink{i}", ("x",))
+        graph.add(sink)
+        if chained:
+            stage = FunctionComponent(
+                f"stage{i}", ("x",), ("x",), fn=lambda d: d
+            )
+            graph.add(stage)
+            graph.connect("src", f"stage{i}")
+            graph.connect(f"stage{i}", f"sink{i}")
+        else:
+            graph.connect("src", f"sink{i}")
+        sinks.append(sink)
+
+    supervisor = None
+    if policy is not None:
+        supervisor = Supervisor(policy)
+        graph.set_supervisor(supervisor)
+
+    for i in range(len(fail_pattern)):
+        source.inject(Datum("x", i, float(i)))
+
+    received = {
+        sink.name: [d.payload for d in sink.received] for sink in sinks
+    }
+    received["fault-sink"] = [d.payload for d in fault_sink.received]
+    return received, supervisor
+
+
+@pytest.mark.chaos
+class TestIsolationNonInterference:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario=scenarios)
+    def test_isolate_preserves_sibling_deliveries_exactly(self, scenario):
+        siblings = scenario["siblings"]
+        pattern = scenario["fail_pattern"]
+        clean, _ = run_traffic(siblings, pattern, faulty=False, policy=None)
+        faulty, supervisor = run_traffic(
+            siblings,
+            pattern,
+            faulty=True,
+            policy=SupervisionPolicy(mode="isolate"),
+        )
+        n_failures = sum(pattern)
+        # Every sibling sink (and its intermediate stage) received
+        # exactly the fault-free delivery sequence.
+        for name, payloads in clean.items():
+            if name == "fault-sink":
+                continue
+            assert faulty[name] == payloads
+        # The faulty component's own downstream misses exactly the
+        # failed datums, in order.
+        expected_through = [
+            i for i, fails in enumerate(pattern) if not fails
+        ]
+        assert faulty["fault-sink"] == expected_through
+        assert supervisor.failure_count("fault") == n_failures
+        assert len(supervisor.failure_records("fault")) == min(
+            n_failures, supervisor.policy.max_records
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario=scenarios)
+    def test_isolate_equals_clean_run_when_nothing_fails(self, scenario):
+        siblings = scenario["siblings"]
+        pattern = [False] * len(scenario["fail_pattern"])
+        clean, _ = run_traffic(siblings, pattern, faulty=False, policy=None)
+        supervised, supervisor = run_traffic(
+            siblings,
+            pattern,
+            faulty=True,
+            policy=SupervisionPolicy(mode="isolate"),
+        )
+        assert supervised == clean
+        assert supervisor.failure_records() == []

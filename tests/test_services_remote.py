@@ -3,7 +3,7 @@
 import pytest
 
 from repro.clock import SimulationClock
-from repro.services.remote import Host, Network, RemoteProxy
+from repro.services.remote import Host, Network, RemoteProxy, RetryPolicy
 
 
 class Calculator:
@@ -16,6 +16,20 @@ class Calculator:
 
     def fail(self):
         raise RuntimeError("remote failure")
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def fetch(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError(f"attempt {self.calls} lost")
+        return "payload"
 
 
 def make_pair():
@@ -117,9 +131,110 @@ class TestProxySemantics:
         # The request was sent even though the call failed.
         assert network.message_count(source="mobile") == 1
 
+    def test_failed_call_records_error_message_and_count(self):
+        network, mobile, server = make_pair()
+        server.export("calc", Calculator())
+        proxy = mobile.import_service(server, "calc")
+        with pytest.raises(RuntimeError):
+            proxy.fail()
+        # Request/error form a matched pair on the ledger.
+        descriptions = [m.description for m in network.messages]
+        assert descriptions == ["calc.fail:request", "calc.fail:error"]
+        error = network.messages[-1]
+        assert error.source == "server"
+        assert error.destination == "mobile"
+        assert proxy.failure_counts == {"fail": 1}
+        assert proxy.call_counts == {"fail": 1}
+
     def test_missing_method_raises_attribute_error(self):
         _network, mobile, server = make_pair()
         server.export("calc", Calculator())
         proxy = mobile.import_service(server, "calc")
         with pytest.raises(AttributeError):
             proxy.no_such_method()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def make_pair_with_clock(self):
+        clock = SimulationClock()
+        network = Network(clock=clock)
+        mobile = Host("mobile", network)
+        server = Host("server", network)
+        return clock, network, mobile, server
+
+    def test_retry_recovers_from_transient_failures(self):
+        clock, network, mobile, server = self.make_pair_with_clock()
+        service = Flaky(failures=2)
+        server.export("flaky", service)
+        proxy = mobile.import_service(
+            server, "flaky", retry=RetryPolicy(max_attempts=3)
+        )
+        assert proxy.fetch() == "payload"
+        assert service.calls == 3
+        assert proxy.call_counts == {"fetch": 3}
+        assert proxy.failure_counts == {"fetch": 2}
+        # Every attempt is on the ledger: 3 requests, 2 errors, 1 response.
+        descriptions = [m.description for m in network.messages]
+        assert descriptions.count("flaky.fetch:request") == 3
+        assert descriptions.count("flaky.fetch:error") == 2
+        assert descriptions.count("flaky.fetch:response") == 1
+
+    def test_backoff_advances_simulated_clock_exponentially(self):
+        clock, network, mobile, server = self.make_pair_with_clock()
+        server.export("flaky", Flaky(failures=2))
+        proxy = mobile.import_service(
+            server,
+            "flaky",
+            retry=RetryPolicy(
+                max_attempts=3, backoff_s=0.1, multiplier=2.0
+            ),
+        )
+        proxy.fetch()
+        # 0.1 s after the first failure, 0.2 s after the second.
+        assert clock.now == pytest.approx(0.3)
+        times = [
+            m.time_s
+            for m in network.messages
+            if m.description == "flaky.fetch:request"
+        ]
+        assert times == [0.0, pytest.approx(0.1), pytest.approx(0.3)]
+
+    def test_attempts_are_bounded_and_last_error_reraises(self):
+        clock, network, mobile, server = self.make_pair_with_clock()
+        service = Flaky(failures=10)
+        server.export("flaky", service)
+        proxy = mobile.import_service(
+            server, "flaky", retry=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(ConnectionError):
+            proxy.fetch()
+        assert service.calls == 3
+        assert proxy.failure_counts == {"fetch": 3}
+        # No backoff after the final attempt.
+        assert clock.now == pytest.approx(0.3)
+
+    def test_clockless_network_retries_without_delay(self):
+        network, mobile, server = make_pair()
+        server.export("flaky", Flaky(failures=1))
+        proxy = mobile.import_service(
+            server, "flaky", retry=RetryPolicy(max_attempts=2)
+        )
+        assert proxy.fetch() == "payload"
+        assert proxy.failure_counts == {"fetch": 1}
+
+    def test_no_retry_without_policy(self):
+        _network, mobile, server = make_pair()
+        service = Flaky(failures=1)
+        server.export("flaky", service)
+        proxy = mobile.import_service(server, "flaky")
+        with pytest.raises(ConnectionError):
+            proxy.fetch()
+        assert service.calls == 1
