@@ -1,27 +1,40 @@
-"""Gate dispatch throughput against a committed baseline (CI).
+"""Gate benchmark artefacts against committed baselines (CI).
 
-Compares the machine-readable benchmark artefact
-(``benchmarks/results/BENCH_dispatch.json``, written by
-``bench_overhead_ablation.py``) against a committed baseline copy.
+Compares machine-readable benchmark artefacts against committed baseline
+copies.  Two schemas are understood, sniffed from the file's top-level
+sections:
 
-Raw datums/s are not comparable across runner generations, so every
-scalability figure is first normalised by the *same run's* bare-pipeline
-rate; the gate then requires
+``configs`` / ``scalability`` (``BENCH_dispatch.json``, written by
+``bench_overhead_ablation.py``)
+    Raw datums/s are not comparable across runner generations, so every
+    scalability figure is first normalised by the *same run's*
+    bare-pipeline rate; the gate then requires
 
-    (current throughput / current bare) /
-    (baseline throughput / baseline bare)  >=  --min-ratio
+        (current throughput / current bare) /
+        (baseline throughput / baseline bare)  >=  --min-ratio
 
-per topology size -- i.e. the dispatch fast path may not lose more than
-(1 - min-ratio) of its relative advantage.  The per-configuration
-overhead curve is gated the same way (a config's slowdown factor vs bare
-may not grow by more than 1 / min-ratio), and the disabled-observability
-assertion re-checks that two bare runs agreed within 5%.
+    per topology size -- i.e. the dispatch fast path may not lose more
+    than (1 - min-ratio) of its relative advantage.  The
+    per-configuration overhead curve is gated the same way (a config's
+    slowdown factor vs bare may not grow by more than 1 / min-ratio),
+    and the disabled-observability assertion re-checks that two bare
+    runs agreed within 5%.
 
-Usage:
+``scale`` (``BENCH_scale.json``, written by ``bench_scale_runtime.py``)
+    Each workload's figure is the batch/single-datum *speedup measured
+    within one run*, which is already runner-independent.  The gate
+    requires the current speedup to hold at least ``--min-ratio`` of the
+    baseline's per workload, and re-checks the artefact's own absolute
+    floor (``speedup_floor``) on its ``gated_workload``.
+
+Usage (one or many pairs per invocation):
     python benchmarks/check_regression.py \
-        --baseline /tmp/baseline.json \
-        --current benchmarks/results/BENCH_dispatch.json \
+        --pair /tmp/dispatch-baseline.json benchmarks/results/BENCH_dispatch.json \
+        --pair /tmp/scale-baseline.json benchmarks/results/BENCH_scale.json \
         --min-ratio 0.8
+
+The legacy single-pair form ``--baseline X --current Y`` is still
+accepted.
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ def bare_rate(data: dict) -> float:
     return float(data["configs"]["datums_per_s"]["bare pipeline"])
 
 
-def check(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_dispatch(baseline: dict, current: dict, min_ratio: float) -> list:
     failures = []
 
     rerun = float(current["configs"]["bare_rerun_ratio"])
@@ -91,14 +104,89 @@ def check(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
+def check_scale(baseline: dict, current: dict, min_ratio: float) -> list:
+    failures = []
+    base_scale = baseline["scale"]
+    cur_scale = current["scale"]
+
+    for key, base_row in base_scale.get("workloads", {}).items():
+        cur_row = cur_scale.get("workloads", {}).get(key)
+        if cur_row is None:
+            failures.append(f"scale workload {key} missing from current")
+            continue
+        base_speedup = float(base_row["speedup"])
+        cur_speedup = float(cur_row["speedup"])
+        # Speedups are within-run figures; compare them directly.
+        ratio = cur_speedup / base_speedup if base_speedup else 1.0
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"scale {key}: batch speedup {cur_speedup:.2f}x"
+            f" (baseline {base_speedup:.2f}x,"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"scale {key}: speedup ratio {ratio:.3f} < {min_ratio}"
+            )
+
+    gated = cur_scale.get("gated_workload")
+    floor = float(cur_scale.get("speedup_floor", 0.0))
+    if gated:
+        row = cur_scale.get("workloads", {}).get(gated)
+        if row is None:
+            failures.append(f"gated workload {gated} missing from current")
+        elif float(row["speedup"]) < floor:
+            failures.append(
+                f"scale {gated}: absolute speedup"
+                f" {float(row['speedup']):.2f}x below the artefact's own"
+                f" floor {floor}x"
+            )
+
+    return failures
+
+
+def check(baseline: dict, current: dict, min_ratio: float) -> list:
+    """Dispatch on schema: which top-level sections the artefact carries."""
+    if "scale" in current or "scale" in baseline:
+        return check_scale(baseline, current, min_ratio)
+    if "configs" in current or "configs" in baseline:
+        return check_dispatch(baseline, current, min_ratio)
+    return [
+        "unrecognised artefact schema: expected a 'configs' or 'scale'"
+        " top-level section"
+    ]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        metavar=("BASELINE", "CURRENT"),
+        default=[],
+        help="one baseline/current artefact pair; repeatable",
+    )
+    parser.add_argument("--baseline", help="legacy single-pair form")
+    parser.add_argument("--current", help="legacy single-pair form")
     parser.add_argument("--min-ratio", type=float, default=0.8)
     args = parser.parse_args(argv)
 
-    failures = check(load(args.baseline), load(args.current), args.min_ratio)
+    pairs = list(args.pair)
+    if args.baseline or args.current:
+        if not (args.baseline and args.current):
+            parser.error("--baseline and --current must be given together")
+        pairs.append([args.baseline, args.current])
+    if not pairs:
+        parser.error("give at least one --pair (or --baseline/--current)")
+
+    failures = []
+    for baseline_path, current_path in pairs:
+        print(f"== {current_path} vs {baseline_path}")
+        failures += check(
+            load(baseline_path), load(current_path), args.min_ratio
+        )
+
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:

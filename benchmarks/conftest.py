@@ -34,26 +34,29 @@ def results_writer():
 
 @pytest.fixture()
 def bench_json_writer():
-    """Returns write(section, payload): merge one top-level section into
-    ``benchmarks/results/BENCH_dispatch.json``.
+    """Returns write(section, payload, filename=...): merge one top-level
+    section into a machine-readable artefact under ``results/``.
 
-    The dispatch benchmarks run as independent tests but feed one
-    machine-readable artefact (consumed by ``check_regression.py`` in
+    The benchmarks run as independent tests but feed shared
+    machine-readable artefacts (consumed by ``check_regression.py`` in
     CI), so each test merges its own section rather than owning the
-    whole file -- run order does not matter.
+    whole file -- run order does not matter.  The default artefact is
+    ``BENCH_dispatch.json``; scale-out benchmarks pass
+    ``filename="BENCH_scale.json"``.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def write(section: str, payload) -> None:
+    def write(section: str, payload, filename: str = DISPATCH_JSON.name) -> None:
+        target = RESULTS_DIR / filename
         data = {}
-        if DISPATCH_JSON.exists():
-            data = json.loads(DISPATCH_JSON.read_text(encoding="utf-8"))
+        if target.exists():
+            data = json.loads(target.read_text(encoding="utf-8"))
         data[section] = payload
-        DISPATCH_JSON.write_text(
+        target.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
-        print(f"\n===== BENCH_dispatch.json [{section}] =====")
+        print(f"\n===== {filename} [{section}] =====")
         print(json.dumps(payload, indent=2, sort_keys=True))
 
     return write

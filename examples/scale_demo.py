@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scaling out: many tracked targets through one shared pipeline.
+
+Builds the scale-out runtime of ``repro.runtime``: 24 tracked badges
+share a single positioning pipeline, each behind its own bounded
+ingestion lane.  A weighted fair scheduler drains the lanes on the
+simulation clock through the batched dispatch path; one badge is a VIP
+with triple weight, one is a chatty sensor tamed by a ``coalesce``
+policy, and the rest shed bursts with ``drop_oldest``.  Everything --
+queue depths, drop counters, policies -- is inspectable through the PSL
+and adaptable while the system runs.
+
+Run:  python examples/scale_demo.py
+"""
+
+from repro.core.component import FunctionComponent, SourceComponent
+from repro.core.data import Datum
+from repro.core.middleware import PerPos
+from repro.core.report import render_report
+from repro.runtime import BLOCK, COALESCE, WeightedScheduler
+
+N_BADGES = 24
+BURST = 12  # readings per badge per round; lanes hold at most 8
+
+
+def main() -> None:
+    middleware = PerPos()
+    middleware.enable_observability(tracing=False)
+
+    # One shared pipeline: src -> smooth -> app.
+    graph = middleware.graph
+    graph.add(SourceComponent("badge-src", ("pos",)))
+    graph.add(
+        FunctionComponent("smooth", ("pos",), ("pos",), fn=lambda d: d)
+    )
+    provider = middleware.create_provider("floor-app", accepts=("pos",))
+    graph.connect("badge-src", "smooth")
+    graph.connect("smooth", provider.sink.name)
+
+    # The runtime: weighted fair drain every simulated second.
+    engine = middleware.enable_runtime(WeightedScheduler(quantum=4))
+    for i in range(N_BADGES):
+        engine.track(f"badge-{i:02d}", "badge-src", capacity=8)
+    engine.set_policy("badge-00", weight=3)  # the VIP badge
+    engine.set_policy("badge-01", policy=COALESCE)  # the chatty one
+    engine.start(1.0)
+
+    # Ten simulated seconds of bursty traffic.
+    for second in range(10):
+        for i in range(N_BADGES):
+            for reading in range(BURST):
+                engine.submit(
+                    f"badge-{i:02d}",
+                    Datum("pos", (second, reading), float(second)),
+                )
+        middleware.clock.advance(1.0)
+    engine.drain_all()
+
+    total = engine.lane("badge-00").submitted * N_BADGES
+    print(f"submitted: {total} readings from {N_BADGES} badges")
+    print(f"delivered: {engine.drained_total} through the shared pipeline")
+    print(f"scheduler rounds: {engine.rounds}")
+
+    # The PSL sees ingestion as part of the reified process.
+    lanes = middleware.psl.ingestion_lanes("badge-src")
+    vip = lanes["badge-00"]
+    chatty = lanes["badge-01"]
+    typical = lanes["badge-02"]
+    print(f"\nvip badge-00   : weight=3 drained={vip['drained']}"
+          f" dropped={vip['dropped_oldest']}")
+    print(f"chatty badge-01: coalesced={chatty['coalesced']}"
+          f" drained={chatty['drained']}")
+    print(f"typical badge-02: dropped_oldest={typical['dropped_oldest']}"
+          f" drained={typical['drained']}")
+
+    # Adaptation while running: badge-02 must not lose fixes any more.
+    stats = middleware.psl.set_backpressure(
+        "badge-02", policy=BLOCK, capacity=64
+    )
+    print(f"\nadapted badge-02 -> policy={stats['policy']}"
+          f" capacity={stats['capacity']}")
+
+    # The infrastructure report carries the same seam.
+    report = render_report(middleware)
+    ingestion = report[report.index("ingestion:"):]
+    print("\nreport excerpt:")
+    for line in ingestion.splitlines()[:5]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,7 @@ class ProcessingComponent(abc.ABC):
         self._features: List[ComponentFeature] = []
         # Wired by the graph at attach time; None while detached.
         self._deliver: Optional[Callable[[Datum], None]] = None
+        self._deliver_batch: Optional[Callable[[List[Datum]], None]] = None
         self._observer: Optional["ComponentObserver"] = None
 
     # -- structure ---------------------------------------------------------
@@ -261,6 +262,27 @@ class ProcessingComponent(abc.ABC):
             self._observer.data_consumed(self, port_name, datum)
         self.process(port_name, datum)
 
+    def receive_batch(self, port_name: str, datums: Sequence[Datum]) -> None:
+        """Deliver a batch of datums to one input port.
+
+        The batch seam of the scale-out runtime: the graph's
+        :meth:`~repro.core.graph.ProcessingGraph.route_batch` hands a
+        whole batch over in one call.  The default implementation simply
+        loops :meth:`receive`, so every component is batch-safe without
+        opting in; batch-aware components (see
+        :class:`FunctionComponent`, :class:`ApplicationSink`) override
+        it to hoist per-datum overhead out of the loop and to propagate
+        the batch downstream via :meth:`produce_batch`.
+
+        Contract: a batch delivery must be observationally equivalent to
+        delivering the same datums one by one -- same feature-chain
+        decisions, same observer events, same outputs -- up to the
+        interleaving order across fan-out branches (a batch flows
+        stage-by-stage instead of datum-by-datum).
+        """
+        for datum in datums:
+            self.receive(port_name, datum)
+
     @abc.abstractmethod
     def process(self, port_name: str, datum: Datum) -> None:
         """Handle one datum; call :meth:`produce` for any results."""
@@ -295,6 +317,53 @@ class ProcessingComponent(abc.ABC):
         deliver = self._deliver
         if deliver is not None:
             deliver(datum)
+
+    def produce_batch(self, datums: Sequence[Datum]) -> None:
+        """Send a batch of datums out through the output port.
+
+        Per-datum semantics are identical to :meth:`produce` -- the
+        capability check, producer stamping, and the feature ``produce``
+        chain all run per datum -- but the graph hand-off happens once
+        for the surviving batch, so downstream delivery can stay
+        batched.  Detached components fall back to per-datum
+        :meth:`produce` (which silently drops, as always).
+        """
+        deliver_batch = self._deliver_batch
+        if deliver_batch is None:
+            for datum in datums:
+                self.produce(datum)
+            return
+        capabilities = self.output_port._capabilities_set
+        features = self._features
+        name = self.name
+        out: List[Datum] = []
+        for datum in datums:
+            if datum.kind not in capabilities:
+                raise ComponentError(
+                    f"component {self.name} declared capabilities"
+                    f" {list(self.output_port.capabilities)}, cannot"
+                    f" produce kind {datum.kind!r}"
+                )
+            if not datum.producer:
+                datum = datum.from_producer(name)
+            if features:
+                vetoed = False
+                for feature in features:
+                    intercepted = feature.produce(datum)
+                    if intercepted is None:
+                        vetoed = True
+                        break
+                    if intercepted.kind != datum.kind:
+                        raise FeatureError(
+                            f"feature {feature.name} changed data kind"
+                            f" {datum.kind!r} -> {intercepted.kind!r}"
+                        )
+                    datum = intercepted
+                if vetoed:
+                    continue
+            out.append(datum)
+        if out:
+            deliver_batch(out)
 
     def emit_feature_data(self, datum: Datum) -> None:
         """Emit feature-added data, bypassing the produce hooks.
@@ -360,6 +429,15 @@ class SourceComponent(ProcessingComponent):
         """Feed externally generated data into the graph."""
         self.produce(datum)
 
+    def inject_batch(self, datums: Sequence[Datum]) -> None:
+        """Feed a batch of externally generated data into the graph.
+
+        The entry point of the batched dispatch path: ingestion queues
+        drain into it, and the whole batch travels stage-by-stage
+        through batch-aware components downstream.
+        """
+        self.produce_batch(datums)
+
 
 class FunctionComponent(ProcessingComponent):
     """A component defined by a plain function.
@@ -399,6 +477,60 @@ class FunctionComponent(ProcessingComponent):
         for item in result:
             self.produce(item)
 
+    def receive_batch(self, port_name: str, datums: Sequence[Datum]) -> None:
+        """Batch-aware delivery: hoisted checks, one downstream hand-off.
+
+        Port lookup and the hot-path attribute loads happen once per
+        batch; the kind check, feature chain, and observer events stay
+        per datum (the :meth:`ProcessingComponent.receive_batch`
+        equivalence contract).  All results are collected and propagated
+        in one :meth:`produce_batch` call.
+        """
+        port = self._inputs.get(port_name)
+        if port is None:
+            self.input_port(port_name)  # raises with the right message
+        accepts = port._accepts_set
+        features = self._features
+        observer = self._observer
+        fn = self._fn
+        out: List[Datum] = []
+        for datum in datums:
+            if datum.kind not in accepts:
+                raise ComponentError(
+                    f"port {self.name}.{port_name} does not accept kind"
+                    f" {datum.kind!r}"
+                )
+            if features:
+                vetoed = None
+                for feature in features:
+                    intercepted = feature.consume(datum)
+                    if intercepted is None:
+                        vetoed = feature.name
+                        break
+                    if intercepted.kind != datum.kind:
+                        raise FeatureError(
+                            f"feature {feature.name} changed data kind"
+                            f" {datum.kind!r} -> {intercepted.kind!r}"
+                        )
+                    datum = intercepted
+                if vetoed is not None:
+                    if observer is not None:
+                        observer.data_dropped(
+                            self, port_name, datum, vetoed
+                        )
+                    continue
+            if observer is not None:
+                observer.data_consumed(self, port_name, datum)
+            result = fn(datum)
+            if result is None:
+                continue
+            if isinstance(result, Datum):
+                out.append(result)
+            else:
+                out.extend(result)
+        if out:
+            self.produce_batch(out)
+
 
 class ApplicationSink(ProcessingComponent):
     """The root of the processing tree: the application receiving data.
@@ -427,6 +559,39 @@ class ApplicationSink(ProcessingComponent):
         if self._listeners:
             for listener in list(self._listeners):
                 listener(datum)
+
+    def receive_batch(self, port_name: str, datums: Sequence[Datum]) -> None:
+        """Batch-aware terminal delivery: append all, trim once.
+
+        Feature chains on sinks are rare, so the fast path covers the
+        featureless case; with features attached the default per-datum
+        loop keeps the interception semantics exact.
+        """
+        if self._features:
+            for datum in datums:
+                self.receive(port_name, datum)
+            return
+        port = self._inputs.get(port_name)
+        if port is None:
+            self.input_port(port_name)  # raises with the right message
+        accepts = port._accepts_set
+        observer = self._observer
+        listeners = self._listeners
+        received = self.received
+        for datum in datums:
+            if datum.kind not in accepts:
+                raise ComponentError(
+                    f"port {self.name}.{port_name} does not accept kind"
+                    f" {datum.kind!r}"
+                )
+            if observer is not None:
+                observer.data_consumed(self, port_name, datum)
+            received.append(datum)
+            if listeners:
+                for listener in list(listeners):
+                    listener(datum)
+        if len(received) > self._keep_last:
+            del received[: len(received) - self._keep_last]
 
     def add_listener(
         self, listener: Callable[[Datum], None]

@@ -29,6 +29,11 @@ of derived, lazily rebuilt indexes used on the per-datum hot path:
 * cached **reachability** (``descendants``/``ancestors``) for the
   acyclicity check in :meth:`connect`.
 
+On top of the per-datum path, :meth:`ProcessingGraph.route_batch` routes
+whole batches: route resolution happens once per ``(producer, kind)``
+group and consumers receive through the ``receive_batch`` seam, which is
+what the scale-out runtime's ingestion queues drain into.
+
 All of them are invalidated by a single monotonically increasing
 **topology version** bumped by every structural mutation
 (``add``/``remove``/``connect``/``disconnect`` and the operations built
@@ -60,6 +65,7 @@ from repro.core.data import Datum
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.observability.instrumentation import ObservabilityHub
     from repro.robustness.supervision import Supervisor
+    from repro.runtime.engine import PositioningEngine
 
 
 class GraphError(Exception):
@@ -124,6 +130,10 @@ class ProcessingGraph(ComponentObserver):
         self._instrumentation: Optional["ObservabilityHub"] = None
         # Optional failure supervision; None keeps the hot path bare.
         self._supervisor: Optional["Supervisor"] = None
+        # Optional scale-out runtime engine (ingestion queues + fair
+        # scheduler); inspection-only -- never consulted on the per-datum
+        # hot path.
+        self._engine: Optional["PositioningEngine"] = None
         # -- derived indexes (dispatch fast path) -------------------------
         # Bumped by every structural mutation; compared by in-flight
         # routing loops to detect reentrant manipulation.
@@ -184,6 +194,28 @@ class ProcessingGraph(ComponentObserver):
         self._supervisor = supervisor
         if supervisor is not None:
             supervisor._graph = self
+        return previous
+
+    # -- scale-out runtime -----------------------------------------------------
+
+    @property
+    def engine(self) -> Optional["PositioningEngine"]:
+        """The installed runtime engine, or None while scale-out is off."""
+        return self._engine
+
+    def set_engine(
+        self, engine: Optional["PositioningEngine"]
+    ) -> Optional["PositioningEngine"]:
+        """Install (or, with None, remove) the scale-out runtime engine.
+
+        Returns the previously installed engine.  Unlike the hub and the
+        supervisor the engine sits *in front of* the graph -- queues and
+        the scheduler feed :meth:`route_batch` -- so installing one costs
+        the per-datum path nothing; the reference only exists so the PSL
+        and the infrastructure report can reach ingestion state.
+        """
+        previous = self._engine
+        self._engine = engine
         return previous
 
     # -- derived indexes -------------------------------------------------------
@@ -276,6 +308,7 @@ class ProcessingGraph(ComponentObserver):
         # partial() dispatches without an extra interpreter frame per
         # produced datum (vs. a capturing lambda).
         component._deliver = partial(self._dispatch, component)
+        component._deliver_batch = partial(self._dispatch_batch, component)
         self._invalidate()
         self._notify_topology()
         return component
@@ -307,6 +340,7 @@ class ProcessingGraph(ComponentObserver):
         self._invalidate()
         component._observer = None
         component._deliver = None
+        component._deliver_batch = None
         if reconnect:
             for up in producers:
                 for consumer, port in downstream_ports:
@@ -588,6 +622,89 @@ class ProcessingGraph(ComponentObserver):
                 ):
                     continue
                 hub.deliver(consumer, port_name, datum)
+
+    # -- batched delivery (scale-out runtime) ------------------------------------
+
+    def _dispatch_batch(
+        self, component: ProcessingComponent, datums: List[Datum]
+    ) -> None:
+        """Take a batch of produced datums from a component into the graph.
+
+        The batch twin of :meth:`_dispatch`: instrumentation and observer
+        events stay per datum (traces, PCL logical time), the routing
+        itself is resolved once per batch.
+        """
+        hub = self._instrumentation
+        if hub is not None:
+            dispatched = hub.datum_dispatched
+            name = component.name
+            datums = [dispatched(name, datum) for datum in datums]
+        observers = self._observer_tuple
+        if observers:
+            for datum in datums:
+                for observer in observers:
+                    observer.data_produced(component, datum)
+        self.route_batch(component.name, datums)
+
+    def route_batch(self, producer: str, datums: List[Datum]) -> None:
+        """Route a batch of datums from ``producer`` in one pass.
+
+        The routing table and the per-``(producer, kind)`` route memo
+        are resolved once per kind-group instead of once per datum, and
+        each consumer receives its whole group through the
+        :meth:`~repro.core.component.ProcessingComponent.receive_batch`
+        seam.  Supervision and observability semantics are preserved by
+        construction: with a supervisor installed every datum still
+        crosses :meth:`~repro.robustness.supervision.Supervisor
+        .deliver_batch` (per-datum isolation), and with flow tracing on
+        the hub delivers per datum so every trace keeps its own context.
+
+        Ordering: datums of one batch reach each consumer in submission
+        order (per-route FIFO), but the batch moves through the graph
+        stage-by-stage -- across fan-out branches the interleaving
+        differs from per-datum routing.  Sink outputs and trace hops are
+        the same multiset either way (pinned by
+        ``tests/test_property_runtime.py``).
+        """
+        if not datums:
+            return
+        # Group by kind, preserving order within each group.  Ingestion
+        # batches are usually homogeneous, so the single-kind fast path
+        # avoids the grouping dict entirely.
+        first_kind = datums[0].kind
+        groups: List[Tuple[str, List[Datum]]]
+        if all(datum.kind == first_kind for datum in datums):
+            groups = [(first_kind, datums)]
+        else:
+            by_kind: Dict[str, List[Datum]] = {}
+            for datum in datums:
+                by_kind.setdefault(datum.kind, []).append(datum)
+            groups = list(by_kind.items())
+        memo = self._route_memo
+        version = self._version
+        components = self._components
+        hub = self._instrumentation
+        supervisor = self._supervisor
+        for kind, group in groups:
+            entries = memo.get((producer, kind))
+            if entries is None:
+                entries = self._route_entries(producer, kind)
+            if not entries:
+                continue
+            for consumer, port_name in entries:
+                if (
+                    version != self._version
+                    and components.get(consumer.name) is not consumer
+                ):
+                    continue
+                if supervisor is not None:
+                    supervisor.deliver_batch(
+                        consumer, port_name, group, hub
+                    )
+                elif hub is None:
+                    consumer.receive_batch(port_name, group)
+                else:
+                    hub.deliver_batch(consumer, port_name, group)
 
     # -- observation ----------------------------------------------------------------
 

@@ -30,6 +30,8 @@ from repro.observability.instrumentation import ObservabilityHub
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import FlowTrace, trace_of
 from repro.robustness.supervision import SupervisionPolicy, Supervisor
+from repro.runtime.engine import PositioningEngine
+from repro.runtime.scheduler import FairScheduler
 from repro.sensors.base import SensorReading, SimulatedSensor
 from repro.services.bundle import Framework
 
@@ -122,6 +124,46 @@ class PerPos:
     def disable_supervision(self) -> Optional[Supervisor]:
         """Remove the supervisor (its failure records stay readable)."""
         return self.graph.set_supervisor(None)
+
+    # -- scale-out runtime -------------------------------------------------------
+
+    @property
+    def runtime(self) -> Optional[PositioningEngine]:
+        """The installed engine, or None while the runtime is disabled."""
+        return self.graph.engine
+
+    def enable_runtime(
+        self, scheduler: Optional[FairScheduler] = None
+    ) -> PositioningEngine:
+        """Install the multi-target scale-out runtime on this graph.
+
+        The engine shares the middleware's simulation clock, so
+        ``engine.start(interval)`` drain rounds interleave
+        deterministically with sensor pumping.  Re-enabling replaces
+        the previous engine (and discards its lanes); stop it first if
+        it was started.
+        """
+        previous = self.graph.engine
+        if previous is not None:
+            previous.stop()
+        engine = PositioningEngine(
+            self.graph, clock=self.clock, scheduler=scheduler
+        )
+        registry_service = self.framework.registry
+        if registry_service.find_service("perpos.PositioningEngine") is None:
+            registry_service.register("perpos.PositioningEngine", engine)
+        return engine
+
+    def disable_runtime(self) -> Optional[PositioningEngine]:
+        """Remove the engine (its lane statistics stay readable).
+
+        A started engine is stopped first, so no drain rounds fire
+        after the runtime is disabled.
+        """
+        engine = self.graph.set_engine(None)
+        if engine is not None:
+            engine.stop()
+        return engine
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
         """The component path (with timestamps) behind a delivered datum.

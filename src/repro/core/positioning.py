@@ -317,6 +317,7 @@ class Target:
     def __init__(self, target_id: str) -> None:
         self.target_id = target_id
         self._providers: List[LocationProvider] = []
+        self._lane: Optional[Any] = None
 
     def attach_provider(self, provider: LocationProvider) -> None:
         if provider not in self._providers:
@@ -325,6 +326,27 @@ class Target:
     @property
     def providers(self) -> List[LocationProvider]:
         return list(self._providers)
+
+    # -- scale-out runtime binding -------------------------------------------
+
+    def attach_lane(self, lane: Any) -> None:
+        """Bind this target to its engine ingestion lane.
+
+        Called by :meth:`repro.runtime.engine.PositioningEngine.track`
+        when the target object (rather than a bare id) is tracked; the
+        binding makes ingestion state reachable from the positioning
+        layer without the application holding the engine.
+        """
+        self._lane = lane
+
+    @property
+    def lane(self) -> Optional[Any]:
+        """The bound ingestion lane, or None while not engine-tracked."""
+        return self._lane
+
+    def queue_stats(self) -> Dict[str, Any]:
+        """Ingestion-lane statistics; empty while not engine-tracked."""
+        return self._lane.stats() if self._lane is not None else {}
 
     def last_position_datum(self) -> Optional[Datum]:
         """Freshest WGS84 datum over all attached providers."""

@@ -47,13 +47,24 @@ class ProcessStructureLayer:
         While a supervisor is installed the summary carries the
         component's failure seam too: circuit-breaker ``health``
         (``closed``/``open``/``half-open``) and the total ``failures``
-        recorded against it.
+        recorded against it.  While a positioning engine is installed
+        and the component serves as an ingestion point, the summary
+        carries an ``ingestion`` section: one entry per lane entering
+        the graph here, with its backpressure policy, depth, and drop
+        counters.
         """
         info = self.graph.component(name).describe()
         supervisor = self.graph.supervisor
         if supervisor is not None:
             info["health"] = supervisor.health(name)
             info["failures"] = supervisor.failure_count(name)
+        engine = self.graph.engine
+        if engine is not None:
+            lanes = engine.lanes_for_source(name)
+            if lanes:
+                info["ingestion"] = {
+                    lane.target_id: lane.stats() for lane in lanes
+                }
         return info
 
     def connections(self) -> List[Connection]:
@@ -103,6 +114,52 @@ class ProcessStructureLayer:
         if name is not None:
             self.graph.component(name)  # validate existence
         return hub.component_stats(name)
+
+    # -- ingestion (the scale-out runtime seam) --------------------------------
+
+    def ingestion_lanes(
+        self, name: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Ingestion-lane state of the installed positioning engine.
+
+        With ``name`` only the lanes entering the graph at that source
+        component; without, every tracked target's lane.  Each value is
+        the lane's reflective stats (policy, capacity, depth, high-water
+        mark, drop counters).  Empty while no engine is installed --
+        like :meth:`component_metrics`, inspection degrades gracefully.
+        """
+        engine = self.graph.engine
+        if engine is None:
+            return {}
+        if name is not None:
+            self.graph.component(name)  # validate existence
+            lanes = engine.lanes_for_source(name)
+        else:
+            lanes = engine.lanes()
+        return {lane.target_id: lane.stats() for lane in lanes}
+
+    def set_backpressure(
+        self,
+        target_id: str,
+        *,
+        policy: Optional[str] = None,
+        capacity: Optional[int] = None,
+        weight: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Adapt one lane's backpressure/fairness knobs at runtime.
+
+        The scale-out analogue of splicing a filter into the graph:
+        ingestion policy is part of the reified process, so the PSL can
+        change it while the system runs.  Raises while no engine is
+        installed -- unlike inspection, adaptation does not degrade
+        silently.
+        """
+        engine = self.graph.engine
+        if engine is None:
+            raise GraphError("no positioning engine installed")
+        return engine.set_policy(
+            target_id, policy=policy, capacity=capacity, weight=weight
+        )
 
     # -- supervision (failure seams) -----------------------------------------
 

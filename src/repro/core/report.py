@@ -111,6 +111,13 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
         "supervision": (
             supervisor.snapshot() if supervisor is not None else None
         ),
+        # Scale-out runtime (None while no engine is installed):
+        # scheduler, drain rounds, and per-target ingestion lanes.
+        "runtime": (
+            middleware.graph.engine.snapshot()
+            if middleware.graph.engine is not None
+            else None
+        ),
     }
 
 
@@ -169,6 +176,35 @@ def render_report(middleware: PerPos) -> str:
                 f"    ! failure #{record['seq']} {record['component']}"
                 f".{record['port']}: {record['error_type']}:"
                 f" {record['message']}"
+            )
+    runtime = snapshot["runtime"]
+    lines.append("")
+    lines.append("ingestion:")
+    if runtime is None:
+        lines.append("  (no positioning engine)")
+    else:
+        scheduler = runtime["scheduler"]
+        detail = ", ".join(
+            f"{key}={_fmt(value)}"
+            for key, value in sorted(scheduler.items())
+            if key != "type"
+        )
+        lines.append(
+            f"  scheduler: {scheduler['type']}"
+            + (f" ({detail})" if detail else "")
+            + f"; rounds={runtime['rounds']},"
+            f" drained={runtime['drained_total']},"
+            f" pending={runtime['pending']}"
+        )
+        for target_id, lane in sorted(runtime["lanes"].items()):
+            dropped = lane["dropped_oldest"] + lane["dropped_newest"]
+            lines.append(
+                f"  {target_id} @{lane['source']}: {lane['policy']}"
+                f" depth={lane['depth']}/{lane['capacity']}"
+                f" (hw={lane['high_water']}),"
+                f" accepted={lane['accepted']}, dropped={dropped},"
+                f" rejected={lane['rejected']},"
+                f" coalesced={lane['coalesced']}"
             )
     observability = snapshot["observability"]
     lines.append("")

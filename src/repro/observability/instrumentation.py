@@ -89,6 +89,10 @@ class ObservabilityHub:
         # ``registry.reset()``, so these never need invalidation.
         self._out_counters: Dict[str, Any] = {}
         self._in_instruments: Dict[str, Tuple[Any, Any, Any]] = {}
+        # Ingestion-side memos (scale-out runtime): per-(target, verdict)
+        # offer counters and per-target depth/drop gauges.
+        self._ingestion_counters: Dict[Tuple[str, str], Any] = {}
+        self._ingestion_gauges: Dict[str, Tuple[Any, Any]] = {}
 
     # -- graph hooks (hot path) --------------------------------------------
 
@@ -134,6 +138,77 @@ class ObservabilityHub:
         finally:
             self._context.pop()
             latency.observe(self._time() - start)
+
+    def deliver_batch(
+        self, consumer: Any, port: str, datums: List[Datum]
+    ) -> None:
+        """Deliver a batch into ``consumer`` under instrumentation.
+
+        With tracing enabled this falls back to per-datum
+        :meth:`deliver` so every datum keeps its own trace context --
+        batching must never coarsen flow traces.  With tracing off the
+        whole batch crosses ``consumer.receive_batch`` in one call:
+        ``items_in`` still counts every datum, while ``hop_latency_s``
+        records one observation for the whole batch (per-datum hop
+        times are meaningless inside a fused batch).
+        """
+        if self.tracing:
+            deliver = self.deliver
+            for datum in datums:
+                deliver(consumer, port, datum)
+            return
+        name = consumer.name
+        instruments = self._in_instruments.get(name)
+        if instruments is None:
+            registry = self.registry
+            instruments = self._in_instruments[name] = (
+                registry.counter("items_in", component=name),
+                registry.counter("errors", component=name),
+                registry.histogram("hop_latency_s", component=name),
+            )
+        items_in, errors, latency = instruments
+        items_in.inc(len(datums))
+        start = self._time()
+        try:
+            consumer.receive_batch(port, datums)
+        except Exception:
+            errors.inc()
+            raise
+        finally:
+            latency.observe(self._time() - start)
+
+    # -- ingestion hooks (scale-out runtime) -------------------------------
+
+    def ingestion_event(self, target: str, verdict: str) -> None:
+        """One queue offer settled for ``target`` (accepted/dropped/...)."""
+        counters = self._ingestion_counters
+        counter = counters.get((target, verdict))
+        if counter is None:
+            counter = counters[(target, verdict)] = self.registry.counter(
+                "queue_offers", target=target, verdict=verdict
+            )
+        counter.inc()
+
+    def ingestion_depth(
+        self, target: str, depth: int, dropped: int
+    ) -> None:
+        """Current queue depth and cumulative drops for ``target``."""
+        gauges = self._ingestion_gauges
+        pair = gauges.get(target)
+        if pair is None:
+            registry = self.registry
+            pair = gauges[target] = (
+                registry.gauge("queue_depth", target=target),
+                registry.gauge("queue_dropped_total", target=target),
+            )
+        pair[0].set(depth)
+        pair[1].set(dropped)
+
+    def scheduler_round(self, drained: int) -> None:
+        """One scheduler round drained ``drained`` datums into the graph."""
+        self.registry.counter("scheduler_rounds").inc()
+        if drained:
+            self.registry.counter("scheduler_drained").inc(drained)
 
     def datum_dropped(
         self, component: Any, port: str, datum: Datum, feature_name: str

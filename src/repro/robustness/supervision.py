@@ -250,6 +250,27 @@ class Supervisor:
             if self._half_open and name in self._half_open:
                 self._close(name)
 
+    def deliver_batch(
+        self,
+        consumer: "ProcessingComponent",
+        port_name: str,
+        datums: List[Datum],
+        hub: Optional["ObservabilityHub"],
+    ) -> None:
+        """Deliver a batch under the supervision policy, datum by datum.
+
+        Batched dispatch must not coarsen the failure contract: the
+        breaker admits, records, and isolates *per delivery*, so a
+        poisoned datum in the middle of a batch affects only itself and
+        a half-open probe still admits exactly one datum at a time.
+        The batch fast path is therefore only taken while no supervisor
+        is installed -- with one, batching amortises route resolution
+        but delivery stays per datum.
+        """
+        deliver = self.deliver
+        for datum in datums:
+            deliver(consumer, port_name, datum, hub)
+
     def _admit(self, name: str) -> bool:
         """Whether routing may deliver to ``name`` right now."""
         breaker = self._breakers.get(name)

@@ -1,0 +1,46 @@
+"""Multi-target scale-out runtime: engine, ingestion queues, schedulers.
+
+See :mod:`repro.runtime.engine` for the architecture overview.
+"""
+
+from repro.runtime.engine import EngineError, PositioningEngine, TargetLane
+from repro.runtime.queues import (
+    ACCEPTED,
+    BLOCK,
+    COALESCE,
+    COALESCED,
+    DROP_NEWEST,
+    DROP_OLDEST,
+    DROPPED,
+    IngestionQueue,
+    POLICIES,
+    QueueError,
+    REJECTED,
+)
+from repro.runtime.scheduler import (
+    FairScheduler,
+    RoundRobinScheduler,
+    SchedulerError,
+    WeightedScheduler,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "BLOCK",
+    "COALESCE",
+    "COALESCED",
+    "DROPPED",
+    "DROP_NEWEST",
+    "DROP_OLDEST",
+    "EngineError",
+    "FairScheduler",
+    "IngestionQueue",
+    "POLICIES",
+    "PositioningEngine",
+    "QueueError",
+    "REJECTED",
+    "RoundRobinScheduler",
+    "SchedulerError",
+    "TargetLane",
+    "WeightedScheduler",
+]

@@ -1,0 +1,340 @@
+"""The PositioningEngine: multi-target scale-out over shared graphs.
+
+Paper §2.3 defines tracked targets; the seed tracked each
+:class:`~repro.core.positioning.Target` with no notion of concurrent
+load.  The engine closes that gap in middleware style (OpenHPS
+multiplexes many tracked objects through one process network; RAFDA
+separates scale policy from application logic): many targets share one
+processing graph, each behind its own bounded ingestion lane, and a
+deterministic fair scheduler drains those lanes into the graph through
+the batched dispatch path.
+
+One **lane** per tracked target (or per target x source): an
+:class:`~repro.runtime.queues.IngestionQueue` plus the
+:class:`~repro.core.component.SourceComponent` its datums enter through.
+Producers call :meth:`PositioningEngine.submit`; nothing touches the
+graph until the scheduler's next round, when each lane's pending batch
+crosses ``source.inject_batch`` -- route resolution amortised per batch,
+per-route FIFO order preserved, supervision/observability semantics
+intact (see :meth:`~repro.core.graph.ProcessingGraph.route_batch`).
+
+The engine is itself translucent: ``graph.set_engine`` makes lane
+policies, depths, and drop counters reachable from
+``psl.describe()`` / ``psl.ingestion_lanes()``, adaptable via
+``psl.set_backpressure()``, visible in the infrastructure report, and
+exported as hub gauges (``queue_depth{target=...}``) while
+observability is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.core.component import SourceComponent
+from repro.core.data import Datum
+from repro.runtime.queues import DROP_OLDEST, IngestionQueue
+from repro.runtime.scheduler import FairScheduler, RoundRobinScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.clock import SimulationClock
+    from repro.core.graph import ProcessingGraph
+
+
+class EngineError(Exception):
+    """Raised on invalid engine configuration or use."""
+
+
+class TargetLane:
+    """One tracked target's ingestion lane into the shared graph."""
+
+    __slots__ = ("target_id", "source", "queue", "weight", "submitted", "batches")
+
+    def __init__(
+        self,
+        target_id: str,
+        source: SourceComponent,
+        queue: IngestionQueue,
+        weight: int = 1,
+    ) -> None:
+        self.target_id = target_id
+        self.source = source
+        self.queue = queue
+        self.weight = weight
+        self.submitted = 0
+        self.batches = 0
+
+    def stats(self) -> Dict[str, Any]:
+        """Reflective summary: queue state plus lane throughput."""
+        stats = self.queue.stats()
+        stats.update(
+            target=self.target_id,
+            source=self.source.name,
+            weight=self.weight,
+            submitted=self.submitted,
+            batches=self.batches,
+        )
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"TargetLane(target={self.target_id!r},"
+            f" source={self.source.name!r}, depth={self.queue.depth})"
+        )
+
+
+class PositioningEngine:
+    """Multiplexes tracked targets over one graph via batched dispatch.
+
+    Parameters
+    ----------
+    graph:
+        The shared processing graph; the engine registers itself via
+        ``graph.set_engine`` so the PSL and report can reach it.
+    clock:
+        Simulation clock for :meth:`start`'s periodic drain rounds.
+        Optional -- :meth:`drain_round` / :meth:`drain_all` work
+        without one.
+    scheduler:
+        Fairness policy; :class:`RoundRobinScheduler` by default.
+    stamp_targets:
+        Whether :meth:`submit` annotates each datum with its lane's
+        ``target`` id, so applications can demultiplex at shared sinks.
+    """
+
+    def __init__(
+        self,
+        graph: "ProcessingGraph",
+        clock: Optional["SimulationClock"] = None,
+        scheduler: Optional[FairScheduler] = None,
+        *,
+        stamp_targets: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.clock = clock
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.stamp_targets = stamp_targets
+        self._lanes: Dict[str, TargetLane] = {}
+        self._lane_list: List[TargetLane] = []
+        self._cancel: Optional[Callable[[], None]] = None
+        self.rounds = 0
+        self.drained_total = 0
+        graph.set_engine(self)
+
+    # -- lane management -----------------------------------------------------
+
+    def track(
+        self,
+        target: Union[str, Any],
+        source: Union[str, SourceComponent],
+        *,
+        capacity: int = 64,
+        policy: str = DROP_OLDEST,
+        weight: int = 1,
+    ) -> TargetLane:
+        """Create an ingestion lane for ``target`` entering at ``source``.
+
+        ``target`` is a target id or a
+        :class:`~repro.core.positioning.Target` (whose lane binding is
+        set, so ``target.queue_stats()`` works); ``source`` is a source
+        component (or its name) already in the graph -- lanes may share
+        one source or use one each.
+        """
+        target_id = getattr(target, "target_id", target)
+        if not isinstance(target_id, str):
+            raise EngineError(f"invalid target {target!r}")
+        if target_id in self._lanes:
+            raise EngineError(f"target {target_id!r} already tracked")
+        if weight < 1:
+            raise EngineError("weight must be >= 1")
+        if isinstance(source, str):
+            source = self.graph.component(source)  # type: ignore[assignment]
+        if not isinstance(source, SourceComponent):
+            raise EngineError(
+                f"lane source must be a SourceComponent,"
+                f" got {type(source).__name__}"
+            )
+        queue = IngestionQueue(
+            f"lane:{target_id}", capacity=capacity, policy=policy
+        )
+        lane = TargetLane(target_id, source, queue, weight=weight)
+        self._lanes[target_id] = lane
+        self._lane_list.append(lane)
+        attach = getattr(target, "attach_lane", None)
+        if callable(attach):
+            attach(lane)
+        return lane
+
+    def untrack(self, target_id: str) -> TargetLane:
+        """Remove a lane; pending datums are discarded with it."""
+        lane = self.lane(target_id)
+        del self._lanes[target_id]
+        self._lane_list.remove(lane)
+        return lane
+
+    def lane(self, target_id: str) -> TargetLane:
+        """Look a lane up by target id."""
+        try:
+            return self._lanes[target_id]
+        except KeyError:
+            raise EngineError(f"no tracked target {target_id!r}") from None
+
+    def lanes(self) -> List[TargetLane]:
+        """All lanes, in registration order (the scheduler's order)."""
+        return list(self._lane_list)
+
+    def lanes_for_source(self, source_name: str) -> List[TargetLane]:
+        """Lanes whose datums enter the graph at ``source_name``."""
+        return [
+            lane
+            for lane in self._lane_list
+            if lane.source.name == source_name
+        ]
+
+    # -- ingestion (producer side) -------------------------------------------
+
+    def submit(self, target_id: str, datum: Datum) -> str:
+        """Queue one datum for a tracked target; returns the verdict.
+
+        The datum does *not* enter the graph here -- it waits in the
+        lane's bounded queue for the scheduler's next round.  The
+        verdict is the queue's backpressure decision
+        (``accepted`` / ``coalesced`` / ``dropped`` / ``rejected``);
+        a ``rejected`` verdict (``block`` policy) means the caller
+        still owns the datum.
+        """
+        lane = self.lane(target_id)
+        if self.stamp_targets and datum.attributes.get("target") != target_id:
+            datum = datum.annotated(target=target_id)
+        verdict = lane.queue.offer(datum)
+        lane.submitted += 1
+        hub = self.graph.instrumentation
+        if hub is not None:
+            hub.ingestion_event(target_id, verdict)
+            hub.ingestion_depth(
+                target_id, lane.queue.depth, lane.queue.dropped
+            )
+        return verdict
+
+    # -- scheduling (consumer side) ------------------------------------------
+
+    def drain_round(self) -> int:
+        """Run one scheduler round; returns the number of datums routed.
+
+        Each planned lane drains up to its quantum and the batch crosses
+        the graph through ``source.inject_batch`` -- the batched
+        dispatch path -- before the next lane runs, so per-lane FIFO
+        order holds and fairness is exactly the scheduler's plan.
+        """
+        total = 0
+        for lane, quantum in self.scheduler.plan(self._lane_list):
+            batch = lane.queue.drain(quantum)
+            if not batch:
+                continue
+            lane.source.inject_batch(batch)
+            lane.batches += 1
+            total += len(batch)
+        self.rounds += 1
+        self.drained_total += total
+        hub = self.graph.instrumentation
+        if hub is not None:
+            hub.scheduler_round(total)
+            for lane in self._lane_list:
+                hub.ingestion_depth(
+                    lane.target_id, lane.queue.depth, lane.queue.dropped
+                )
+        return total
+
+    def drain_all(self, max_rounds: int = 1000) -> int:
+        """Run rounds until every queue is empty; returns datums routed.
+
+        ``max_rounds`` bounds the loop against a pathological scheduler
+        (or a producer submitting from inside the graph).
+        """
+        total = 0
+        for _ in range(max_rounds):
+            drained = self.drain_round()
+            total += drained
+            if not drained and not any(
+                lane.queue.depth for lane in self._lane_list
+            ):
+                return total
+        raise EngineError(
+            f"queues not drained after {max_rounds} rounds"
+        )
+
+    def start(self, interval_s: float) -> Callable[[], None]:
+        """Drain one round every ``interval_s`` simulated seconds.
+
+        Returns the cancel callable (also wired to :meth:`stop`).
+        Requires a clock; re-starting cancels the previous schedule.
+        """
+        if self.clock is None:
+            raise EngineError("engine has no clock; pass one to start()")
+        if interval_s <= 0:
+            raise EngineError("interval must be positive")
+        self.stop()
+        self._cancel = self.clock.call_every(
+            interval_s, lambda _now: self.drain_round()
+        )
+        return self._cancel
+
+    def stop(self) -> None:
+        """Cancel the periodic drain schedule, if one is running."""
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+
+    # -- adaptation (the PSL-facing seam) --------------------------------------
+
+    def set_policy(
+        self,
+        target_id: str,
+        *,
+        policy: Optional[str] = None,
+        capacity: Optional[int] = None,
+        weight: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Adapt a lane's backpressure/fairness knobs at runtime.
+
+        Any subset of ``policy`` / ``capacity`` / ``weight`` may be
+        given; returns the lane's post-change stats.  This is what
+        ``psl.set_backpressure`` calls -- scale policy manipulated
+        through reflection, not redeployment.
+        """
+        lane = self.lane(target_id)
+        if policy is not None:
+            lane.queue.set_policy(policy)
+        if capacity is not None:
+            lane.queue.set_capacity(capacity)
+        if weight is not None:
+            if weight < 1:
+                raise EngineError("weight must be >= 1")
+            lane.weight = weight
+        return lane.stats()
+
+    # -- inspection ------------------------------------------------------------
+
+    def depth_total(self) -> int:
+        """Datums currently pending across all lanes."""
+        return sum(lane.queue.depth for lane in self._lane_list)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full reflective summary for the infrastructure report."""
+        return {
+            "scheduler": self.scheduler.describe(),
+            "rounds": self.rounds,
+            "drained_total": self.drained_total,
+            "pending": self.depth_total(),
+            "running": self._cancel is not None,
+            "lanes": {
+                lane.target_id: lane.stats() for lane in self._lane_list
+            },
+        }

@@ -423,3 +423,125 @@ class TestObservers:
         remove()
         graph.add(passthrough("b"))
         assert count[0] == 1
+
+
+class TestBatchDispatch:
+    def build(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        graph.add(source)
+        graph.add(passthrough("f"))
+        sink = ApplicationSink("app", ("x",))
+        graph.add(sink)
+        graph.connect("s", "f", "in")
+        graph.connect("f", "app", "in")
+        return graph, source, sink
+
+    def test_inject_batch_reaches_sink_in_order(self):
+        graph, source, sink = self.build()
+        source.inject_batch([Datum("x", i, 0.0) for i in range(5)])
+        assert [d.payload for d in sink.received] == [0, 1, 2, 3, 4]
+
+    def test_empty_batch_is_a_noop(self):
+        graph, source, sink = self.build()
+        source.inject_batch([])
+        graph.route_batch("s", [])
+        assert sink.received == []
+
+    def test_mixed_kind_batch_groups_by_kind(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x", "y"))
+        x_sink = ApplicationSink("xs", ("x",))
+        y_sink = ApplicationSink("ys", ("y",))
+        graph.add(source)
+        graph.add(x_sink)
+        graph.add(y_sink)
+        graph.connect("s", "xs", "in")
+        graph.connect("s", "ys", "in")
+        source.inject_batch(
+            [
+                Datum("x", 1, 0.0),
+                Datum("y", 2, 0.0),
+                Datum("x", 3, 0.0),
+            ]
+        )
+        assert [d.payload for d in x_sink.received] == [1, 3]
+        assert [d.payload for d in y_sink.received] == [2]
+
+    def test_batch_observer_events_per_datum(self):
+        events = []
+
+        class Recorder(GraphObserver):
+            def data_produced(self, component, datum):
+                events.append((component.name, datum.payload))
+
+        graph, source, sink = self.build()
+        graph.add_observer(Recorder())
+        source.inject_batch([Datum("x", i, 0.0) for i in range(3)])
+        assert events.count(("s", 0)) == 1
+        assert len([e for e in events if e[0] == "s"]) == 3
+
+    def test_produce_batch_outside_graph_falls_back(self):
+        # A component not (or no longer) in a graph must not crash on
+        # produce_batch -- mirrors the per-datum remove contract.
+        source = SourceComponent("lone", ("x",))
+        source.inject_batch([Datum("x", 1, 0.0)])
+        graph, source, sink = self.build()
+        graph.remove("s")
+        source.inject_batch([Datum("x", 2, 0.0)])
+        assert sink.received == []
+
+    def test_default_receive_batch_loops_receive(self):
+        # A component without a batch-aware override still takes part in
+        # batched dispatch via the documented per-datum fallback.
+        class Plain(ProcessingComponent):
+            def __init__(self):
+                super().__init__(
+                    "plain",
+                    inputs=(InputPort("in", ("x",)),),
+                    output=OutputPort(("x",)),
+                )
+                self.seen = []
+
+            def process(self, port_name, datum):
+                self.seen.append(datum.payload)
+                self.produce(datum)
+
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        plain = Plain()
+        sink = ApplicationSink("app", ("x",))
+        graph.add(source)
+        graph.add(plain)
+        graph.add(sink)
+        graph.connect("s", "plain", "in")
+        graph.connect("plain", "app", "in")
+        source.inject_batch([Datum("x", i, 0.0) for i in range(3)])
+        assert plain.seen == [0, 1, 2]
+        assert [d.payload for d in sink.received] == [0, 1, 2]
+
+    def test_sink_keep_last_trimmed_after_batch(self):
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        sink = ApplicationSink("app", ("x",), keep_last=3)
+        graph.add(source)
+        graph.add(sink)
+        graph.connect("s", "app", "in")
+        source.inject_batch([Datum("x", i, 0.0) for i in range(10)])
+        assert [d.payload for d in sink.received] == [7, 8, 9]
+
+    def test_function_component_fan_out_results(self):
+        def doubler(datum):
+            return [datum, datum.with_payload(datum.payload * 10)]
+
+        graph = ProcessingGraph()
+        source = SourceComponent("s", ("x",))
+        fan = FunctionComponent("fan", ("x",), ("x",), fn=doubler)
+        sink = ApplicationSink("app", ("x",))
+        graph.add(source)
+        graph.add(fan)
+        graph.add(sink)
+        graph.connect("s", "fan", "in")
+        graph.connect("fan", "app", "in")
+        source.inject_batch([Datum("x", 1, 0.0), Datum("x", 2, 0.0)])
+        assert [d.payload for d in sink.received] == [1, 10, 2, 20]

@@ -73,3 +73,11 @@ def test_transport_mode(capsys):
     assert "mode timeline" in out
     assert "accuracy:" in out
     assert "POSITIONING INFRASTRUCTURE" in out
+
+
+def test_scale_demo(capsys):
+    out = run_example("scale_demo", capsys)
+    assert "submitted: 2880 readings from 24 badges" in out
+    assert "scheduler rounds:" in out
+    assert "adapted badge-02 -> policy=block" in out
+    assert "report excerpt:" in out
