@@ -70,9 +70,7 @@ def drain_rate(targets, batch, rounds=3):
             stamp_targets=False,
         )
         for t in range(targets):
-            engine.track(
-                f"t{t}", "src", capacity=N_DATUMS_PER_TARGET
-            )
+            engine.track(f"t{t}", "src", capacity=N_DATUMS_PER_TARGET)
         for i in range(N_DATUMS_PER_TARGET):
             for t in range(targets):
                 engine.submit(f"t{t}", Datum("x", i, float(i)))
@@ -91,11 +89,7 @@ def test_e12_scale_runtime(benchmark, results_writer, bench_json_writer):
         for targets in TARGET_COUNTS:
             single_rate = drain_rate(targets, 1)
             for batch in BATCH_SIZES:
-                rate = (
-                    single_rate
-                    if batch == 1
-                    else drain_rate(targets, batch)
-                )
+                rate = single_rate if batch == 1 else drain_rate(targets, batch)
                 workloads[f"targets{targets}_batch{batch}"] = {
                     "targets": targets,
                     "batch": batch,

@@ -1,0 +1,211 @@
+"""E13 -- sharded multi-worker engine (breaking the interpreter ceiling).
+
+E12 showed batched dispatch saturating one ``PositioningEngine``; this
+benchmark measures the next rung: partitioning the tracked-target
+population across N engine shards (``repro.runtime.sharding``).  Two
+claims are pinned:
+
+* **Equivalence** (in-process executor): draining a workload through a
+  4-shard ``ShardedEngine`` delivers exactly the same multiset of sink
+  outputs as draining it through one ``PositioningEngine`` -- sharding
+  redistributes work, it must not change results.  This is the
+  within-run twin of the Hypothesis property in
+  ``tests/test_property_sharding.py``.
+* **Speedup** (multiprocessing executor): with real cores available, a
+  4-shard drain sustains at least ``SPEEDUP_FLOOR``x the single-shard
+  throughput.  The floor is hardware-conditional -- a run recorded on a
+  single core cannot exhibit parallel speedup, so the artefact records
+  ``cpu_count`` and both this test and ``check_regression.py`` skip the
+  absolute floor below ``MIN_CPUS`` cores (the relative ratio gate in CI
+  still applies everywhere).
+
+Regenerated series: datums/s per (executor, shards) cell and the speedup
+over that executor's single-shard run, machine-readable in
+``benchmarks/results/BENCH_shard.json`` (gated by ``check_regression.py``
+in CI).
+"""
+
+import os
+import time
+from collections import Counter
+
+import pytest
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import ProcessingGraph
+from repro.runtime import PositioningEngine, ShardedEngine
+
+N_DATUMS_PER_TARGET = 50
+N_TARGETS = 64
+SHARD_COUNTS = (1, 2, 4)
+QUANTUM = 32
+SPEEDUP_FLOOR = 1.5
+MIN_CPUS = 2
+GATED_WORKLOAD = "multiprocessing_shards4"
+
+
+def recipe():
+    """One shard's pipeline: src -> stage1 -> stage2 -> app.
+
+    Module-level so the multiprocessing executor can pickle it; the
+    stages burn a little CPU per datum so the parallel sweep measures
+    compute spread, not pure queue overhead.
+    """
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", ("x",)))
+    graph.add(FunctionComponent("stage1", ("x",), ("x",), fn=_work))
+    graph.add(FunctionComponent("stage2", ("x",), ("x",), fn=_work))
+    graph.add(ApplicationSink("app", ("x",), keep_last=100_000))
+    graph.connect("src", "stage1")
+    graph.connect("stage1", "stage2")
+    graph.connect("stage2", "app")
+    return graph
+
+
+def _work(d):
+    # ~1us of arithmetic: enough per-datum compute that fan-out across
+    # cores shows, small enough that the sweep stays fast.
+    acc = d.payload
+    for _ in range(20):
+        acc = (acc * 31 + 7) % 1_000_003
+    return d.annotated(acc=acc)
+
+
+def workload():
+    return [
+        (f"t{t}", Datum("x", i, float(i)))
+        for i in range(N_DATUMS_PER_TARGET)
+        for t in range(N_TARGETS)
+    ]
+
+
+def sharded_rate(shards, executor, rounds=2):
+    """Best-of-``rounds`` datums/s for one (executor, shards) cell."""
+    n = N_TARGETS * N_DATUMS_PER_TARGET
+    best = 0.0
+    for _ in range(rounds):
+        with ShardedEngine(
+            recipe,
+            shards,
+            executor=executor,
+            scheduler=("round_robin", QUANTUM),
+            stamp_targets=False,
+        ) as engine:
+            for t in range(N_TARGETS):
+                engine.track(f"t{t}", "src", capacity=N_DATUMS_PER_TARGET)
+            engine.submit_batch(workload())
+            start = time.perf_counter()
+            drained = engine.drain_all(max_rounds=n + 1)
+            elapsed = time.perf_counter() - start
+            assert drained == n
+        best = max(best, n / elapsed)
+    return best
+
+
+def equivalence_check():
+    """Sharded in-process drain == single-engine drain, as multisets."""
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", ("x",)))
+    graph.add(FunctionComponent("stage1", ("x",), ("x",), fn=_work))
+    graph.add(FunctionComponent("stage2", ("x",), ("x",), fn=_work))
+    sink = ApplicationSink("app", ("x",), keep_last=100_000)
+    graph.add(sink)
+    graph.connect("src", "stage1")
+    graph.connect("stage1", "stage2")
+    graph.connect("stage2", "app")
+    single = PositioningEngine(graph)
+    for t in range(N_TARGETS):
+        single.track(f"t{t}", "src", capacity=N_DATUMS_PER_TARGET)
+    for target_id, datum in workload():
+        single.submit(target_id, datum)
+    single.drain_all()
+    single_outputs = Counter(
+        (d.kind, d.payload, d.attributes.get("target"))
+        for d in sink.received
+    )
+
+    with ShardedEngine(recipe, 4) as engine:
+        for t in range(N_TARGETS):
+            engine.track(f"t{t}", "src", capacity=N_DATUMS_PER_TARGET)
+        engine.submit_batch(workload())
+        engine.drain_all()
+        sharded_outputs = Counter(
+            (kind, payload, target)
+            for _sink, kind, payload, target in engine.sink_outputs()
+        )
+    return single_outputs, sharded_outputs
+
+
+@pytest.mark.multiproc
+def test_e13_shard_runtime(benchmark, results_writer, bench_json_writer):
+    single_outputs, sharded_outputs = equivalence_check()
+    assert sharded_outputs == single_outputs, (
+        "4-shard in-process drain delivered a different output multiset"
+        " than the single engine"
+    )
+
+    def sweep():
+        workloads = {}
+        for executor in ("inprocess", "multiprocessing"):
+            single_rate = None
+            for shards in SHARD_COUNTS:
+                rate = sharded_rate(shards, executor)
+                if shards == 1:
+                    single_rate = rate
+                workloads[f"{executor}_shards{shards}"] = {
+                    "executor": executor,
+                    "shards": shards,
+                    "targets": N_TARGETS,
+                    "rate": round(rate, 1),
+                    "speedup": round(rate / single_rate, 3),
+                }
+        return workloads
+
+    workloads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cpu_count = os.cpu_count() or 1
+
+    lines = [
+        "Sharded engine: 4-component pipeline per shard,"
+        f" {N_TARGETS} targets x {N_DATUMS_PER_TARGET} datums,"
+        f" consistent-hash placement, quantum {QUANTUM}"
+        f" (cpu_count={cpu_count})",
+        f"equivalence: 4-shard in-process == single engine"
+        f" ({sum(single_outputs.values())} sink outputs)",
+    ]
+    for key, row in workloads.items():
+        lines.append(
+            f"{key}: {row['rate']:,.0f} datums/s"
+            f" ({row['speedup']:.2f}x vs 1 shard)"
+        )
+    results_writer("E13_shard_runtime", "\n".join(lines))
+    bench_json_writer(
+        "shard",
+        {
+            "n_targets": N_TARGETS,
+            "n_datums_per_target": N_DATUMS_PER_TARGET,
+            "cpu_count": cpu_count,
+            "min_cpus": MIN_CPUS,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "gated_workload": GATED_WORKLOAD,
+            "equivalence_outputs": sum(single_outputs.values()),
+            "workloads": workloads,
+        },
+        filename="BENCH_shard.json",
+    )
+
+    gated = workloads[GATED_WORKLOAD]
+    if cpu_count >= MIN_CPUS:
+        assert gated["speedup"] >= SPEEDUP_FLOOR, (
+            f"multiprocessing 4-shard speedup {gated['speedup']:.2f}x"
+            f" below the {SPEEDUP_FLOOR}x floor on {cpu_count} cores"
+        )
+    # The in-process executor is a coordination layer, not a parallel
+    # one: it must not collapse under sharding.
+    for key, row in workloads.items():
+        if row["executor"] == "inprocess":
+            assert row["speedup"] >= 0.5, f"{key} collapsed vs 1 shard"

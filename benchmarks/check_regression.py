@@ -27,6 +27,19 @@ sections:
     baseline's per workload, and re-checks the artefact's own absolute
     floor (``speedup_floor``) on its ``gated_workload``.
 
+``shard`` (``BENCH_shard.json``, written by ``bench_shard_runtime.py``)
+    Same within-run speedup comparison as ``scale`` (multiprocessing
+    throughput over the single-shard run, per sweep cell), plus the
+    artefact's own absolute floor (``speedup_floor``, 1.5x on the
+    gated 4-shard cell).  The absolute floor is *conditional on
+    hardware*: a run recorded on fewer than ``min_cpus`` cores cannot
+    show parallel speedup, so the floor is skipped (and said so) when
+    the current artefact's recorded ``cpu_count`` is below it -- the
+    relative ratio gate still applies everywhere.
+
+A missing or malformed artefact is a harness error, not a regression:
+the tool prints what went wrong and exits 2 (regressions exit 1).
+
 Usage (one or many pairs per invocation):
     python benchmarks/check_regression.py \
         --pair /tmp/dispatch-baseline.json benchmarks/results/BENCH_dispatch.json \
@@ -145,15 +158,67 @@ def check_scale(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
+def check_shard(baseline: dict, current: dict, min_ratio: float) -> list:
+    failures = []
+    base_shard = baseline["shard"]
+    cur_shard = current["shard"]
+
+    for key, base_row in base_shard.get("workloads", {}).items():
+        cur_row = cur_shard.get("workloads", {}).get(key)
+        if cur_row is None:
+            failures.append(f"shard workload {key} missing from current")
+            continue
+        base_speedup = float(base_row["speedup"])
+        cur_speedup = float(cur_row["speedup"])
+        # Speedups are within-run figures; compare them directly.
+        ratio = cur_speedup / base_speedup if base_speedup else 1.0
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"shard {key}: speedup {cur_speedup:.2f}x"
+            f" (baseline {base_speedup:.2f}x,"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"shard {key}: speedup ratio {ratio:.3f} < {min_ratio}"
+            )
+
+    gated = cur_shard.get("gated_workload")
+    floor = float(cur_shard.get("speedup_floor", 0.0))
+    min_cpus = int(cur_shard.get("min_cpus", 2))
+    cpu_count = int(cur_shard.get("cpu_count", 0))
+    if gated:
+        row = cur_shard.get("workloads", {}).get(gated)
+        if row is None:
+            failures.append(f"gated workload {gated} missing from current")
+        elif cpu_count < min_cpus:
+            # One core cannot show parallel speedup; the relative ratio
+            # gate above still applied.
+            print(
+                f"shard {gated}: absolute {floor}x floor skipped"
+                f" (recorded cpu_count={cpu_count} < {min_cpus})"
+            )
+        elif float(row["speedup"]) < floor:
+            failures.append(
+                f"shard {gated}: absolute speedup"
+                f" {float(row['speedup']):.2f}x below the artefact's own"
+                f" floor {floor}x (cpu_count={cpu_count})"
+            )
+
+    return failures
+
+
 def check(baseline: dict, current: dict, min_ratio: float) -> list:
     """Dispatch on schema: which top-level sections the artefact carries."""
+    if "shard" in current or "shard" in baseline:
+        return check_shard(baseline, current, min_ratio)
     if "scale" in current or "scale" in baseline:
         return check_scale(baseline, current, min_ratio)
     if "configs" in current or "configs" in baseline:
         return check_dispatch(baseline, current, min_ratio)
     return [
-        "unrecognised artefact schema: expected a 'configs' or 'scale'"
-        " top-level section"
+        "unrecognised artefact schema: expected a 'configs', 'scale' or"
+        " 'shard' top-level section"
     ]
 
 
@@ -183,9 +248,28 @@ def main(argv=None) -> int:
     failures = []
     for baseline_path, current_path in pairs:
         print(f"== {current_path} vs {baseline_path}")
-        failures += check(
-            load(baseline_path), load(current_path), args.min_ratio
-        )
+        try:
+            baseline = load(baseline_path)
+            current = load(current_path)
+        except FileNotFoundError as exc:
+            print(f"artefact missing: {exc.filename}", file=sys.stderr)
+            return 2
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            print(
+                f"artefact malformed: {baseline_path} / {current_path}:"
+                f" {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            failures += check(baseline, current, args.min_ratio)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"artefact schema error in {current_path} vs"
+                f" {baseline_path}: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

@@ -32,6 +32,7 @@ from repro.observability.tracing import FlowTrace, trace_of
 from repro.robustness.supervision import SupervisionPolicy, Supervisor
 from repro.runtime.engine import PositioningEngine
 from repro.runtime.scheduler import FairScheduler
+from repro.runtime.sharding import GraphRecipe, ShardedEngine
 from repro.sensors.base import SensorReading, SimulatedSensor
 from repro.services.bundle import Framework
 
@@ -55,6 +56,7 @@ class PerPos:
         self.positioning = PositioningLayer()
         self.framework = Framework()
         self._sensors: List[Tuple[SimulatedSensor, SourceComponent, Callable]] = []
+        self._sharding: Optional[ShardedEngine] = None
         # The layers are themselves services, as in the OSGi realisation.
         registry = self.framework.registry
         registry.register("perpos.ProcessingGraph", self.graph)
@@ -163,6 +165,58 @@ class PerPos:
         engine = self.graph.set_engine(None)
         if engine is not None:
             engine.stop()
+        return engine
+
+    # -- sharded runtime ---------------------------------------------------------
+
+    @property
+    def sharding(self) -> Optional[ShardedEngine]:
+        """The installed sharded engine, or None while sharding is off."""
+        return self._sharding
+
+    def enable_sharding(
+        self, recipe: GraphRecipe, shards: int, **kwargs: object
+    ) -> ShardedEngine:
+        """Install a sharded multi-worker runtime on this middleware.
+
+        Unlike :meth:`enable_runtime` (which multiplexes targets over
+        *this* middleware's graph), sharding partitions targets across
+        ``shards`` private graphs each built from ``recipe``; the
+        middleware's own graph keeps serving the single-process layers.
+        The coordinator shares the middleware's simulation clock, so
+        ``sharding.start(interval)`` drain rounds interleave
+        deterministically with sensor pumping.  Keyword arguments pass
+        through to :class:`~repro.runtime.sharding.ShardedEngine`
+        (``placement``, ``executor``, ``scheduler``, ``observability``,
+        ``supervision``, ...).  Re-enabling closes the previous
+        coordinator first.
+        """
+        previous = self._sharding
+        if previous is not None:
+            previous.close()
+        engine = ShardedEngine(
+            recipe,
+            shards,
+            clock=self.clock,
+            **kwargs,  # type: ignore[arg-type]
+        )
+        self._sharding = engine
+        registry_service = self.framework.registry
+        if registry_service.find_service("perpos.ShardedEngine") is None:
+            registry_service.register("perpos.ShardedEngine", engine)
+        return engine
+
+    def disable_sharding(self) -> Optional[ShardedEngine]:
+        """Stop and close the sharded runtime, releasing its workers.
+
+        Worker processes (multiprocessing executor) terminate, so live
+        shard state becomes unreadable; the coordinator's own counters
+        and failure records stay readable on the returned object.
+        """
+        engine = self._sharding
+        self._sharding = None
+        if engine is not None:
+            engine.close()
         return engine
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:

@@ -118,6 +118,13 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
             if middleware.graph.engine is not None
             else None
         ),
+        # Sharded runtime (None while sharding is disabled): placement,
+        # per-shard health/engine state, and contained failures.
+        "sharding": (
+            middleware.sharding.snapshot()
+            if middleware.sharding is not None
+            else None
+        ),
     }
 
 
@@ -206,6 +213,37 @@ def render_report(middleware: PerPos) -> str:
                 f" rejected={lane['rejected']},"
                 f" coalesced={lane['coalesced']}"
             )
+    sharding = snapshot["sharding"]
+    lines.append("")
+    lines.append("sharding:")
+    if sharding is None:
+        lines.append("  (sharding disabled)")
+    else:
+        placement = sharding["placement"]
+        lines.append(
+            f"  {sharding['shards']} shards ({sharding['executor']}),"
+            f" placement={placement['type']};"
+            f" targets={sharding['targets']},"
+            f" rounds={sharding['rounds']},"
+            f" drained={sharding['drained_total']},"
+            f" pending={sharding['pending']}"
+        )
+        for entry in sharding["per_shard"]:
+            engine_snap = entry["engine"]
+            if engine_snap is None:
+                detail = "(unreadable)"
+            else:
+                detail = (
+                    f"lanes={len(engine_snap['lanes'])},"
+                    f" drained={engine_snap['drained_total']},"
+                    f" pending={engine_snap['pending']}"
+                )
+                if engine_snap["last_drain_truncated"]:
+                    detail += " TRUNCATED"
+            line = f"  shard {entry['shard']}: {entry['status']}, {detail}"
+            lines.append(line)
+            if entry["error"]:
+                lines.append(f"    ! {entry['error']}")
     observability = snapshot["observability"]
     lines.append("")
     lines.append("live metrics:")

@@ -34,6 +34,9 @@ from repro.observability.metrics import (
     NullMetricsRegistry,
     default_registry,
     global_state_token,
+    merge_component_stats,
+    merge_histogram_summaries,
+    merge_snapshots,
     reset_global_state,
     set_default_registry,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "NullMetricsRegistry",
     "default_registry",
     "global_state_token",
+    "merge_component_stats",
+    "merge_histogram_summaries",
+    "merge_snapshots",
     "reset_global_state",
     "set_default_registry",
     "TRACE_ATTR",

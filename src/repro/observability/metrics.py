@@ -391,3 +391,87 @@ def reset_global_state() -> None:
     if isinstance(_default_registry, MetricsRegistry):
         _default_registry.clear()
     _default_registry = NULL_REGISTRY
+
+
+# -- cross-registry merging (sharded runtime) --------------------------------
+
+
+def merge_histogram_summaries(
+    summaries: List[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Combine :meth:`Histogram.summary` dicts from independent registries.
+
+    Count and sum add exactly; min/max take the extremes; the merged
+    mean is recomputed from the merged sum/count (never averaged from
+    per-shard means, which would weight shards equally regardless of
+    traffic).
+    """
+    count = sum(s.get("count", 0) for s in summaries)
+    total = sum(s.get("sum", 0.0) for s in summaries)
+    mins = [s["min"] for s in summaries if s.get("min") is not None]
+    maxes = [s["max"] for s in summaries if s.get("max") is not None]
+    return {
+        "count": count,
+        "sum": total,
+        "min": min(mins) if mins else None,
+        "max": max(maxes) if maxes else None,
+        "mean": total / count if count else 0.0,
+    }
+
+
+def merge_snapshots(
+    snapshots: List[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge :meth:`MetricsRegistry.snapshot` dumps from N registries.
+
+    The sharded runtime gives every shard its own registry (workers may
+    not even share an interpreter); this rolls their snapshots up into
+    one surface with the same shape, so report/hub consumers are
+    indifferent to sharding.  Counters and histograms merge losslessly.
+    Gauges *sum*, which is correct for the additive gauges the runtime
+    exports (queue depths, drop totals, graph sizes); order-sensitive
+    gauges (e.g. ``graph_topology_version``) should be read per shard
+    where the distinction matters.
+    """
+    counters: Dict[str, Any] = {}
+    gauges: Dict[str, Any] = {}
+    histograms: Dict[str, List[Dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        for series, value in snapshot.get("counters", {}).items():
+            counters[series] = counters.get(series, 0) + value
+        for series, value in snapshot.get("gauges", {}).items():
+            gauges[series] = gauges.get(series, 0) + value
+        for series, summary in snapshot.get("histograms", {}).items():
+            histograms.setdefault(series, []).append(summary)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            series: merge_histogram_summaries(summaries)
+            for series, summaries in sorted(histograms.items())
+        },
+    }
+
+
+def merge_component_stats(
+    stats_maps: List[Dict[str, Dict[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge :meth:`ObservabilityHub.component_stats` maps from N hubs.
+
+    Each shard runs the same graph shape, so per-component series line
+    up by name: numeric series (items_in/out, errors, drops) sum, and
+    ``latency`` summaries merge via :func:`merge_histogram_summaries`.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    latencies: Dict[str, List[Dict[str, Any]]] = {}
+    for stats in stats_maps:
+        for component, entry in stats.items():
+            slot = merged.setdefault(component, {})
+            for series, value in entry.items():
+                if series == "latency":
+                    latencies.setdefault(component, []).append(value)
+                elif isinstance(value, (int, float)):
+                    slot[series] = slot.get(series, 0) + value
+    for component, summaries in latencies.items():
+        merged[component]["latency"] = merge_histogram_summaries(summaries)
+    return merged

@@ -1,9 +1,20 @@
-"""Multi-target scale-out runtime: engine, ingestion queues, schedulers.
+"""Multi-target scale-out runtime: engine, queues, schedulers, shards.
 
-See :mod:`repro.runtime.engine` for the architecture overview.
+See :mod:`repro.runtime.engine` for the single-engine architecture and
+:mod:`repro.runtime.sharding` for the multi-shard coordinator that
+partitions targets across N engines behind a
+:mod:`repro.runtime.placement` policy.
 """
 
 from repro.runtime.engine import EngineError, PositioningEngine, TargetLane
+from repro.runtime.placement import (
+    ConsistentHashPlacement,
+    ModuloPlacement,
+    PinnedPlacement,
+    PlacementError,
+    PlacementPolicy,
+    stable_hash,
+)
 from repro.runtime.queues import (
     ACCEPTED,
     BLOCK,
@@ -23,24 +34,52 @@ from repro.runtime.scheduler import (
     SchedulerError,
     WeightedScheduler,
 )
+from repro.runtime.sharding import (
+    EXECUTORS,
+    IN_PROCESS,
+    InProcessShard,
+    MULTIPROCESSING,
+    ProcessShard,
+    SHARD_DEGRADED,
+    SHARD_HEALTHY,
+    ShardedEngine,
+    ShardingError,
+    ShardRemoteError,
+)
 
 __all__ = [
     "ACCEPTED",
     "BLOCK",
     "COALESCE",
     "COALESCED",
+    "ConsistentHashPlacement",
     "DROPPED",
     "DROP_NEWEST",
     "DROP_OLDEST",
+    "EXECUTORS",
     "EngineError",
     "FairScheduler",
+    "IN_PROCESS",
+    "InProcessShard",
     "IngestionQueue",
+    "MULTIPROCESSING",
+    "ModuloPlacement",
     "POLICIES",
+    "PinnedPlacement",
+    "PlacementError",
+    "PlacementPolicy",
     "PositioningEngine",
+    "ProcessShard",
     "QueueError",
     "REJECTED",
     "RoundRobinScheduler",
+    "SHARD_DEGRADED",
+    "SHARD_HEALTHY",
     "SchedulerError",
+    "ShardRemoteError",
+    "ShardedEngine",
+    "ShardingError",
     "TargetLane",
     "WeightedScheduler",
+    "stable_hash",
 ]

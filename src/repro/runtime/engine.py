@@ -126,6 +126,12 @@ class PositioningEngine:
         self._cancel: Optional[Callable[[], None]] = None
         self.rounds = 0
         self.drained_total = 0
+        #: Times :meth:`drain_all` exhausted ``max_rounds`` with datums
+        #: still pending; ``last_drain_truncated`` latches until the
+        #: next *successful* drain.  Surfaced by :meth:`snapshot` so a
+        #: coordinator never mistakes truncation for quiescence.
+        self.truncations = 0
+        self.last_drain_truncated = False
         graph.set_engine(self)
 
     # -- lane management -----------------------------------------------------
@@ -161,9 +167,7 @@ class PositioningEngine:
                 f"lane source must be a SourceComponent,"
                 f" got {type(source).__name__}"
             )
-        queue = IngestionQueue(
-            f"lane:{target_id}", capacity=capacity, policy=policy
-        )
+        queue = IngestionQueue(f"lane:{target_id}", capacity=capacity, policy=policy)
         lane = TargetLane(target_id, source, queue, weight=weight)
         self._lanes[target_id] = lane
         self._lane_list.append(lane)
@@ -192,11 +196,7 @@ class PositioningEngine:
 
     def lanes_for_source(self, source_name: str) -> List[TargetLane]:
         """Lanes whose datums enter the graph at ``source_name``."""
-        return [
-            lane
-            for lane in self._lane_list
-            if lane.source.name == source_name
-        ]
+        return [lane for lane in self._lane_list if lane.source.name == source_name]
 
     # -- ingestion (producer side) -------------------------------------------
 
@@ -218,9 +218,7 @@ class PositioningEngine:
         hub = self.graph.instrumentation
         if hub is not None:
             hub.ingestion_event(target_id, verdict)
-            hub.ingestion_depth(
-                target_id, lane.queue.depth, lane.queue.dropped
-            )
+            hub.ingestion_depth(target_id, lane.queue.depth, lane.queue.dropped)
         return verdict
 
     # -- scheduling (consumer side) ------------------------------------------
@@ -256,18 +254,27 @@ class PositioningEngine:
         """Run rounds until every queue is empty; returns datums routed.
 
         ``max_rounds`` bounds the loop against a pathological scheduler
-        (or a producer submitting from inside the graph).
+        (or a producer submitting from inside the graph).  Exhausting it
+        with datums still pending is *truncation*, not quiescence: the
+        ``truncations`` counter and the ``last_drain_truncated`` latch
+        are set (both surfaced by :meth:`snapshot`), then
+        :class:`EngineError` is raised carrying the pending depth -- a
+        caller that swallows the exception still cannot mistake the
+        engine for drained.
         """
         total = 0
         for _ in range(max_rounds):
             drained = self.drain_round()
             total += drained
-            if not drained and not any(
-                lane.queue.depth for lane in self._lane_list
-            ):
+            if not drained and not any(lane.queue.depth for lane in self._lane_list):
+                self.last_drain_truncated = False
                 return total
+        self.truncations += 1
+        self.last_drain_truncated = True
         raise EngineError(
-            f"queues not drained after {max_rounds} rounds"
+            f"queues not drained after {max_rounds} rounds:"
+            f" {self.depth_total()} datums still pending"
+            f" ({total} routed this call)"
         )
 
     def start(self, interval_s: float) -> Callable[[], None]:
@@ -334,6 +341,8 @@ class PositioningEngine:
             "drained_total": self.drained_total,
             "pending": self.depth_total(),
             "running": self._cancel is not None,
+            "truncations": self.truncations,
+            "last_drain_truncated": self.last_drain_truncated,
             "lanes": {
                 lane.target_id: lane.stats() for lane in self._lane_list
             },

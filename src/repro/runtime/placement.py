@@ -1,0 +1,177 @@
+"""Placement policies: which shard owns which tracked target.
+
+RAFDA's core argument (PAPERS.md) is that *distribution policy must be
+separable from application logic*: how computation is spread over
+workers is a deployment decision, not something baked into component
+code.  The sharded runtime follows that rule -- the
+:class:`~repro.runtime.sharding.ShardedEngine` never decides placement
+itself; it asks a :class:`PlacementPolicy` object, which is swappable,
+inspectable (``describe()``), and independent of every processing
+component.
+
+Three policies ship:
+
+:class:`ConsistentHashPlacement`
+    The default.  Shards are mapped onto a hash ring via ``replicas``
+    virtual nodes each; a target goes to the first ring point at or
+    after its own hash.  Growing N shards to N+1 relocates only the
+    targets whose ring arc the new shard captures -- in expectation
+    ``K / (N + 1)`` of K targets, never a full reshuffle.  The hash is
+    :func:`hashlib.blake2b` (stable across processes and Python
+    versions, unlike built-in ``hash``), so placement is reproducible
+    and identical in every worker process.
+:class:`ModuloPlacement`
+    The naive contrast: ``hash(target) % shards``.  Cheapest possible
+    lookup, but resizing relocates almost everything -- kept as the
+    reference point the consistent-hash property test measures against.
+:class:`PinnedPlacement`
+    An explicit-pin override wrapping any base policy: operators pin
+    specific targets to specific shards (a VIP on a reserved shard, a
+    debug target on shard 0) and everything unpinned falls through to
+    the base policy.  Pins are runtime-mutable -- placement adaptation
+    through the same kind of reflective seam the PSL gives structure.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+
+class PlacementError(Exception):
+    """Raised on invalid placement configuration or use."""
+
+
+def stable_hash(key: str) -> int:
+    """A process- and version-stable 64-bit hash of ``key``.
+
+    Built-in ``hash`` is randomised per interpreter (PYTHONHASHSEED),
+    which would make placement differ between the coordinator and its
+    worker processes; placement must be a pure function of the key.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class PlacementPolicy(abc.ABC):
+    """Maps a target id to a shard index, given the shard count."""
+
+    @abc.abstractmethod
+    def place(self, target_id: str, shard_count: int) -> int:
+        """Return the owning shard index in ``[0, shard_count)``."""
+
+    def describe(self) -> Dict[str, object]:
+        """Reflective summary for the coordinator snapshot / report."""
+        return {"type": type(self).__name__}
+
+    def _check_count(self, shard_count: int) -> None:
+        if shard_count < 1:
+            raise PlacementError("shard_count must be >= 1")
+
+
+class ConsistentHashPlacement(PlacementPolicy):
+    """Hash-ring placement with virtual nodes (the default policy).
+
+    ``replicas`` virtual nodes per shard smooth the ring: more replicas
+    mean a more even target spread and a relocation fraction closer to
+    the ideal ``1 / (N + 1)`` on resize, at the cost of a larger (still
+    tiny) ring.  Rings are built lazily per shard count and memoised --
+    placement is read-heavy and resize-rare.
+    """
+
+    def __init__(self, replicas: int = 128) -> None:
+        if replicas < 1:
+            raise PlacementError("replicas must be >= 1")
+        self.replicas = replicas
+        self._rings: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    def _ring(self, shard_count: int) -> Tuple[List[int], List[int]]:
+        ring = self._rings.get(shard_count)
+        if ring is None:
+            points: List[Tuple[int, int]] = []
+            for shard in range(shard_count):
+                for replica in range(self.replicas):
+                    points.append(
+                        (stable_hash(f"shard:{shard}:vnode:{replica}"), shard)
+                    )
+            points.sort()
+            ring = ([h for h, _ in points], [s for _, s in points])
+            self._rings[shard_count] = ring
+        return ring
+
+    def place(self, target_id: str, shard_count: int) -> int:
+        self._check_count(shard_count)
+        if shard_count == 1:
+            return 0
+        hashes, shards = self._ring(shard_count)
+        index = bisect.bisect_right(hashes, stable_hash(target_id))
+        if index == len(hashes):  # wrap past the last ring point
+            index = 0
+        return shards[index]
+
+    def describe(self) -> Dict[str, object]:
+        return {"type": type(self).__name__, "replicas": self.replicas}
+
+
+class ModuloPlacement(PlacementPolicy):
+    """``stable_hash(target) % shards`` -- cheap, resize-hostile."""
+
+    def place(self, target_id: str, shard_count: int) -> int:
+        self._check_count(shard_count)
+        return stable_hash(target_id) % shard_count
+
+
+class PinnedPlacement(PlacementPolicy):
+    """Explicit pins over a base policy (consistent hashing by default).
+
+    ``pins`` maps target ids to shard indexes; :meth:`pin` / :meth:`unpin`
+    mutate the table at runtime.  A pin outside ``[0, shard_count)`` is a
+    configuration error surfaced at :meth:`place` time, when the shard
+    count is known.
+    """
+
+    def __init__(
+        self,
+        base: Optional[PlacementPolicy] = None,
+        pins: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.base = base or ConsistentHashPlacement()
+        self._pins: Dict[str, int] = dict(pins or {})
+
+    def pin(self, target_id: str, shard: int) -> None:
+        """Pin ``target_id`` to ``shard`` (overrides the base policy)."""
+        if shard < 0:
+            raise PlacementError("shard index must be >= 0")
+        self._pins[target_id] = shard
+
+    def unpin(self, target_id: str) -> int:
+        """Drop a pin; the target falls back to the base policy."""
+        try:
+            return self._pins.pop(target_id)
+        except KeyError:
+            raise PlacementError(f"target {target_id!r} is not pinned") from None
+
+    def pins(self) -> Dict[str, int]:
+        """The current pin table (a copy)."""
+        return dict(self._pins)
+
+    def place(self, target_id: str, shard_count: int) -> int:
+        self._check_count(shard_count)
+        pinned = self._pins.get(target_id)
+        if pinned is None:
+            return self.base.place(target_id, shard_count)
+        if pinned >= shard_count:
+            raise PlacementError(
+                f"target {target_id!r} pinned to shard {pinned}, but only"
+                f" {shard_count} shards exist"
+            )
+        return pinned
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "type": type(self).__name__,
+            "pins": dict(self._pins),
+            "base": self.base.describe(),
+        }

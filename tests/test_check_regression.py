@@ -1,0 +1,184 @@
+"""Unit tests for the CI benchmark gate (``benchmarks/check_regression.py``).
+
+The gate decides whether benchmark PRs merge, so it gets the same
+treatment as product code: schema sniffing across all three artefact
+shapes, ratio/floor failure exits (1), harness errors -- missing or
+malformed artefacts, schema violations -- exiting 2, and the
+hardware-conditional shard floor.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+import check_regression  # noqa: E402
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+def dispatch_artefact(bare=100.0, observed=50.0, size_rate=80.0):
+    return {
+        "configs": {
+            "bare_rerun_ratio": 1.0,
+            "datums_per_s": {
+                "bare pipeline": bare,
+                "observability on": observed,
+            },
+        },
+        "scalability": {"10": {"throughput": size_rate}},
+    }
+
+
+def scale_artefact(speedup=3.0, floor=2.0):
+    return {
+        "scale": {
+            "speedup_floor": floor,
+            "gated_workload": "w1",
+            "workloads": {"w1": {"speedup": speedup}},
+        }
+    }
+
+
+def shard_artefact(speedup=2.0, cpu_count=4, floor=1.5):
+    return {
+        "shard": {
+            "cpu_count": cpu_count,
+            "min_cpus": 2,
+            "speedup_floor": floor,
+            "gated_workload": "multiprocessing_shards4",
+            "workloads": {
+                "multiprocessing_shards4": {"speedup": speedup},
+            },
+        }
+    }
+
+
+def run(tmp_path, baseline, current, min_ratio=0.8):
+    base = write(tmp_path, "baseline.json", baseline)
+    cur = write(tmp_path, "current.json", current)
+    return check_regression.main(["--pair", base, cur, "--min-ratio", str(min_ratio)])
+
+
+class TestSchemaSniffing:
+    def test_dispatch_schema_passes(self, tmp_path):
+        artefact = dispatch_artefact()
+        assert run(tmp_path, artefact, artefact) == 0
+
+    def test_scale_schema_passes(self, tmp_path):
+        assert run(tmp_path, scale_artefact(), scale_artefact()) == 0
+
+    def test_shard_schema_passes(self, tmp_path):
+        assert run(tmp_path, shard_artefact(), shard_artefact()) == 0
+
+    def test_unrecognised_schema_fails(self, tmp_path):
+        assert run(tmp_path, {"mystery": {}}, {"mystery": {}}) == 1
+
+    def test_mixed_pairs_sniff_per_pair(self, tmp_path):
+        base_a = write(tmp_path, "a0.json", scale_artefact())
+        cur_a = write(tmp_path, "a1.json", scale_artefact())
+        base_b = write(tmp_path, "b0.json", shard_artefact())
+        cur_b = write(tmp_path, "b1.json", shard_artefact())
+        assert (
+            check_regression.main(
+                ["--pair", base_a, cur_a, "--pair", base_b, cur_b]
+            )
+            == 0
+        )
+
+
+class TestRegressionExits:
+    def test_scale_ratio_regression_exits_1(self, tmp_path):
+        assert run(tmp_path, scale_artefact(4.0), scale_artefact(2.5)) == 1
+
+    def test_scale_absolute_floor_exits_1(self, tmp_path):
+        # Ratio holds (same speedup), but the artefact's own floor bites.
+        artefact = scale_artefact(speedup=1.5, floor=2.0)
+        assert run(tmp_path, artefact, artefact) == 1
+
+    def test_shard_ratio_regression_exits_1(self, tmp_path):
+        assert run(tmp_path, shard_artefact(3.0), shard_artefact(1.6)) == 1
+
+    def test_missing_workload_exits_1(self, tmp_path):
+        current = shard_artefact()
+        current["shard"]["workloads"] = {}
+        assert run(tmp_path, shard_artefact(), current) == 1
+
+    def test_dispatch_rerun_tolerance_exits_1(self, tmp_path):
+        current = dispatch_artefact()
+        current["configs"]["bare_rerun_ratio"] = 1.2
+        assert run(tmp_path, dispatch_artefact(), current) == 1
+
+    def test_min_ratio_is_respected(self, tmp_path):
+        # A 25% drop passes at 0.7 but fails at 0.8.
+        base, cur = scale_artefact(4.0), scale_artefact(3.0)
+        assert run(tmp_path, base, cur, min_ratio=0.7) == 0
+        assert run(tmp_path, base, cur, min_ratio=0.8) == 1
+
+
+class TestShardFloorIsHardwareConditional:
+    def test_floor_enforced_with_enough_cores(self, tmp_path):
+        artefact = shard_artefact(speedup=1.1, cpu_count=4)
+        assert run(tmp_path, shard_artefact(1.1), artefact) == 1
+
+    def test_floor_skipped_on_a_single_core(self, tmp_path, capsys):
+        artefact = shard_artefact(speedup=1.1, cpu_count=1)
+        assert run(tmp_path, shard_artefact(1.1), artefact) == 0
+        assert "floor skipped" in capsys.readouterr().out
+
+    def test_ratio_gate_applies_even_on_a_single_core(self, tmp_path):
+        base = shard_artefact(speedup=2.0, cpu_count=1)
+        cur = shard_artefact(speedup=1.0, cpu_count=1)
+        assert run(tmp_path, base, cur) == 1
+
+
+class TestHarnessErrors:
+    def test_missing_baseline_exits_2(self, tmp_path):
+        cur = write(tmp_path, "current.json", scale_artefact())
+        assert (
+            check_regression.main(
+                ["--pair", str(tmp_path / "nope.json"), cur]
+            )
+            == 2
+        )
+
+    def test_missing_current_exits_2(self, tmp_path):
+        base = write(tmp_path, "baseline.json", scale_artefact())
+        assert (
+            check_regression.main(
+                ["--pair", base, str(tmp_path / "nope.json")]
+            )
+            == 2
+        )
+
+    def test_malformed_json_exits_2(self, tmp_path):
+        base = write(tmp_path, "baseline.json", scale_artefact())
+        bad = tmp_path / "current.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert check_regression.main(["--pair", base, str(bad)]) == 2
+
+    def test_schema_violation_exits_2(self, tmp_path):
+        # Sniffs as dispatch but lacks the sections the checker reads.
+        broken = {"configs": {}}
+        assert run(tmp_path, broken, broken) == 2
+
+    def test_legacy_single_pair_form(self, tmp_path):
+        base = write(tmp_path, "baseline.json", scale_artefact())
+        cur = write(tmp_path, "current.json", scale_artefact())
+        assert check_regression.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_legacy_form_requires_both_flags(self, tmp_path):
+        base = write(tmp_path, "baseline.json", scale_artefact())
+        with pytest.raises(SystemExit):
+            check_regression.main(["--baseline", base])
+
+    def test_no_pairs_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            check_regression.main([])

@@ -61,6 +61,17 @@ def test_chaos_demo(capsys):
     assert "FaultInjected" in out
 
 
+def test_shard_demo(capsys):
+    out = run_example("shard_demo", capsys)
+    assert "placement: 30 badges over 3 shards" in out
+    assert "badge-00 pinned to shard 0" in out
+    assert "after fault injection: degraded=[2] (FaultInjected)" in out
+    assert "shard 2: degraded" in out
+    assert "restored shard 2:" in out
+    assert "degraded=[]" in out
+    assert "merged metrics: floor-app received" in out
+
+
 def test_seamful_inspection(capsys):
     out = run_example("seamful_inspection", capsys)
     assert "STRUCTURAL REFLECTION" in out

@@ -51,9 +51,7 @@ operations = st.lists(
     max_size=30,
 )
 
-batch_shape = st.lists(
-    st.sampled_from(KINDS), min_size=1, max_size=6
-)
+batch_shape = st.lists(st.sampled_from(KINDS), min_size=1, max_size=6)
 
 
 def apply_operations(graph, ops):
@@ -66,9 +64,7 @@ def apply_operations(graph, ops):
         try:
             if op[0] == "add":
                 _, name, kinds = op
-                graph.add(
-                    FunctionComponent(name, kinds, kinds, fn=lambda d: d)
-                )
+                graph.add(FunctionComponent(name, kinds, kinds, fn=lambda d: d))
             elif op[0] == "remove":
                 _, name, reconnect = op
                 graph.remove(name, reconnect=reconnect)
@@ -87,9 +83,7 @@ class Recorder(GraphObserver):
         self.datums = []
 
     def data_consumed(self, component, port_name, datum):
-        self.events.append(
-            (component.name, port_name, datum.kind, datum.payload)
-        )
+        self.events.append((component.name, port_name, datum.kind, datum.payload))
         self.datums.append((component.name, datum))
 
 
@@ -146,12 +140,8 @@ def test_route_batch_multiset_equivalent_to_per_datum(ops, shape):
 def test_route_batch_with_tracing_matches_per_datum_traces(ops, shape):
     reference = apply_operations(ProcessingGraph(), ops)
     batched = apply_operations(ProcessingGraph(), ops)
-    reference.set_instrumentation(
-        ObservabilityHub(MetricsRegistry(), tracing=True)
-    )
-    batched.set_instrumentation(
-        ObservabilityHub(MetricsRegistry(), tracing=True)
-    )
+    reference.set_instrumentation(ObservabilityHub(MetricsRegistry(), tracing=True))
+    batched.set_instrumentation(ObservabilityHub(MetricsRegistry(), tracing=True))
     payload = 0
     for component in list(reference.components()):
         payload += 100

@@ -1,0 +1,213 @@
+"""Property tests: sharding redistributes work without changing it
+(hypothesis).
+
+Two pinned contracts:
+
+* **Drain equivalence** -- for any randomly generated DAG recipe and any
+  workload, draining through an in-process :class:`ShardedEngine` (any
+  shard count) delivers exactly the same *multiset* of sink outputs as
+  draining the same workload through a single
+  :class:`PositioningEngine`, and the merged per-component hub counters
+  agree with the single engine's.  Lanes are per target with identical
+  queue semantics on both sides, so the property must hold even under
+  backpressure (small capacities, drop policies) and odd quanta.
+* **Placement stability** -- growing N shards to N+1 under consistent
+  hashing relocates only a minority of K targets (~K/(N+1) in
+  expectation; the test allows generous slack), where modulo placement
+  relocates almost everything.  This is the property that makes live
+  resharding affordable at all.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.runtime import (
+    ConsistentHashPlacement,
+    PositioningEngine,
+    ShardedEngine,
+)
+from repro.runtime.sharding import build_scheduler
+
+STAGE_NAMES = ("s0", "s1", "s2", "s3")
+KINDS = ("x", "y")
+
+kind_sets = st.lists(
+    st.sampled_from(KINDS), min_size=1, max_size=2, unique=True
+).map(tuple)
+
+# A recipe description: which stages exist (with their kinds) and which
+# edges to attempt.  Edges that violate DAG/port rules are skipped, so
+# any description yields *some* valid graph -- and the same description
+# always yields the same graph, which is what lets the single engine
+# and every shard be built as exact structural twins.
+stage_defs = st.lists(
+    st.tuples(st.sampled_from(STAGE_NAMES), kind_sets),
+    min_size=0,
+    max_size=4,
+    unique_by=lambda d: d[0],
+)
+edge_defs = st.lists(
+    st.tuples(
+        st.sampled_from(("src",) + STAGE_NAMES),
+        st.sampled_from(STAGE_NAMES + ("app",)),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+# A workload: per-target lane configs plus a submission sequence.
+lane_configs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),  # capacity
+        st.sampled_from(("drop_oldest", "drop_newest", "coalesce")),
+    ),
+    min_size=1,
+    max_size=5,
+)
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),  # target index
+        st.sampled_from(KINDS),
+        st.integers(min_value=0, max_value=99),  # payload
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def make_recipe(stages, edges):
+    """A picklable-in-spirit recipe closed over one graph description."""
+
+    def recipe():
+        graph = ProcessingGraph()
+        graph.add(SourceComponent("src", KINDS))
+        graph.add(ApplicationSink("app", KINDS))
+        for name, kinds in stages:
+            graph.add(
+                FunctionComponent(name, kinds, kinds, fn=lambda d: d)
+            )
+        for producer, consumer in edges:
+            try:
+                graph.connect(producer, consumer)
+            except GraphError:
+                continue
+        try:
+            graph.connect("src", "app")
+        except GraphError:
+            pass
+        return graph
+
+    return recipe
+
+
+def run_workload(engine, lanes, subs):
+    """Track lanes, submit the sequence, drain; same calls either side."""
+    for index, (capacity, policy) in enumerate(lanes):
+        engine.track(
+            f"t{index}", "src", capacity=capacity, policy=policy
+        )
+    for target_index, kind, payload in subs:
+        target_id = f"t{target_index % len(lanes)}"
+        engine.submit(target_id, Datum(kind, payload, float(payload)))
+    engine.drain_all()
+
+
+def single_outputs(recipe, lanes, subs, quantum):
+    graph = recipe()
+    engine = PositioningEngine(
+        graph, scheduler=build_scheduler(("round_robin", quantum))
+    )
+    run_workload(engine, lanes, subs)
+    return Counter(
+        (d.kind, d.payload, d.attributes.get("target"))
+        for d in graph.component("app").received
+    ), engine
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    stages=stage_defs,
+    edges=edge_defs,
+    lanes=lane_configs,
+    subs=submissions,
+    shards=st.integers(min_value=1, max_value=4),
+    quantum=st.integers(min_value=1, max_value=8),
+)
+def test_sharded_drain_equivalent_to_single_engine(
+    stages, edges, lanes, subs, shards, quantum
+):
+    recipe = make_recipe(stages, edges)
+    expected, _ = single_outputs(recipe, lanes, subs, quantum)
+    with ShardedEngine(
+        recipe, shards, scheduler=("round_robin", quantum)
+    ) as engine:
+        run_workload(engine, lanes, subs)
+        actual = Counter(
+            (kind, payload, target)
+            for _sink, kind, payload, target in engine.sink_outputs()
+        )
+    assert actual == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    stages=stage_defs,
+    edges=edge_defs,
+    lanes=lane_configs,
+    subs=submissions,
+    shards=st.integers(min_value=2, max_value=4),
+)
+def test_merged_hub_counters_equal_single_engine(
+    stages, edges, lanes, subs, shards
+):
+    from repro.observability.instrumentation import ObservabilityHub
+    from repro.observability.metrics import MetricsRegistry
+
+    recipe = make_recipe(stages, edges)
+    graph = recipe()
+    hub = ObservabilityHub(MetricsRegistry(), tracing=False)
+    graph.set_instrumentation(hub)
+    engine = PositioningEngine(graph)
+    run_workload(engine, lanes, subs)
+
+    with ShardedEngine(recipe, shards, observability=True) as sharded:
+        run_workload(sharded, lanes, subs)
+        merged = sharded.merged_component_stats()
+
+    for component in graph.components():
+        expected = hub.component_stats(component.name)
+        actual = merged.get(component.name, {})
+        assert actual.get("items_in", 0) == expected.get("items_in", 0)
+        assert actual.get("items_out", 0) == expected.get(
+            "items_out", 0
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_shards=st.integers(min_value=1, max_value=8),
+    n_targets=st.integers(min_value=50, max_value=400),
+    salt=st.integers(min_value=0, max_value=1000),
+)
+def test_consistent_hash_resize_relocates_a_minority(
+    n_shards, n_targets, salt
+):
+    policy = ConsistentHashPlacement()
+    targets = [f"t{salt}:{i}" for i in range(n_targets)]
+    before = {t: policy.place(t, n_shards) for t in targets}
+    moved = sum(
+        1 for t in targets if policy.place(t, n_shards + 1) != before[t]
+    )
+    # Expectation is K/(N+1); virtual-node variance means individual
+    # draws overshoot, so allow 3x slack -- still far below the ~K(1 -
+    # 1/N) a modulo scheme relocates.
+    bound = 3.0 * n_targets / (n_shards + 1)
+    assert moved <= bound

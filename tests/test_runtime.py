@@ -246,9 +246,7 @@ class TestEngine:
 
     def test_quantum_bounds_drain_per_round(self):
         graph, _, sink = build_graph()
-        engine = PositioningEngine(
-            graph, scheduler=RoundRobinScheduler(quantum=2)
-        )
+        engine = PositioningEngine(graph, scheduler=RoundRobinScheduler(quantum=2))
         engine.track("t1", "src")
         for i in range(5):
             engine.submit("t1", datum(i))
@@ -259,9 +257,7 @@ class TestEngine:
 
     def test_drain_all_counts_and_terminates(self):
         graph, _, sink = build_graph()
-        engine = PositioningEngine(
-            graph, scheduler=RoundRobinScheduler(quantum=1)
-        )
+        engine = PositioningEngine(graph, scheduler=RoundRobinScheduler(quantum=1))
         engine.track("t1", "src")
         for i in range(4):
             engine.submit("t1", datum(i))
@@ -269,11 +265,40 @@ class TestEngine:
         assert engine.rounds >= 4
         assert engine.drained_total == 4
 
+    def test_drain_all_truncation_raises_and_latches(self):
+        # max_rounds exhaustion is truncation, not quiescence: a
+        # coordinator reading snapshot() must be able to tell them
+        # apart even if the EngineError was swallowed en route.
+        graph, _, _ = build_graph()
+        engine = PositioningEngine(graph, scheduler=RoundRobinScheduler(quantum=1))
+        engine.track("t1", "src")
+        for i in range(5):
+            engine.submit("t1", datum(i))
+        with pytest.raises(EngineError, match="3 datums still pending"):
+            engine.drain_all(max_rounds=2)
+        snap = engine.snapshot()
+        assert snap["truncations"] == 1
+        assert snap["last_drain_truncated"] is True
+        assert snap["pending"] == 3
+        # A clean drain clears the latch; the counter keeps history.
+        assert engine.drain_all() == 3
+        snap = engine.snapshot()
+        assert snap["truncations"] == 1
+        assert snap["last_drain_truncated"] is False
+
+    def test_drain_all_clean_run_never_sets_the_latch(self):
+        graph, _, _ = build_graph()
+        engine = PositioningEngine(graph)
+        engine.track("t1", "src")
+        engine.submit("t1", datum(1))
+        assert engine.drain_all() == 1
+        snap = engine.snapshot()
+        assert snap["truncations"] == 0
+        assert snap["last_drain_truncated"] is False
+
     def test_weighted_fairness_across_lanes(self):
         graph, _, sink = build_graph()
-        engine = PositioningEngine(
-            graph, scheduler=WeightedScheduler(quantum=1)
-        )
+        engine = PositioningEngine(graph, scheduler=WeightedScheduler(quantum=1))
         engine.track("heavy", "src", weight=3)
         engine.track("light", "src", weight=1)
         for i in range(6):
@@ -319,9 +344,7 @@ class TestEngine:
         graph, _, _ = build_graph()
         engine = PositioningEngine(graph)
         engine.track("t1", "src", capacity=4)
-        stats = engine.set_policy(
-            "t1", policy=BLOCK, capacity=2, weight=5
-        )
+        stats = engine.set_policy("t1", policy=BLOCK, capacity=2, weight=5)
         assert stats["policy"] == BLOCK
         assert stats["capacity"] == 2
         assert stats["weight"] == 5
@@ -361,9 +384,7 @@ class TestEngine:
         engine = PositioningEngine(graph)
         with pytest.raises(EngineError):
             engine.start(1.0)
-        clocked = PositioningEngine(
-            ProcessingGraph(), clock=SimulationClock()
-        )
+        clocked = PositioningEngine(ProcessingGraph(), clock=SimulationClock())
         with pytest.raises(EngineError):
             clocked.start(0.0)
 
@@ -402,9 +423,10 @@ class TestEngine:
         engine.track("a", src)
         engine.track("b", "src2")
         engine.track("c", "src")
-        assert [
-            lane.target_id for lane in engine.lanes_for_source("src")
-        ] == ["a", "c"]
+        assert [lane.target_id for lane in engine.lanes_for_source("src")] == [
+            "a",
+            "c",
+        ]
 
 
 class TestEngineWithSupervision:
@@ -422,9 +444,7 @@ class TestEngineWithSupervision:
         graph.add(boom)
         graph.connect("src", "boom", "in")
         graph.connect("boom", "sink", "in")
-        supervisor = Supervisor(
-            SupervisionPolicy(failure_threshold=100)
-        )
+        supervisor = Supervisor(SupervisionPolicy(failure_threshold=100))
         graph.set_supervisor(supervisor)
         engine = PositioningEngine(graph)
         engine.track("t1", "src")
