@@ -35,6 +35,7 @@ from repro.runtime.scheduler import FairScheduler
 from repro.runtime.sharding import GraphRecipe, ShardedEngine
 from repro.sensors.base import SensorReading, SimulatedSensor
 from repro.services.bundle import Framework
+from repro.services.registry import ServiceRegistration
 
 #: Maps a SensorReading's declared format to a graph data kind.
 DEFAULT_KIND_MAP: Dict[str, str] = {
@@ -57,6 +58,7 @@ class PerPos:
         self.framework = Framework()
         self._sensors: List[Tuple[SimulatedSensor, SourceComponent, Callable]] = []
         self._sharding: Optional[ShardedEngine] = None
+        self._sharding_registration: Optional[ServiceRegistration] = None
         # The layers are themselves services, as in the OSGi realisation.
         registry = self.framework.registry
         registry.register("perpos.ProcessingGraph", self.graph)
@@ -201,9 +203,13 @@ class PerPos:
             **kwargs,  # type: ignore[arg-type]
         )
         self._sharding = engine
-        registry_service = self.framework.registry
-        if registry_service.find_service("perpos.ShardedEngine") is None:
-            registry_service.register("perpos.ShardedEngine", engine)
+        # Re-register unconditionally: a stale registration would hand
+        # registry consumers the previous, now-closed coordinator.
+        if self._sharding_registration is not None:
+            self._sharding_registration.unregister()
+        self._sharding_registration = self.framework.registry.register(
+            "perpos.ShardedEngine", engine
+        )
         return engine
 
     def disable_sharding(self) -> Optional[ShardedEngine]:
@@ -215,6 +221,9 @@ class PerPos:
         """
         engine = self._sharding
         self._sharding = None
+        if self._sharding_registration is not None:
+            self._sharding_registration.unregister()
+            self._sharding_registration = None
         if engine is not None:
             engine.close()
         return engine

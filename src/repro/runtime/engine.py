@@ -269,6 +269,11 @@ class PositioningEngine:
             if not drained and not any(lane.queue.depth for lane in self._lane_list):
                 self.last_drain_truncated = False
                 return total
+        if self.depth_total() == 0:
+            # The queues emptied exactly on the last round: quiescence,
+            # not truncation, even though the loop was exhausted.
+            self.last_drain_truncated = False
+            return total
         self.truncations += 1
         self.last_drain_truncated = True
         raise EngineError(

@@ -470,14 +470,28 @@ class ProcessShard(_ShardBase):
     # -- protocol ----------------------------------------------------------
 
     def _cast(self, op: str, *args: Any, **kwargs: Any) -> None:
-        self._conn.send((op, args, kwargs))
+        # A dead worker must surface as ShardRemoteError, never as a raw
+        # BrokenPipeError: the coordinator's containment logic keys off
+        # the former, and pipe writes to a crashed child can otherwise
+        # succeed once before failing.
+        if not self._process.is_alive():
+            raise ShardRemoteError(
+                f"shard {self.shard_id} worker process is dead"
+                f" (exitcode {self._process.exitcode})"
+            )
+        try:
+            self._conn.send((op, args, kwargs))
+        except OSError as exc:
+            raise ShardRemoteError(
+                f"shard {self.shard_id} worker pipe broken: {exc}"
+            ) from None
         self._in_flight = True
 
     def _collect(self) -> Any:
         self._in_flight = False
         try:
             status, payload = self._conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
             raise ShardRemoteError(
                 f"shard {self.shard_id} worker exited unexpectedly"
             ) from None
@@ -533,9 +547,17 @@ class ProcessShard(_ShardBase):
     def close(self) -> None:
         if self._process.is_alive():
             try:
+                if self._in_flight and self._conn.poll(1.0):
+                    # The coordinator abandoned a begun drain; collect
+                    # (and discard) its response so the pipe protocol is
+                    # back in sync and the worker can take the stop.
+                    try:
+                        self._collect()
+                    except ShardRemoteError:
+                        pass
                 if not self._in_flight:
                     self._call("stop")
-            except ShardRemoteError:
+            except (ShardRemoteError, OSError):
                 pass
             self._process.join(timeout=5)
             if self._process.is_alive():  # pragma: no cover - defensive
@@ -775,10 +797,20 @@ class ShardedEngine:
                 "no healthy shards left"
                 f" (degraded: {self.degraded()})"
             )
+        # begin_drain can itself fail (a worker that died while idle is
+        # the realistic crash mode), so it gets the same containment as
+        # finish_drain -- and only shards whose begin succeeded are
+        # collected, keeping the pipe protocol in sync for survivors.
+        started: List[_ShardBase] = []
         for shard in active:
-            shard.begin_drain(op, max_rounds)
+            try:
+                shard.begin_drain(op, max_rounds)
+            except Exception as exc:  # noqa: BLE001 - per-shard containment
+                self._record_failure(shard, op, exc)
+            else:
+                started.append(shard)
         total = 0
-        for shard in active:
+        for shard in started:
             try:
                 total += shard.finish_drain()
             except Exception as exc:  # noqa: BLE001 - per-shard containment

@@ -286,6 +286,21 @@ class TestEngine:
         assert snap["truncations"] == 1
         assert snap["last_drain_truncated"] is False
 
+    def test_drain_all_finishing_on_the_last_round_is_quiescence(self):
+        # Queues emptying exactly at max_rounds is a clean drain: no
+        # EngineError, no truncation latch (a sharded coordinator must
+        # not degrade a fully-drained shard).
+        graph, _, sink = build_graph()
+        engine = PositioningEngine(graph, scheduler=RoundRobinScheduler(quantum=1))
+        engine.track("t1", "src")
+        engine.submit("t1", datum(0))
+        engine.submit("t1", datum(1))
+        assert engine.drain_all(max_rounds=2) == 2
+        snap = engine.snapshot()
+        assert snap["truncations"] == 0
+        assert snap["last_drain_truncated"] is False
+        assert payloads(sink.received) == [0, 1]
+
     def test_drain_all_clean_run_never_sets_the_latch(self):
         graph, _, _ = build_graph()
         engine = PositioningEngine(graph)

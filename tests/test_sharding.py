@@ -475,6 +475,45 @@ class TestShardFailureContainment:
             assert snap["pending"] == 3
             assert "not drained" in engine.shard(0).error
 
+    def test_begin_drain_failure_is_contained_and_survivors_collected(self):
+        # A shard can fail at begin_drain (a worker dead while idle is
+        # the realistic crash mode): it must be degraded like a
+        # finish_drain failure, and shards that DID begin must still be
+        # collected -- in begin-order, keeping survivors' results exact.
+        with ShardedEngine(recipe, 3) as engine:
+            for t in range(3):
+                engine.track(f"t{t}", "src", shard=t)
+            for t in range(3):
+                engine.submit(f"t{t}", datum(t))
+
+            def broken_begin(op, max_rounds):
+                raise ShardingError("worker exited unexpectedly")
+
+            engine.shard(1).begin_drain = broken_begin
+            assert engine.drain_all() == 2  # shards 0 and 2 delivered
+            assert engine.degraded() == [1]
+            [failure] = engine.failures()
+            assert failure["shard"] == 1
+            assert "worker exited unexpectedly" in failure["error"]
+            # The degraded shard is skipped, so later rounds stay clean.
+            engine.submit("t0", datum(9))
+            assert engine.drain_all() == 1
+            assert engine.degraded() == [1]
+
+    def test_shard_drain_all_on_exact_round_boundary_stays_healthy(self):
+        # Quantum 1 + 2 datums + max_rounds 2: the queues empty exactly
+        # on the last round -- quiescence, not truncation; the shard
+        # must not be degraded.
+        with ShardedEngine(
+            recipe, 2, scheduler=("round_robin", 1)
+        ) as engine:
+            engine.track("t0", "src", shard=0)
+            engine.submit("t0", datum(0))
+            engine.submit("t0", datum(1))
+            assert engine.drain_all(max_rounds=2) == 2
+            assert engine.degraded() == []
+            assert engine.snapshot()["truncated"] == []
+
     def test_per_shard_supervision_quarantines_inside_the_shard(self):
         policy = SupervisionPolicy(
             mode=QUARANTINE, failure_threshold=2, window_s=60.0
@@ -583,6 +622,22 @@ class TestMiddlewareIntegration:
         assert middleware.sharding is second
         middleware.disable_sharding()
 
+    def test_registry_tracks_the_live_coordinator(self):
+        # Re-enabling must re-register: a stale registration would hand
+        # registry consumers the previous, now-closed coordinator.
+        middleware = PerPos()
+        registry = middleware.framework.registry
+        first = middleware.enable_sharding(recipe, 2)
+        second = middleware.enable_sharding(recipe, 3)
+        assert registry.find_service("perpos.ShardedEngine") is second
+        assert first is not second
+        middleware.disable_sharding()
+        assert registry.find_service("perpos.ShardedEngine") is None
+        third = middleware.enable_sharding(recipe, 2)
+        assert registry.find_service("perpos.ShardedEngine") is third
+        middleware.disable_sharding()
+        assert registry.find_service("perpos.ShardedEngine") is None
+
     def test_report_without_sharding(self):
         middleware = PerPos()
         assert infrastructure_snapshot(middleware)["sharding"] is None
@@ -670,6 +725,40 @@ class TestMultiprocessingExecutor:
             assert stats["weight"] == 4
             engine.untrack("t1")
             assert engine.ingestion_lanes() == {}
+
+    def test_killed_worker_is_degraded_and_survivors_keep_draining(self):
+        # A worker dying while idle must not leak BrokenPipeError out of
+        # drain_round: the shard is degraded on the next round and the
+        # survivors keep delivering.
+        with ShardedEngine(
+            recipe, 2, executor="multiprocessing"
+        ) as engine:
+            engine.track("dead", "src", shard=0)
+            engine.track("live", "src", shard=1)
+            shard = engine.shard(0)
+            shard._process.terminate()
+            shard._process.join(timeout=5)
+            engine.submit("live", datum(1))
+            assert engine.drain_round() == 1
+            assert engine.degraded() == [0]
+            assert "worker" in shard.error
+            # The round after stays clean: the dead shard is skipped.
+            engine.submit("live", datum(2))
+            assert engine.drain_round() == 1
+            assert engine.degraded() == [0]
+
+    def test_close_with_abandoned_drain_exits_worker_cleanly(self):
+        # close() after a begun-but-uncollected drain must resync the
+        # pipe and complete the stop handshake -- exitcode 0 proves the
+        # worker was not SIGTERMed after a 5s join timeout.
+        engine = ShardedEngine(recipe, 1, executor="multiprocessing")
+        engine.track("t1", "src")
+        engine.submit("t1", datum(1))
+        shard = engine.shard(0)
+        shard.begin_drain("round", 1)  # abandoned: never finished
+        engine.close()
+        assert not shard._process.is_alive()
+        assert shard._process.exitcode == 0
 
 
 def test_single_shard_matches_plain_engine_exactly():
