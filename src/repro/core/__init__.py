@@ -24,6 +24,7 @@ from repro.core.config import (
     load_configuration,
 )
 from repro.core.history import TrackHistoryService, TrackPoint
+from repro.core.compile import CompiledPlan, FusedChain, compile_plan
 from repro.core.component import (
     ApplicationSink,
     ComponentError,
@@ -95,6 +96,9 @@ __all__ = [
     "GraphObserver",
     "GraphError",
     "Connection",
+    "CompiledPlan",
+    "FusedChain",
+    "compile_plan",
     "DataTree",
     "DataTreeElement",
     "Channel",

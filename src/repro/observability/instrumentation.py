@@ -93,6 +93,8 @@ class ObservabilityHub:
         # offer counters and per-target depth/drop gauges.
         self._ingestion_counters: Dict[Tuple[str, str], Any] = {}
         self._ingestion_gauges: Dict[str, Tuple[Any, Any]] = {}
+        # Plan-compilation memo (graph compiler seam).
+        self._plan_invalidation_counter: Any = None
 
     # -- graph hooks (hot path) --------------------------------------------
 
@@ -237,6 +239,28 @@ class ObservabilityHub:
         self.registry.gauge("graph_connections").set(n_connections)
         if version is not None:
             self.registry.gauge("graph_topology_version").set(version)
+
+    # -- plan compilation (graph compiler seam) -----------------------------
+
+    def plan_invalidated(self) -> None:
+        """The graph dropped its compiled dispatch plan."""
+        counter = self._plan_invalidation_counter
+        if counter is None:
+            counter = self._plan_invalidation_counter = self.registry.counter(
+                "graph_plan_invalidations"
+            )
+        counter.inc()
+
+    def plan_compiled(self, n_chains: int, fused_components: int) -> None:
+        """The graph (re)compiled its dispatch plan.
+
+        ``graph_compiled_chains`` / ``graph_fused_components`` gauges
+        describe the live plan; the companion
+        ``graph_fused_dispatches`` counter is advanced by the fused
+        chains themselves as they execute.
+        """
+        self.registry.gauge("graph_compiled_chains").set(n_chains)
+        self.registry.gauge("graph_fused_components").set(fused_components)
 
     # -- queries -----------------------------------------------------------
 

@@ -1,7 +1,7 @@
 """Unit tests for the CI benchmark gate (``benchmarks/check_regression.py``).
 
 The gate decides whether benchmark PRs merge, so it gets the same
-treatment as product code: schema sniffing across all three artefact
+treatment as product code: schema sniffing across all four artefact
 shapes, ratio/floor failure exits (1), harness errors -- missing or
 malformed artefacts, schema violations -- exiting 2, and the
 hardware-conditional shard floor.
@@ -47,6 +47,23 @@ def scale_artefact(speedup=3.0, floor=2.0):
     }
 
 
+def compile_artefact(speedup=2.5, floor=2.0):
+    return {
+        "compile": {
+            "batch": 32,
+            "speedup_floor": floor,
+            "gated_workload": "depth32",
+            "depths": {
+                "depth32": {
+                    "compiled": 100.0,
+                    "interpreted": 100.0 / speedup,
+                    "speedup": speedup,
+                },
+            },
+        }
+    }
+
+
 def shard_artefact(speedup=2.0, cpu_count=4, floor=1.5):
     return {
         "shard": {
@@ -77,6 +94,9 @@ class TestSchemaSniffing:
 
     def test_shard_schema_passes(self, tmp_path):
         assert run(tmp_path, shard_artefact(), shard_artefact()) == 0
+
+    def test_compile_schema_passes(self, tmp_path):
+        assert run(tmp_path, compile_artefact(), compile_artefact()) == 0
 
     def test_unrecognised_schema_fails(self, tmp_path):
         assert run(tmp_path, {"mystery": {}}, {"mystery": {}}) == 1
@@ -110,6 +130,20 @@ class TestRegressionExits:
         current = shard_artefact()
         current["shard"]["workloads"] = {}
         assert run(tmp_path, shard_artefact(), current) == 1
+
+    def test_compile_ratio_regression_exits_1(self, tmp_path):
+        base, cur = compile_artefact(4.0), compile_artefact(2.5)
+        assert run(tmp_path, base, cur) == 1
+
+    def test_compile_absolute_floor_exits_1(self, tmp_path):
+        # Ratio holds (same speedup), but the artefact's own floor bites.
+        artefact = compile_artefact(speedup=1.5, floor=2.0)
+        assert run(tmp_path, artefact, artefact) == 1
+
+    def test_compile_missing_depth_exits_1(self, tmp_path):
+        current = compile_artefact()
+        current["compile"]["depths"] = {}
+        assert run(tmp_path, compile_artefact(), current) == 1
 
     def test_dispatch_rerun_tolerance_exits_1(self, tmp_path):
         current = dispatch_artefact()

@@ -1,0 +1,491 @@
+"""Unit tests for plan compilation (repro.core.compile) and its seams.
+
+Covers the fusion eligibility rules and fallback reasons, the reflective
+surface (``plan_snapshot`` / ``psl.describe`` / ``psl.compiled_plans`` /
+the infrastructure report / engine snapshots), the hub's plan
+instruments, and the regression cases of mid-delivery structural
+mutation -- including the error paths of ``remove(reconnect=True)`` and
+``insert_between`` that short-circuit before a version bump.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import pytest
+
+from repro.core import PerPos
+from repro.core.compile import MIN_CHAIN_LENGTH, compile_plan
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    ProcessingComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature
+from repro.core.graph import GraphError, GraphObserver, ProcessingGraph
+from repro.core.psl import ProcessStructureLayer
+from repro.core.report import render_report
+from repro.observability.instrumentation import ObservabilityHub
+from repro.observability.metrics import MetricsRegistry
+from repro.robustness.supervision import Supervisor
+from repro.runtime.engine import PositioningEngine
+
+KINDS = ("x",)
+
+
+def identity(datum: Datum) -> Datum:
+    return datum
+
+
+def linear_graph(depth: int = 3, **graph_kwargs: Any) -> ProcessingGraph:
+    """src -> s0 -> ... -> s{depth-1} -> app, all stock components."""
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", KINDS))
+    graph.add(ApplicationSink("app", KINDS))
+    prev = "src"
+    for i in range(depth):
+        graph.add(FunctionComponent(f"s{i}", KINDS, KINDS, identity))
+        graph.connect(prev, f"s{i}")
+        prev = f"s{i}"
+    graph.connect(prev, "app")
+    return graph
+
+
+class PassFeature(ComponentFeature):
+    name = "Pass"
+
+
+class TestPlanCompilation:
+    def test_linear_chain_is_fused(self):
+        graph = linear_graph(3)
+        snapshot = graph.plan_snapshot()
+        assert snapshot["enabled"] is True
+        assert snapshot["fallback_reason"] is None
+        assert snapshot["chains"] == [
+            {"head": "s0", "members": ["s0", "s1", "s2"], "length": 3}
+        ]
+        assert snapshot["fused_components"] == 3
+        assert snapshot["version"] == graph.topology_version
+
+    def test_fused_dispatch_counter_advances(self):
+        graph = linear_graph(3)
+        src = graph.component("src")
+        sink = graph.component("app")
+        assert graph.plan_snapshot()["fused_dispatches"] == 0
+        src.inject(Datum("x", 1, 0.0))
+        src.inject_batch([Datum("x", 2, 0.0), Datum("x", 3, 0.0)])
+        assert graph.plan_snapshot()["fused_dispatches"] == 2
+        assert [d.payload for d in sink.received] == [1, 2, 3]
+
+    def test_single_node_chain_too_short(self):
+        graph = linear_graph(1)
+        snapshot = graph.plan_snapshot()
+        assert snapshot["chains"] == []
+        assert snapshot["excluded"]["s0"] == "chain-too-short"
+        assert MIN_CHAIN_LENGTH == 2
+
+    def test_fan_out_and_fan_in_break_chains(self):
+        graph = linear_graph(4)
+        # s1 fans out to a side sink; s2 keeps a single inbound edge
+        # from s1 so the tail pair (s2, s3) stays fusable.
+        graph.add(ApplicationSink("side", KINDS))
+        graph.connect("s1", "side")
+        snapshot = graph.plan_snapshot()
+        assert snapshot["excluded"]["s1"] == "fan-out"
+        assert [c["members"] for c in snapshot["chains"]] == [["s2", "s3"]]
+        assert snapshot["excluded"]["s0"] == "chain-too-short"
+        # A second producer into s2 makes it a fan-in merge point.
+        graph.add(SourceComponent("src2", KINDS))
+        graph.connect("src2", "s2")
+        assert graph.plan_snapshot()["excluded"]["s2"] == "fan-in"
+
+    def test_features_exclude_a_member(self):
+        graph = linear_graph(3)
+        graph.component("s1").attach_feature(PassFeature())
+        snapshot = graph.plan_snapshot()
+        assert snapshot["excluded"]["s1"] == "features-attached"
+        assert snapshot["chains"] == []
+        # Detaching restores the full chain.
+        graph.component("s1").detach_feature("Pass")
+        assert [c["members"] for c in graph.plan_snapshot()["chains"]] == [
+            ["s0", "s1", "s2"]
+        ]
+
+    def test_opaque_component_excluded(self):
+        class Custom(FunctionComponent):
+            def process(self, port_name: str, datum: Datum) -> None:
+                super().process(port_name, datum)
+
+        graph = linear_graph(3)
+        graph.remove("s1")
+        graph.add(Custom("s1", KINDS, KINDS, identity))
+        graph.connect("s0", "s1")
+        graph.connect("s1", "s2")
+        assert Custom("probe", KINDS, KINDS, identity).fused_fn() is None
+        assert graph.plan_snapshot()["excluded"]["s1"] == "no-fused-step"
+
+    def test_global_gates(self):
+        graph = linear_graph(3)
+        assert graph.set_compilation(False) is True
+        assert (
+            graph.plan_snapshot()["fallback_reason"]
+            == "compilation-disabled"
+        )
+        assert graph.set_compilation(True) is False
+
+        supervisor = Supervisor()
+        graph.set_supervisor(supervisor)
+        assert (
+            graph.plan_snapshot()["fallback_reason"]
+            == "supervisor-installed"
+        )
+        graph.set_supervisor(None)
+
+        hub = ObservabilityHub(MetricsRegistry(), tracing=True)
+        graph.set_instrumentation(hub)
+        assert (
+            graph.plan_snapshot()["fallback_reason"]
+            == "tracing-hub-installed"
+        )
+        graph.set_instrumentation(
+            ObservabilityHub(MetricsRegistry(), tracing=False)
+        )
+        # A metrics-only hub does not gate fusion.
+        assert graph.plan_snapshot()["fallback_reason"] is None
+        graph.set_instrumentation(None)
+
+        unsubscribe = graph.add_observer(GraphObserver())
+        assert (
+            graph.plan_snapshot()["fallback_reason"]
+            == "graph-observers-subscribed"
+        )
+        unsubscribe()
+        assert graph.plan_snapshot()["fallback_reason"] is None
+        assert len(graph.plan_snapshot()["chains"]) == 1
+
+    def test_compile_plan_is_pure_of_counters(self):
+        graph = linear_graph(2)
+        plan = compile_plan(graph)
+        assert plan.epoch == graph._plan_epoch
+        assert plan.version == graph.topology_version
+        assert repr(plan) == "CompiledPlan(chains=1)"
+        graph.set_compilation(False)
+        assert "fallback" in repr(compile_plan(graph))
+
+    def test_chain_repr(self):
+        graph = linear_graph(2)
+        (chain,) = graph._compiled_plan().chains.values()
+        assert repr(chain) == "FusedChain(s0 -> s1)"
+
+
+class TestInvalidation:
+    def test_structural_mutation_invalidates(self):
+        graph = linear_graph(3)
+        before = graph.plan_snapshot()["invalidations"]
+        graph.add(FunctionComponent("extra", KINDS, KINDS, identity))
+        assert graph.plan_snapshot()["invalidations"] > before
+
+    def test_tracing_flipped_in_place_bails_per_datum_and_batch(self):
+        # Flipping ``hub.tracing`` without re-installing the hub cannot
+        # bump the epoch; the chain must detect it at entry and fall
+        # back to interpreted (traced) delivery.
+        graph = linear_graph(3)
+        hub = ObservabilityHub(MetricsRegistry(), tracing=False)
+        graph.set_instrumentation(hub)
+        src = graph.component("src")
+        src.inject(Datum("x", 1, 0.0))  # compiles + warms the memo
+        hub.tracing = True
+        src.inject(Datum("x", 2, 0.0))
+        src.inject_batch([Datum("x", 3, 0.0)])
+        sink = graph.component("app")
+        assert [d.payload for d in sink.received] == [1, 2, 3]
+        # The traced datums carry flow traces through every member.
+        from repro.observability import trace_of
+
+        trace = trace_of(sink.received[-1])
+        assert trace is not None
+        assert trace.path == ["src", "s0", "s1", "s2"]
+
+    def test_feature_attach_mid_delivery_decompiles_in_flight(self):
+        # The epoch seam, not just the version seam: attaching a feature
+        # from inside a fused member must hand the datum back to
+        # interpreted dispatch so the new feature is honoured downstream.
+        graph = linear_graph(0)
+        graph.disconnect("src", "app")
+
+        class Veto(ComponentFeature):
+            name = "Veto"
+
+            def consume(self, datum: Datum) -> Optional[Datum]:
+                return None
+
+        def attach(datum: Datum) -> Datum:
+            if not graph.component("b").has_feature("Veto"):
+                graph.component("b").attach_feature(Veto())
+            return datum
+
+        graph.add(FunctionComponent("a", KINDS, KINDS, attach))
+        graph.add(FunctionComponent("b", KINDS, KINDS, identity))
+        graph.connect("src", "a")
+        graph.connect("a", "b")
+        graph.connect("b", "app")
+        assert [c["members"] for c in graph.plan_snapshot()["chains"]] == [
+            ["a", "b"]
+        ]
+        graph.component("src").inject(Datum("x", 1, 0.0))
+        # The very datum that triggered the attach was vetoed by the
+        # feature it installed: b's Veto ran, so no stale fused step
+        # bypassed it.
+        assert graph.component("app").received == []
+        assert graph.plan_snapshot()["excluded"]["b"] == "features-attached"
+
+
+class TestMidDeliveryMutationRegression:
+    """Satellite regression: remove(reconnect=True) / insert_between
+    fired mid-delivery must always decompile, even via error paths."""
+
+    def test_remove_reconnect_mid_delivery_reroutes(self):
+        graph = linear_graph(3)
+        removed: List[str] = []
+
+        def remove_tail(datum: Datum) -> Datum:
+            if not removed:
+                removed.append("s2")
+                graph.remove("s2", reconnect=True)
+            return datum
+
+        graph.component("s1")._fn = remove_tail  # type: ignore[attr-defined]
+        graph.invalidate_plan()  # fn swapped in place: decompile
+        src = graph.component("src")
+        src.inject_batch([Datum("x", 1, 0.0), Datum("x", 2, 0.0)])
+        src.inject(Datum("x", 3, 0.0))
+        # Every datum reached the sink exactly once: the in-flight batch
+        # bailed at the s1 -> s2 boundary onto the spliced s1 -> app
+        # edge, and later traffic used the recompiled plan.
+        assert [d.payload for d in graph.component("app").received] == [
+            1,
+            2,
+            3,
+        ]
+        assert [c["members"] for c in graph.plan_snapshot()["chains"]] == [
+            ["s0", "s1"]
+        ]
+
+    def test_insert_between_mid_delivery_takes_effect_at_boundary(self):
+        graph = linear_graph(3)
+        seen: List[int] = []
+        spliced: List[str] = []
+
+        def splice(datum: Datum) -> Datum:
+            if not spliced:
+                spliced.append("tap")
+                graph.insert_between(
+                    "s1",
+                    "s2",
+                    FunctionComponent(
+                        "tap",
+                        KINDS,
+                        KINDS,
+                        lambda d: (seen.append(d.payload), d)[1],
+                    ),
+                )
+            return datum
+
+        graph.component("s1")._fn = splice  # type: ignore[attr-defined]
+        graph.invalidate_plan()
+        graph.component("src").inject_batch(
+            [Datum("x", 1, 0.0), Datum("x", 2, 0.0)]
+        )
+        # The whole in-flight batch crossed the freshly spliced tap:
+        # interpreted batched dispatch applies mutations at the next
+        # member boundary, and the fused chain matches it.
+        assert seen == [1, 2]
+        assert [d.payload for d in graph.component("app").received] == [1, 2]
+
+    def test_remove_error_path_still_invalidates(self):
+        graph = linear_graph(3)
+        graph.component("src").inject(Datum("x", 1, 0.0))  # warm plan
+        original_connect = graph.connect
+
+        def exploding_connect(*args: Any, **kwargs: Any) -> Any:
+            raise RuntimeError("reconnect blew up")
+
+        before = graph._plan_invalidations
+        graph.connect = exploding_connect  # type: ignore[method-assign]
+        with pytest.raises(RuntimeError):
+            graph.remove("s1", reconnect=True)
+        graph.connect = original_connect  # type: ignore[method-assign]
+        # The half-applied removal decompiled: no stale fused chain
+        # (which still embeds the removed s1) can execute.
+        assert graph._plan is None
+        assert graph._plan_invalidations > before
+        graph.component("src").inject(Datum("x", 2, 0.0))
+        # s1 is gone and the reconnect never happened, so the datum
+        # stops at s0 -- but it must not crash or resurrect s1.
+        assert [d.payload for d in graph.component("app").received] == [1]
+        assert "s1" not in graph
+
+    def test_insert_between_error_path_still_invalidates(self):
+        graph = linear_graph(3)
+        graph.component("src").inject(Datum("x", 1, 0.0))  # warm plan
+        before = graph._plan_invalidations
+        with pytest.raises(GraphError):
+            # Splicing the already-present s0 into s1 -> s2 disconnects
+            # the edge, then fails on the cycle check (s1 -> s0) --
+            # a GraphError escaping *between* constituent mutations.
+            graph.insert_between(
+                "s1", "s2", FunctionComponent("s0", KINDS, KINDS, identity)
+            )
+        assert graph._plan is None
+        assert graph._plan_invalidations > before
+        # The half-applied splice (edge removed, replacement failed) is
+        # what routing now sees: traffic stops at s1 instead of riding a
+        # stale fused chain through the disconnected s2.
+        assert graph.downstream("s1") == []
+        graph.component("src").inject(Datum("x", 2, 0.0))
+        assert [d.payload for d in graph.component("app").received] == [1]
+        snapshot = graph.plan_snapshot()
+        assert snapshot["version"] == graph.topology_version
+        assert snapshot["excluded"]["s0"] == "chain-too-short"
+
+
+class TestHubInstruments:
+    def test_plan_gauges_and_counters(self):
+        graph = linear_graph(3)
+        hub = ObservabilityHub(MetricsRegistry(), tracing=False)
+        graph.set_instrumentation(hub)
+        registry = hub.registry
+        src = graph.component("src")
+        src.inject(Datum("x", 1, 0.0))
+        assert registry.gauge("graph_compiled_chains").value == 1
+        assert registry.gauge("graph_fused_components").value == 3
+        assert registry.counter("graph_fused_dispatches").value == 1
+        invalidations = registry.counter("graph_plan_invalidations").value
+        assert invalidations >= 1
+        graph.add(FunctionComponent("extra", KINDS, KINDS, identity))
+        assert (
+            registry.counter("graph_plan_invalidations").value
+            > invalidations
+        )
+        # Plan instruments carry no component label, so they never leak
+        # into the per-component roll-up.
+        assert "graph_fused_dispatches" not in str(
+            sorted(hub.component_stats())
+        )
+
+    def test_fused_member_counters_match_interpreted_names(self):
+        graph = linear_graph(2)
+        hub = ObservabilityHub(MetricsRegistry(), tracing=False)
+        graph.set_instrumentation(hub)
+        graph.component("src").inject_batch(
+            [Datum("x", 1, 0.0), Datum("x", 2, 0.0)]
+        )
+        stats = hub.component_stats()
+        for member in ("s0", "s1"):
+            assert stats[member]["items_in"] == 2
+            assert stats[member]["items_out"] == 2
+            assert stats[member]["errors"] == 0
+            assert stats[member]["latency"]["count"] == 1
+
+
+class TestReflectiveSurface:
+    def test_psl_describe_carries_compiled_role(self):
+        graph = linear_graph(3)
+        psl = ProcessStructureLayer(graph)
+        role = psl.describe("s1")["compiled_plans"]
+        assert role["enabled"] is True
+        assert role["chain"]["members"] == ["s0", "s1", "s2"]
+        graph.component("s1").attach_feature(PassFeature())
+        role = psl.describe("s1")["compiled_plans"]
+        assert role["excluded"] == "features-attached"
+        assert "chain" not in role
+        graph.set_compilation(False)
+        role = psl.describe("s1")["compiled_plans"]
+        assert role["fallback_reason"] == "compilation-disabled"
+
+    def test_psl_compiled_plans_and_toggle(self):
+        graph = linear_graph(2)
+        psl = ProcessStructureLayer(graph)
+        assert psl.compiled_plans()["fused_components"] == 2
+        assert psl.set_compilation(False) is True
+        assert psl.compiled_plans()["chains"] == []
+        assert psl.set_compilation(True) is False
+
+    def test_engine_snapshot_carries_plan(self):
+        graph = linear_graph(2)
+        engine = PositioningEngine(graph)
+        plan = engine.snapshot()["plan"]
+        assert plan["fused_components"] == 2
+        assert plan["enabled"] is True
+
+    def test_report_renders_compiled_line(self):
+        middleware = PerPos()
+        graph = middleware.graph
+        graph.add(SourceComponent("src", KINDS))
+        graph.add(FunctionComponent("f0", KINDS, KINDS, identity))
+        graph.add(FunctionComponent("f1", KINDS, KINDS, identity))
+        provider = middleware.create_provider("app", accepts=KINDS)
+        graph.connect("src", "f0")
+        graph.connect("f0", "f1")
+        graph.connect("f1", provider.sink.name)
+        text = render_report(middleware)
+        assert "compiled:" in text
+        # The PCL subscribes as a graph observer, so a full PerPos stack
+        # reports interpreted dispatch with the observer reason.
+        assert "interpreted (graph-observers-subscribed)" in text
+
+    def test_report_renders_fused_chain_line(self):
+        middleware = PerPos()
+        graph = middleware.graph
+        # Close the PCL (it unsubscribes its graph observer) so the
+        # rendering shows a fused chain, as a bare shard/engine graph
+        # would.
+        middleware.pcl.close()
+        graph.add(SourceComponent("src", KINDS))
+        graph.add(FunctionComponent("f0", KINDS, KINDS, identity))
+        graph.add(FunctionComponent("f1", KINDS, KINDS, identity))
+        graph.add(ApplicationSink("app", KINDS))
+        graph.connect("src", "f0")
+        graph.connect("f0", "f1")
+        graph.connect("f1", "app")
+        text = render_report(middleware)
+        assert "1 chains / 2 components fused (f0 -> f1)" in text
+
+    def test_core_exports(self):
+        import repro.core as core
+
+        assert core.CompiledPlan is not None
+        assert core.FusedChain is not None
+        assert core.compile_plan is compile_plan
+
+
+class TestFusedFnOptIn:
+    def test_base_component_stays_opaque(self):
+        class Opaque(ProcessingComponent):
+            def process(self, port_name: str, datum: Datum) -> None:
+                self.produce(datum)
+
+        from repro.core.component import InputPort, OutputPort
+
+        comp = Opaque(
+            "o", (InputPort("in", KINDS),), OutputPort(KINDS)
+        )
+        assert comp.fused_fn() is None
+
+    def test_stock_function_component_opts_in(self):
+        comp = FunctionComponent("f", KINDS, KINDS, identity)
+        assert comp.fused_fn() is identity
+
+    def test_overriding_any_data_path_method_opts_out(self):
+        class CustomReceive(FunctionComponent):
+            def receive(self, port_name: str, datum: Datum) -> None:
+                super().receive(port_name, datum)
+
+        class CustomProduce(FunctionComponent):
+            def produce(self, datum: Datum) -> None:
+                super().produce(datum)
+
+        for cls in (CustomReceive, CustomProduce):
+            assert cls("f", KINDS, KINDS, identity).fused_fn() is None

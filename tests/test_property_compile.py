@@ -1,0 +1,471 @@
+"""Property tests: compiled dispatch == interpreted dispatch.
+
+The contract of :mod:`repro.core.compile` is observational equivalence:
+for any graph, executing a workload with plan compilation enabled must
+be indistinguishable -- sink contents, raised exceptions, per-component
+metric counters -- from executing it with ``set_compilation(False)``.
+
+Every test here builds *two* structurally identical graphs from one
+randomly generated spec, runs the identical action script against both
+(one compiled, one forced interpreted), and compares every observable.
+Scripts interleave per-datum and batched injection with the reflection
+seams that interact with the plan: feature attach/detach, structural
+mutation (remove-with-reconnect, insert_between), breaker trips under a
+supervisor, and component functions that mutate the graph *mid
+delivery* -- the in-flight decompilation path.
+
+Metric comparison covers counters only (``items_in`` / ``items_out`` /
+``errors`` / ``items_dropped``): latency histogram *values* are
+wall-clock and the fused path intentionally records per-member fn time
+instead of nested whole-subtree time, so ``latency`` is excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum
+from repro.core.features import ComponentFeature, FeatureError
+from repro.core.graph import GraphError, ProcessingGraph
+from repro.observability.instrumentation import ObservabilityHub
+from repro.observability.metrics import MetricsRegistry
+from repro.robustness.supervision import SupervisionPolicy, Supervisor
+
+KINDS = ("x", "y")
+ACCEPT_SETS = (("x", "y"), ("x",))
+BEHAVIORS = (
+    "identity",
+    "inc",
+    "drop_odd",
+    "dup",
+    "swap",
+    "explode",
+    "bad_kind",
+)
+
+
+def make_fn(behavior: str) -> Callable[[Datum], Any]:
+    """The per-datum step for one generated stage behaviour."""
+    if behavior == "identity":
+        return lambda d: d
+    if behavior == "inc":
+        return lambda d: d.with_payload(d.payload + 1)
+    if behavior == "drop_odd":
+        return lambda d: None if d.payload % 2 else d
+    if behavior == "dup":
+        return lambda d: (d, d.with_payload(d.payload + 100))
+    if behavior == "swap":
+        return lambda d: Datum(
+            "y" if d.kind == "x" else "x", d.payload, d.timestamp
+        )
+    if behavior == "explode":
+
+        def _explode(d: Datum) -> Datum:
+            if d.payload % 5 == 0:
+                raise ValueError(f"boom {d.payload}")
+            return d
+
+        return _explode
+    assert behavior == "bad_kind"
+    return lambda d: (
+        Datum("z", d.payload, d.timestamp) if d.payload % 5 == 0 else d
+    )
+
+
+class VetoFeature(ComponentFeature):
+    """Drops every payload divisible by three on its way in."""
+
+    name = "Veto"
+
+    def consume(self, datum: Datum) -> Optional[Datum]:
+        return None if datum.payload % 3 == 0 else datum
+
+
+StageSpec = Tuple[str, Tuple[str, ...]]
+
+
+def build_pipeline(
+    stages: List[StageSpec],
+    branch_at: Optional[int],
+    *,
+    hub: bool,
+) -> Tuple[ProcessingGraph, List[ApplicationSink], Optional[ObservabilityHub]]:
+    """One graph from the spec: src -> s0 -> ... -> app (+ side branch)."""
+    graph = ProcessingGraph()
+    hub_obj: Optional[ObservabilityHub] = None
+    if hub:
+        hub_obj = ObservabilityHub(MetricsRegistry(), tracing=False)
+        graph.set_instrumentation(hub_obj)
+    graph.add(SourceComponent("src", KINDS))
+    sink = ApplicationSink("app", KINDS)
+    graph.add(sink)
+    prev = "src"
+    for i, (behavior, accepts) in enumerate(stages):
+        graph.add(
+            FunctionComponent(f"s{i}", accepts, KINDS, make_fn(behavior))
+        )
+        graph.connect(prev, f"s{i}")
+        prev = f"s{i}"
+    graph.connect(prev, "app")
+    sinks = [sink]
+    if branch_at is not None:
+        side = ApplicationSink("side", KINDS)
+        graph.add(side)
+        graph.connect(f"s{branch_at % len(stages)}", "side")
+        sinks.append(side)
+    return graph, sinks, hub_obj
+
+
+def run_script(
+    graph: ProcessingGraph, script: List[Tuple[Any, ...]], n_stages: int
+) -> List[Tuple[str, str]]:
+    """Apply one action script; returns the (type, message) of every
+    exception an injection raised, in order."""
+    src = graph.component("src")
+    raised: List[Tuple[str, str]] = []
+    inserted = 0
+    for action in script:
+        op = action[0]
+        if op in ("inject", "batch"):
+            _, payloads, kind = action
+            datums = [Datum(kind, p, float(p)) for p in payloads]
+            try:
+                if op == "inject":
+                    for datum in datums:
+                        src.inject(datum)
+                else:
+                    src.inject_batch(datums)
+            except Exception as exc:  # noqa: BLE001 - compared across runs
+                raised.append((type(exc).__name__, str(exc)))
+        elif op in ("attach", "detach", "remove"):
+            name = f"s{action[1] % n_stages}"
+            if name not in graph:
+                continue
+            try:
+                if op == "attach":
+                    graph.component(name).attach_feature(VetoFeature())
+                elif op == "detach":
+                    graph.component(name).detach_feature("Veto")
+                else:
+                    graph.remove(name, reconnect=True)
+            except (FeatureError, GraphError):
+                continue
+        else:
+            assert op == "insert"
+            edges = sorted(
+                graph.connections(),
+                key=lambda c: (c.producer, c.consumer, c.port),
+            )
+            if not edges:
+                continue
+            edge = edges[action[1] % len(edges)]
+            component = FunctionComponent(
+                f"ins{inserted}", KINDS, KINDS, lambda d: d
+            )
+            inserted += 1
+            graph.insert_between(edge.producer, edge.consumer, component)
+    return raised
+
+
+def observed(
+    sinks: List[ApplicationSink], hub: Optional[ObservabilityHub]
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Everything a run exposes: sink multisets + metric counters."""
+    data = {
+        sink.name: sorted(
+            (d.kind, d.payload, d.producer, d.timestamp)
+            for d in sink.received
+        )
+        for sink in sinks
+    }
+    stats: Optional[Dict[str, Any]] = None
+    if hub is not None:
+        # Compare counter *values*, not instrument existence: fused
+        # chains pre-create every member's instruments (value 0), while
+        # interpreted dispatch creates them lazily on first increment --
+        # absent and zero mean the same thing.  Latency histogram values
+        # are wall-clock and excluded by design (module docstring).
+        stats = {}
+        for name, entry in hub.component_stats().items():
+            counters = {
+                k: v for k, v in entry.items() if k != "latency" and v != 0
+            }
+            if counters:
+                stats[name] = counters
+    return data, stats
+
+
+payloads = st.lists(
+    st.integers(min_value=0, max_value=20), min_size=1, max_size=6
+)
+actions = st.one_of(
+    st.tuples(st.just("inject"), payloads, st.sampled_from(KINDS)),
+    st.tuples(st.just("batch"), payloads, st.sampled_from(KINDS)),
+    st.tuples(st.just("attach"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("detach"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("remove"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("insert"), st.integers(min_value=0, max_value=7)),
+)
+stage_specs = st.lists(
+    st.tuples(st.sampled_from(BEHAVIORS), st.sampled_from(ACCEPT_SETS)),
+    min_size=2,
+    max_size=7,
+)
+
+
+@given(
+    stages=stage_specs,
+    branch_at=st.none() | st.integers(min_value=0, max_value=6),
+    script=st.lists(actions, min_size=1, max_size=10),
+    hub=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_compiled_equivalent_to_interpreted(
+    stages: List[StageSpec],
+    branch_at: Optional[int],
+    script: List[Tuple[Any, ...]],
+    hub: bool,
+) -> None:
+    """Random pipelines + scripts: every observable matches exactly."""
+    compiled_graph, compiled_sinks, compiled_hub = build_pipeline(
+        stages, branch_at, hub=hub
+    )
+    interp_graph, interp_sinks, interp_hub = build_pipeline(
+        stages, branch_at, hub=hub
+    )
+    interp_graph.set_compilation(False)
+    assert (
+        interp_graph.plan_snapshot()["fallback_reason"]
+        == "compilation-disabled"
+    )
+
+    compiled_raised = run_script(compiled_graph, script, len(stages))
+    interp_raised = run_script(interp_graph, script, len(stages))
+
+    assert compiled_raised == interp_raised
+    assert observed(compiled_sinks, compiled_hub) == observed(
+        interp_sinks, interp_hub
+    )
+    # The compiled plan tracked every structural mutation the script made.
+    assert (
+        compiled_graph.plan_snapshot()["version"]
+        == compiled_graph.topology_version
+    )
+
+
+def build_mutating_pipeline(
+    depth: int, mut_pos: int, mutation: str, trigger: int
+) -> Tuple[ProcessingGraph, ApplicationSink]:
+    """A linear chain whose stage ``mut_pos`` mutates the graph from
+    inside its own fn the first time it sees ``trigger`` -- forcing the
+    fused chain to decompile mid delivery."""
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", KINDS))
+    sink = ApplicationSink("app", KINDS)
+    graph.add(sink)
+    m = mut_pos % depth
+    fired: List[bool] = []
+
+    def mutate(d: Datum) -> Datum:
+        if d.payload == trigger and not fired:
+            fired.append(True)
+            try:
+                if mutation == "remove_next":
+                    graph.remove(f"s{(m + 1) % depth}", reconnect=True)
+                elif mutation == "remove_prev":
+                    graph.remove(f"s{(m - 1) % depth}", reconnect=True)
+                elif mutation == "remove_self":
+                    graph.remove(f"s{m}", reconnect=True)
+                else:
+                    assert mutation == "insert_after"
+                    edges = sorted(
+                        graph.connections(),
+                        key=lambda c: (c.producer, c.consumer, c.port),
+                    )
+                    edge = edges[trigger % len(edges)]
+                    graph.insert_between(
+                        edge.producer,
+                        edge.consumer,
+                        FunctionComponent("ins0", KINDS, KINDS, lambda x: x),
+                    )
+            except GraphError:
+                pass
+        return d
+
+    for i in range(depth):
+        fn: Callable[[Datum], Datum] = mutate if i == m else (lambda d: d)
+        graph.add(FunctionComponent(f"s{i}", KINDS, KINDS, fn))
+        graph.connect("src" if i == 0 else f"s{i - 1}", f"s{i}")
+    graph.connect(f"s{depth - 1}", "app")
+    return graph, sink
+
+
+@given(
+    depth=st.integers(min_value=3, max_value=6),
+    mut_pos=st.integers(min_value=0, max_value=5),
+    mutation=st.sampled_from(
+        ("remove_next", "remove_prev", "remove_self", "insert_after")
+    ),
+    trigger=st.integers(min_value=0, max_value=9),
+    workload=st.lists(
+        st.tuples(
+            st.booleans(),  # batched?
+            st.lists(
+                st.integers(min_value=0, max_value=9),
+                min_size=1,
+                max_size=8,
+            ),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_mid_delivery_mutation_decompiles_equivalently(
+    depth: int,
+    mut_pos: int,
+    mutation: str,
+    trigger: int,
+    workload: List[Tuple[bool, List[int]]],
+) -> None:
+    """A structural mutation fired from *inside* a fused member lands at
+    the same point interpreted dispatch would apply it: the surviving
+    data reaches the same sinks either way."""
+    compiled_graph, compiled_sink = build_mutating_pipeline(
+        depth, mut_pos, mutation, trigger
+    )
+    interp_graph, interp_sink = build_mutating_pipeline(
+        depth, mut_pos, mutation, trigger
+    )
+    interp_graph.set_compilation(False)
+
+    for batched, group in workload:
+        for graph in (compiled_graph, interp_graph):
+            src = graph.component("src")
+            datums = [Datum("x", p, float(p)) for p in group]
+            if batched:
+                src.inject_batch(datums)
+            else:
+                for datum in datums:
+                    src.inject(datum)
+
+    assert observed([compiled_sink], None) == observed([interp_sink], None)
+    assert (
+        compiled_graph.plan_snapshot()["version"]
+        == compiled_graph.topology_version
+    )
+
+
+def _ticker() -> Callable[[], float]:
+    t = [0.0]
+
+    def fn() -> float:
+        t[0] += 1.0
+        return t[0]
+
+    return fn
+
+
+def build_supervised_pipeline(
+    threshold: int,
+) -> Tuple[ProcessingGraph, ApplicationSink, Supervisor]:
+    """src -> ok0 -> bad -> ok1 -> app under a quarantine supervisor."""
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", KINDS))
+    sink = ApplicationSink("app", KINDS)
+    graph.add(sink)
+
+    def bad_fn(d: Datum) -> Datum:
+        if d.payload % 2:
+            raise ValueError(f"poisoned {d.payload}")
+        return d
+
+    graph.add(FunctionComponent("ok0", KINDS, KINDS, lambda d: d))
+    graph.add(FunctionComponent("bad", KINDS, KINDS, bad_fn))
+    graph.add(FunctionComponent("ok1", KINDS, KINDS, lambda d: d))
+    graph.connect("src", "ok0")
+    graph.connect("ok0", "bad")
+    graph.connect("bad", "ok1")
+    graph.connect("ok1", "app")
+    supervisor = Supervisor(
+        SupervisionPolicy(
+            mode="quarantine",
+            failure_threshold=threshold,
+            window_s=1e6,
+            half_open_after_s=1e9,
+        ),
+        time_fn=_ticker(),
+    )
+    graph.set_supervisor(supervisor)
+    return graph, sink, supervisor
+
+
+@given(
+    threshold=st.integers(min_value=1, max_value=3),
+    batched=st.booleans(),
+    group=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=2, max_size=10
+    ),
+    after=st.lists(
+        st.integers(min_value=0, max_value=9), min_size=1, max_size=6
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_breaker_trips_gate_fusion_and_stay_equivalent(
+    threshold: int, batched: bool, group: List[int], after: List[int]
+) -> None:
+    """Under a supervisor the plan is gated (trivially equivalent), and
+    lifting the supervisor mid-run re-fuses without losing equivalence
+    -- breaker state included."""
+    compiled_graph, compiled_sink, compiled_sup = build_supervised_pipeline(
+        threshold
+    )
+    interp_graph, interp_sink, interp_sup = build_supervised_pipeline(
+        threshold
+    )
+    interp_graph.set_compilation(False)
+    assert (
+        compiled_graph.plan_snapshot()["fallback_reason"]
+        == "supervisor-installed"
+    )
+
+    for graph in (compiled_graph, interp_graph):
+        src = graph.component("src")
+        datums = [Datum("x", p, float(p)) for p in group]
+        if batched:
+            src.inject_batch(datums)
+        else:
+            for datum in datums:
+                src.inject(datum)
+
+    assert compiled_sup.health_states() == interp_sup.health_states()
+    assert compiled_sup.failure_count("bad") == interp_sup.failure_count(
+        "bad"
+    )
+    assert observed([compiled_sink], None) == observed([interp_sink], None)
+
+    # Lift supervision: the compiled graph fuses again, the interpreted
+    # twin stays interpreted, and the post-trip traffic still matches.
+    compiled_graph.set_supervisor(None)
+    interp_graph.set_supervisor(None)
+    snapshot = compiled_graph.plan_snapshot()
+    assert snapshot["fallback_reason"] is None
+    assert [c["members"] for c in snapshot["chains"]] == [
+        ["ok0", "bad", "ok1"]
+    ]
+    for graph in (compiled_graph, interp_graph):
+        src = graph.component("src")
+        for p in after:
+            try:
+                src.inject(Datum("x", p, float(p)))
+            except ValueError:
+                pass  # unsupervised failures propagate -- on both sides
+    assert observed([compiled_sink], None) == observed([interp_sink], None)
