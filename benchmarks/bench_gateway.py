@@ -1,0 +1,322 @@
+"""E15 -- ingestion gateway overhead under mixed external traffic.
+
+The gateway (PR "Ingestion gateway") puts schema validation, crosswalk
+normalisation, device-policy admission and DLQ accounting between raw
+wire payloads and ``engine.submit``.  Two claims are pinned:
+
+* **Clean-traffic overhead**: for well-formed ``phone_tracker_v1``
+  payloads the whole gateway pipeline costs at most
+  ``OVERHEAD_CEILING``x the direct ``engine.submit`` path over the same
+  src -> stage1 -> stage2 -> app pipeline (the E13 recipe shape).  The
+  overhead estimate must survive noisy container CPUs, so rounds run as
+  alternating direct/gateway pairs and the figure is the *smaller* of
+  two independently robust estimators -- ratio-of-best-rates and
+  median-of-paired-ratios.  A single fast direct round inflates the
+  first, sustained frequency drift inflates the second; a genuine
+  regression shifts both, so taking the min suppresses noise without
+  hiding real slowdowns (the cross-run ratio gate in
+  ``check_regression.py`` watches the same figure).
+* **Graceful degradation**: malformed-heavy, unknown-device and burst
+  traffic keep the gateway throughput within the same order of
+  magnitude (each degraded workload records its rate *relative to the
+  same run's clean rate* -- runner-independent, gated in CI), the DLQ
+  ring stays bounded at its capacity, and the accounting invariant
+  ``submitted == accepted + rejected + shed + pending`` holds exactly.
+
+Regenerated series: datums/s per traffic mix plus the clean-path
+overhead factor, machine-readable in
+``benchmarks/results/BENCH_gateway.json`` (gated by
+``check_regression.py`` in CI).
+"""
+
+import statistics
+import time
+
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.data import Datum, Kind
+from repro.core.graph import ProcessingGraph
+from repro.gateway import AutoTrackPolicy, IngestionGateway
+from repro.runtime import PositioningEngine
+
+POS = Kind.POSITION_WGS84
+N_PAYLOADS = 2000
+N_DEVICES = 32
+PAIRS = 12
+OVERHEAD_CEILING = 1.15
+DLQ_CAPACITY = 256
+BURST_ADMISSION_CAPACITY = 256
+GATED_WORKLOAD = "clean"
+
+
+def _work(d):
+    # ~1us of arithmetic per stage (the E13 recipe's per-datum compute).
+    acc = int(d.payload["lat"] * 1000) if isinstance(d.payload, dict) else 0
+    for _ in range(20):
+        acc = (acc * 31 + 7) % 1_000_003
+    return d.annotated(acc=acc)
+
+
+def build():
+    """The E13 recipe shape: src -> stage1 -> stage2 -> app."""
+    graph = ProcessingGraph()
+    graph.add(SourceComponent("src", (POS,)))
+    graph.add(FunctionComponent("stage1", (POS,), (POS,), fn=_work))
+    graph.add(FunctionComponent("stage2", (POS,), (POS,), fn=_work))
+    graph.add(ApplicationSink("app", (POS,), keep_last=100_000))
+    graph.connect("src", "stage1")
+    graph.connect("stage1", "stage2")
+    graph.connect("stage2", "app")
+    return graph
+
+
+class _Clock:
+    now = 0.0
+
+
+def clean_payloads(n=N_PAYLOADS, devices=N_DEVICES):
+    return [
+        {
+            "source_format": "phone_tracker_v1",
+            "device_id": f"d{i % devices}",
+            "timestamp": 1000.0 + i,
+            "lat": 55.0,
+            "lon": 12.0,
+            "accuracy_m": 5.0,
+            "battery_pct": 0.8,
+        }
+        for i in range(n)
+    ]
+
+
+def fresh_gateway(
+    engine,
+    *,
+    admission_capacity=N_PAYLOADS,
+    admission_policy="block",
+    max_devices=None,
+):
+    return IngestionGateway(
+        engine,
+        "src",
+        device_policy=AutoTrackPolicy(
+            capacity=N_PAYLOADS, max_devices=max_devices
+        ),
+        admission_capacity=admission_capacity,
+        admission_policy=admission_policy,
+        dlq_capacity=DLQ_CAPACITY,
+        clock=_Clock(),
+    )
+
+
+def direct_round(raws):
+    """Baseline: hand-built datums straight into engine lanes."""
+    engine = PositioningEngine(build())
+    for i in range(N_DEVICES):
+        engine.track(f"d{i}", "src", capacity=N_PAYLOADS)
+    submit = engine.submit
+    start = time.perf_counter()
+    for raw in raws:
+        datum = Datum(
+            POS,
+            raw,
+            raw["timestamp"],
+            producer="direct",
+            attributes={"device": raw["device_id"]},
+        )
+        submit(raw["device_id"], datum)
+    engine.drain_all()
+    return len(raws) / (time.perf_counter() - start)
+
+
+def gateway_round(raws, **gateway_kwargs):
+    """The same traffic through the full gateway pipeline."""
+    engine = PositioningEngine(build())
+    gateway = fresh_gateway(engine, **gateway_kwargs)
+    submit = gateway.submit
+    start = time.perf_counter()
+    for raw in raws:
+        submit(raw)
+    gateway.forward()
+    engine.drain_all()
+    rate = len(raws) / (time.perf_counter() - start)
+    return rate, gateway
+
+
+def clean_overhead(raws):
+    """Noise-robust clean-traffic overhead over alternating pairs."""
+    ratios = []
+    best_direct = best_gateway = 0.0
+    for pair in range(PAIRS):
+        if pair % 2 == 0:
+            direct = direct_round(raws)
+            gw, gateway = gateway_round(raws)
+        else:
+            gw, gateway = gateway_round(raws)
+            direct = direct_round(raws)
+        assert gateway.accepted == len(raws)
+        assert gateway.rejected == 0 and gateway.shed == 0
+        ratios.append(direct / gw)
+        best_direct = max(best_direct, direct)
+        best_gateway = max(best_gateway, gw)
+    best_ratio = best_direct / best_gateway
+    median_ratio = statistics.median(ratios)
+    return {
+        "rate": round(best_gateway, 1),
+        "direct_rate": round(best_direct, 1),
+        "best_ratio": round(best_ratio, 3),
+        "median_ratio": round(median_ratio, 3),
+        "overhead": round(min(best_ratio, median_ratio), 3),
+    }
+
+
+def malformed_payloads(n=N_PAYLOADS):
+    """50% clean, 50% rejected across every early pipeline stage."""
+    raws = []
+    for i, raw in enumerate(clean_payloads(n)):
+        if i % 2 == 0:
+            raws.append(raw)
+        elif i % 8 == 1:
+            raws.append({**raw, "source_format": "mystery_v9"})  # format
+        elif i % 8 == 3:
+            raws.append({k: v for k, v in raw.items() if k != "lat"})  # schema
+        elif i % 8 == 5:
+            raws.append({**raw, "lat": "north"})  # schema (type)
+        else:
+            raws.append({**raw, "lon": 999.0})  # schema (range)
+    return raws
+
+
+def degraded_workloads(clean_rate):
+    """Rates + accounting for the malformed / unknown / burst mixes."""
+    workloads = {}
+
+    raws = malformed_payloads()
+    n_bad = sum(
+        1
+        for raw in raws
+        if raw.get("source_format") != "phone_tracker_v1"
+        or "lat" not in raw
+        or raw["lat"] == "north"
+        or raw.get("lon") == 999.0
+    )
+    rate, gateway = best_of_rounds(raws)
+    assert gateway.rejected == n_bad
+    assert gateway.accepted == len(raws) - n_bad
+    assert len(gateway.dlq) <= DLQ_CAPACITY, "DLQ ring must stay bounded"
+    workloads["malformed_heavy"] = {
+        "rate": round(rate, 1),
+        "rejected": gateway.rejected,
+        "accepted": gateway.accepted,
+        "dlq_depth": len(gateway.dlq),
+        "relative_rate": round(rate / clean_rate, 3),
+    }
+
+    # Every payload past the first 8 devices is turned away by policy.
+    raws = clean_payloads()
+    rate, gateway = best_of_rounds(raws, max_devices=8)
+    assert gateway.accepted + gateway.rejected == len(raws)
+    assert gateway.rejected > 0
+    workloads["unknown_flood"] = {
+        "rate": round(rate, 1),
+        "rejected": gateway.rejected,
+        "accepted": gateway.accepted,
+        "relative_rate": round(rate / clean_rate, 3),
+    }
+
+    # A burst against a small drop_oldest admission queue: evictees are
+    # shed to the DLQ, the freshest window survives.
+    raws = clean_payloads()
+    rate, gateway = best_of_rounds(
+        raws,
+        admission_capacity=BURST_ADMISSION_CAPACITY,
+        admission_policy="drop_oldest",
+    )
+    assert gateway.shed == len(raws) - BURST_ADMISSION_CAPACITY
+    assert gateway.accepted == BURST_ADMISSION_CAPACITY
+    assert len(gateway.dlq) <= DLQ_CAPACITY, "DLQ ring must stay bounded"
+    workloads["burst_shed"] = {
+        "rate": round(rate, 1),
+        "shed": gateway.shed,
+        "accepted": gateway.accepted,
+        "dlq_depth": len(gateway.dlq),
+        "relative_rate": round(rate / clean_rate, 3),
+    }
+
+    for row in workloads.values():
+        assert row["rate"] > 0
+    return workloads
+
+
+def best_of_rounds(raws, rounds=3, **gateway_kwargs):
+    """Best-of-``rounds`` gateway rate; returns (rate, last gateway)."""
+    best = 0.0
+    gateway = None
+    for _ in range(rounds):
+        rate, gateway = gateway_round(raws, **gateway_kwargs)
+        assert gateway.pending == 0
+        assert (
+            gateway.submitted
+            == gateway.accepted + gateway.rejected + gateway.shed
+        )
+        best = max(best, rate)
+    return best, gateway
+
+
+def test_e15_gateway_overhead(benchmark, results_writer, bench_json_writer):
+    raws = clean_payloads()
+
+    def sweep():
+        workloads = {"clean": clean_overhead(raws)}
+        workloads.update(degraded_workloads(workloads["clean"]["rate"]))
+        return workloads
+
+    workloads = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"Ingestion gateway: {N_PAYLOADS} phone_tracker_v1 payloads x"
+        f" {N_DEVICES} devices through src -> stage1 -> stage2 -> app,"
+        f" {PAIRS} alternating direct/gateway pairs,"
+        f" dlq_capacity={DLQ_CAPACITY}",
+        f"clean: {workloads['clean']['rate']:,.0f} datums/s"
+        f" = {workloads['clean']['overhead']:.3f}x direct engine.submit"
+        f" (best-ratio {workloads['clean']['best_ratio']:.3f},"
+        f" median {workloads['clean']['median_ratio']:.3f},"
+        f" ceiling {OVERHEAD_CEILING}x)",
+    ]
+    for key in ("malformed_heavy", "unknown_flood", "burst_shed"):
+        row = workloads[key]
+        extra = ", ".join(
+            f"{field}={row[field]}"
+            for field in ("rejected", "accepted", "shed", "dlq_depth")
+            if field in row
+        )
+        lines.append(
+            f"{key}: {row['rate']:,.0f} datums/s"
+            f" ({row['relative_rate']:.2f}x clean; {extra})"
+        )
+    results_writer("E15_gateway", "\n".join(lines))
+    bench_json_writer(
+        "gateway",
+        {
+            "n_payloads": N_PAYLOADS,
+            "n_devices": N_DEVICES,
+            "pairs": PAIRS,
+            "dlq_capacity": DLQ_CAPACITY,
+            "gated_workload": GATED_WORKLOAD,
+            "overhead_ceiling": OVERHEAD_CEILING,
+            "workloads": workloads,
+        },
+        filename="BENCH_gateway.json",
+    )
+
+    # The E15 gate: the clean path may cost at most OVERHEAD_CEILING x
+    # the direct submit path, and degraded traffic stays bounded.
+    assert workloads["clean"]["overhead"] <= OVERHEAD_CEILING, (
+        f"gateway clean-traffic overhead"
+        f" {workloads['clean']['overhead']:.3f}x exceeds the"
+        f" {OVERHEAD_CEILING}x ceiling"
+    )

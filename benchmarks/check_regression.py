@@ -45,6 +45,16 @@ sections:
     baseline's per depth, and re-checks the artefact's own absolute
     floor (``speedup_floor``, 2x on the gated ``depth32`` entry).
 
+``gateway`` (``BENCH_gateway.json``, written by ``bench_gateway.py``)
+    The clean-traffic figure is the gateway-over-direct *overhead
+    factor measured within one run* (smaller is better): the gate
+    requires the baseline/current overhead ratio to hold
+    ``--min-ratio`` and re-checks the artefact's own absolute ceiling
+    (``overhead_ceiling``, 1.15x on the gated ``clean`` workload).
+    Degraded-traffic workloads are gated on their within-run rate
+    relative to the same run's clean rate, and the recorded DLQ depth
+    must respect the artefact's ``dlq_capacity`` bound.
+
 A missing or malformed artefact is a harness error, not a regression:
 the tool prints what went wrong and exits 2 (regressions exit 1).
 
@@ -257,8 +267,70 @@ def check_shard(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
+def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
+    failures = []
+    base_gateway = baseline["gateway"]
+    cur_gateway = current["gateway"]
+
+    for key, base_row in base_gateway.get("workloads", {}).items():
+        cur_row = cur_gateway.get("workloads", {}).get(key)
+        if cur_row is None:
+            failures.append(f"gateway workload {key} missing from current")
+            continue
+        if "overhead" in base_row:
+            # Overhead factors are within-run figures; smaller is
+            # better, so the ratio inverts vs the speedup gates.
+            base_overhead = float(base_row["overhead"])
+            cur_overhead = float(cur_row["overhead"])
+            ratio = base_overhead / cur_overhead if cur_overhead else 1.0
+            label = f"overhead {cur_overhead:.3f}x direct"
+            detail = f"baseline {base_overhead:.3f}x"
+        else:
+            # Degraded mixes: rate relative to the same run's clean
+            # rate (runner-independent); bigger is better.
+            base_rel = float(base_row["relative_rate"])
+            cur_rel = float(cur_row["relative_rate"])
+            ratio = cur_rel / base_rel if base_rel else 1.0
+            label = f"relative rate {cur_rel:.2f}x clean"
+            detail = f"baseline {base_rel:.2f}x"
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"gateway {key}: {label}"
+            f" ({detail}, ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+        )
+        if ratio < min_ratio:
+            failures.append(f"gateway {key}: ratio {ratio:.3f} < {min_ratio}")
+
+    gated = cur_gateway.get("gated_workload")
+    ceiling = float(cur_gateway.get("overhead_ceiling", 0.0))
+    if gated:
+        row = cur_gateway.get("workloads", {}).get(gated)
+        if row is None:
+            failures.append(f"gated workload {gated} missing from current")
+        elif ceiling and float(row["overhead"]) > ceiling:
+            failures.append(
+                f"gateway {gated}: absolute overhead"
+                f" {float(row['overhead']):.3f}x above the artefact's own"
+                f" ceiling {ceiling}x"
+            )
+
+    dlq_capacity = int(cur_gateway.get("dlq_capacity", 0))
+    if dlq_capacity:
+        for key, row in cur_gateway.get("workloads", {}).items():
+            depth = int(row.get("dlq_depth", 0))
+            if depth > dlq_capacity:
+                failures.append(
+                    f"gateway {key}: recorded dlq_depth {depth} exceeds"
+                    f" the artefact's dlq_capacity {dlq_capacity}"
+                )
+
+    return failures
+
+
 def check(baseline: dict, current: dict, min_ratio: float) -> list:
     """Dispatch on schema: which top-level sections the artefact carries."""
+    if "gateway" in current or "gateway" in baseline:
+        return check_gateway(baseline, current, min_ratio)
     if "compile" in current or "compile" in baseline:
         return check_compile(baseline, current, min_ratio)
     if "shard" in current or "shard" in baseline:
@@ -269,7 +341,7 @@ def check(baseline: dict, current: dict, min_ratio: float) -> list:
         return check_dispatch(baseline, current, min_ratio)
     return [
         "unrecognised artefact schema: expected a 'compile', 'configs',"
-        " 'scale' or 'shard' top-level section"
+        " 'gateway', 'scale' or 'shard' top-level section"
     ]
 
 

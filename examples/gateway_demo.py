@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Ingestion gateway: hostile edge traffic, dead letters, replay-after-fix.
+
+A phone fleet posts raw ``phone_tracker_v1`` JSON into the middleware
+through the ingestion gateway: schema validation, device auto-tracking
+and admission control sit between the wire and the engine lanes.  Then a
+vendor firmware update starts shipping ``latitude``/``longitude`` (and
+``speed_kmh``) instead of the contract's ``lat``/``lon``/``speed_mps``
+-- every reading dead-letters at the schema stage, inspectable through
+the PSL.  The fix is middleware configuration, not device surgery: an
+operator installs a crosswalk (two renames and a unit conversion) on the
+adapter and replays the dead letters through the full validation path;
+the stranded readings are recovered losslessly.  A genuinely poisoned
+payload, by contrast, burns through its retry budget and parks in a
+terminal ``exhausted`` state instead of looping forever.
+
+Run:  python examples/gateway_demo.py
+"""
+
+from repro.core import Kind, PerPos
+from repro.core.component import (
+    ApplicationSink,
+    FunctionComponent,
+    SourceComponent,
+)
+from repro.core.report import render_report
+from repro.gateway import Crosswalk, FieldMap, scale
+from repro.services.remote import RetryPolicy
+
+POS = Kind.POSITION_WGS84
+FLEET = tuple(f"phone-{i:02d}" for i in range(4))
+
+
+def reading(device: str, t: float, step: int) -> dict:
+    """One clean phone_tracker_v1 fix."""
+    return {
+        "source_format": "phone_tracker_v1",
+        "device_id": device,
+        "timestamp": t,
+        "lat": 56.1718 + 0.0001 * step,
+        "lon": 10.1903 + 0.0001 * step,
+        "speed_mps": 1.4,
+        "accuracy_m": 8.0,
+        "battery_pct": 0.9,
+    }
+
+
+def vendor_reading(device: str, t: float, step: int) -> dict:
+    """The same fix after the broken firmware update."""
+    fix = reading(device, t, step)
+    fix["latitude"] = fix.pop("lat")
+    fix["longitude"] = fix.pop("lon")
+    fix["speed_kmh"] = round(fix.pop("speed_mps") * 3.6, 2)
+    return fix
+
+
+def main() -> None:
+    middleware = PerPos()
+    graph = middleware.graph
+    graph.add(SourceComponent("wire-src", (POS,)))
+    graph.add(FunctionComponent("smooth", (POS,), (POS,), fn=lambda d: d))
+    sink = ApplicationSink("fleet-app", (POS,))
+    graph.add(sink)
+    graph.connect("wire-src", "smooth")
+    graph.connect("smooth", "fleet-app")
+
+    engine = middleware.enable_runtime()
+    gateway = middleware.enable_gateway(
+        "wire-src",
+        retry=RetryPolicy(max_attempts=2, backoff_s=5.0),
+    )
+
+    # -- phase 1: a healthy fleet posts raw JSON ---------------------------
+    for step in range(10):
+        for device in FLEET:
+            gateway.submit(reading(device, float(step), step))
+    gateway.forward()
+    engine.drain_all()
+    print(
+        f"clean fleet: {gateway.accepted} fixes accepted from"
+        f" {len(FLEET)} auto-tracked phones,"
+        f" rejected={gateway.rejected}"
+    )
+
+    # -- phase 2: the firmware update breaks the wire contract -------------
+    for step in range(10, 15):
+        for device in FLEET:
+            gateway.submit(vendor_reading(device, float(step), step))
+    gateway.forward()
+    engine.drain_all()
+    print(
+        f"after firmware update: rejected={gateway.rejected},"
+        f" dlq depth={len(gateway.dlq)}"
+    )
+    worst = middleware.psl.dead_letters("pending")[0]
+    print(
+        f"[dlq] seq={worst['seq']} stage={worst['stage']}"
+        f" adapter={worst['adapter']}"
+    )
+    print(f"      reason: {worst['reason']}")
+
+    # -- phase 3: fix in middleware configuration, then replay -------------
+    gateway.adapter("phone_tracker_v1").set_crosswalk(
+        Crosswalk(
+            [
+                FieldMap("latitude", "lat"),
+                FieldMap("longitude", "lon"),
+                FieldMap("speed_kmh", "speed_mps", convert=scale(1 / 3.6)),
+            ]
+        )
+    )
+    outcome = middleware.psl.replay_dead_letters()
+    engine.drain_all()
+    print(
+        f"crosswalk installed, replay: {outcome['replayed']} recovered,"
+        f" {outcome['failed']} failed"
+    )
+    print(f"fleet-app delivered: {len(sink.received)} positions")
+
+    # -- phase 4: a poison payload exhausts its retry budget ---------------
+    poison = reading("phone-99", 99.0, 0)
+    poison["lat"] = 999.0  # no crosswalk can make this a latitude
+    gateway.submit(poison)
+    for _ in range(2):
+        middleware.clock.advance(10.0)  # past the backoff window
+        gateway.replay()
+    exhausted = middleware.psl.dead_letters("exhausted")
+    print(
+        f"poison payload: {len(exhausted)} record parked as"
+        f" 'exhausted' after {exhausted[0]['attempts']} attempts"
+    )
+
+    # The whole story is on the infrastructure report.
+    report = render_report(middleware)
+    print("\ngateway:" + report.split("gateway:")[1].split("\n\n")[0])
+    middleware.disable_gateway()
+
+
+if __name__ == "__main__":
+    main()

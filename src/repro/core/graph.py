@@ -152,6 +152,9 @@ class ProcessingGraph(ComponentObserver):
         # scheduler); inspection-only -- never consulted on the per-datum
         # hot path.
         self._engine: Optional["PositioningEngine"] = None
+        # Optional ingestion gateway (wire validation + DLQ edge layer);
+        # inspection-only, like the engine slot.
+        self._gateway: Optional[Any] = None
         # -- derived indexes (dispatch fast path) -------------------------
         # Bumped by every structural mutation; compared by in-flight
         # routing loops to detect reentrant manipulation.
@@ -251,6 +254,24 @@ class ProcessingGraph(ComponentObserver):
         """
         previous = self._engine
         self._engine = engine
+        return previous
+
+    @property
+    def gateway(self) -> Optional[Any]:
+        """The installed ingestion gateway, or None while the edge is off."""
+        return self._gateway
+
+    def set_gateway(self, gateway: Optional[Any]) -> Optional[Any]:
+        """Install (or, with None, remove) the ingestion gateway.
+
+        Like the engine, the gateway sits *in front of* the graph (it
+        feeds the engine's lanes, which feed :meth:`route_batch`), so
+        the slot is inspection-only: it exists so the PSL ``describe``
+        and the infrastructure report can reach wire-format, admission
+        and dead-letter state without threading a second handle around.
+        """
+        previous = self._gateway
+        self._gateway = gateway
         return previous
 
     # -- derived indexes -------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.core.positioning import (
     PositioningLayer,
 )
 from repro.core.psl import ProcessStructureLayer
+from repro.gateway import IngestionGateway
 from repro.observability.instrumentation import ObservabilityHub
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracing import FlowTrace, trace_of
@@ -59,6 +60,7 @@ class PerPos:
         self._sensors: List[Tuple[SimulatedSensor, SourceComponent, Callable]] = []
         self._sharding: Optional[ShardedEngine] = None
         self._sharding_registration: Optional[ServiceRegistration] = None
+        self._gateway_registration: Optional[ServiceRegistration] = None
         # The layers are themselves services, as in the OSGi realisation.
         registry = self.framework.registry
         registry.register("perpos.ProcessingGraph", self.graph)
@@ -227,6 +229,73 @@ class PerPos:
         if engine is not None:
             engine.close()
         return engine
+
+    # -- ingestion gateway -------------------------------------------------------
+
+    @property
+    def gateway(self) -> Optional[IngestionGateway]:
+        """The installed ingestion gateway, or None while the edge is off."""
+        return self.graph.gateway
+
+    def enable_gateway(
+        self,
+        source: str,
+        *,
+        engine: Optional[object] = None,
+        **kwargs: object,
+    ) -> IngestionGateway:
+        """Install the raw-payload ingestion edge on this middleware.
+
+        ``source`` names the graph source component that auto-tracked
+        device lanes enter at.  The gateway feeds whichever runtime is
+        live: the sharded coordinator when sharding is enabled,
+        otherwise this graph's :class:`PositioningEngine` (enable one
+        first); pass ``engine`` explicitly to override.  The gateway
+        shares the middleware's simulation clock (deterministic
+        freshness checks and DLQ backoff) and resolves the hub lazily,
+        so it follows ``enable_observability``/``disable_observability``
+        without rewiring.  Keyword arguments pass through to
+        :class:`~repro.gateway.IngestionGateway` (``formats``,
+        ``device_policy``, ``admission_capacity``, ``retry``,
+        ``max_age_s``, ...).  Re-enabling replaces (and closes) the
+        previous gateway.
+        """
+        if engine is None:
+            engine = self._sharding if self._sharding is not None else self.graph.engine
+        if engine is None:
+            raise ValueError(
+                "no runtime to feed: enable_runtime() or enable_sharding()"
+                " before enable_gateway(), or pass engine= explicitly"
+            )
+        previous = self.graph.gateway
+        if previous is not None:
+            previous.close()
+        gateway = IngestionGateway(
+            engine,
+            source,
+            clock=self.clock,
+            hub=lambda: self.graph.instrumentation,
+            **kwargs,  # type: ignore[arg-type]
+        )
+        self.graph.set_gateway(gateway)
+        # Re-register unconditionally: a stale registration would hand
+        # registry consumers the previous, now-closed gateway.
+        if self._gateway_registration is not None:
+            self._gateway_registration.unregister()
+        self._gateway_registration = self.framework.registry.register(
+            "perpos.IngestionGateway", gateway
+        )
+        return gateway
+
+    def disable_gateway(self) -> Optional[IngestionGateway]:
+        """Close the ingestion edge (DLQ and counters stay readable)."""
+        gateway = self.graph.set_gateway(None)
+        if self._gateway_registration is not None:
+            self._gateway_registration.unregister()
+            self._gateway_registration = None
+        if gateway is not None:
+            gateway.close()
+        return gateway
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
         """The component path (with timestamps) behind a delivered datum.

@@ -65,6 +65,9 @@ class ProcessStructureLayer:
                 info["ingestion"] = {
                     lane.target_id: lane.stats() for lane in lanes
                 }
+        gateway = self.graph.gateway
+        if gateway is not None and gateway.source == name:
+            info["gateway"] = gateway.snapshot()
         info["compiled_plans"] = self._compiled_role(name)
         return info
 
@@ -197,6 +200,48 @@ class ProcessStructureLayer:
         return engine.set_policy(
             target_id, policy=policy, capacity=capacity, weight=weight
         )
+
+    # -- ingestion gateway (the hostile-edge seam) -----------------------------
+
+    def gateway(self) -> Dict[str, Any]:
+        """Reflective state of the installed ingestion gateway.
+
+        Wire formats, per-adapter accept/reject counters, the admission
+        queue, the device-admission policy, and dead-letter statistics.
+        Empty while no gateway is installed -- inspection degrades
+        gracefully, like :meth:`component_metrics`.
+        """
+        gateway = self.graph.gateway
+        return gateway.snapshot() if gateway is not None else {}
+
+    def dead_letters(
+        self, state: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """Retained dead-letter records, optionally filtered by state.
+
+        Each entry is a record summary (seq, stage, reason, adapter,
+        attempts, state, next_attempt_s).  Empty while no gateway is
+        installed.
+        """
+        gateway = self.graph.gateway
+        if gateway is None:
+            return []
+        return gateway.dead_letters(state)
+
+    def replay_dead_letters(
+        self, seq: Optional[int] = None, *, ignore_backoff: bool = False
+    ) -> Dict[str, int]:
+        """Replay pending dead letters through the gateway pipeline.
+
+        The adaptation half of the DLQ seam (patch a payload or install
+        a crosswalk, then replay from the same layer that inspected the
+        failure).  Raises while no gateway is installed -- adaptation
+        does not degrade silently, mirroring :meth:`set_backpressure`.
+        """
+        gateway = self.graph.gateway
+        if gateway is None:
+            raise GraphError("no ingestion gateway installed")
+        return gateway.replay(seq, ignore_backoff=ignore_backoff)
 
     # -- supervision (failure seams) -----------------------------------------
 

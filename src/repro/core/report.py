@@ -125,6 +125,13 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
             if middleware.sharding is not None
             else None
         ),
+        # Ingestion edge (None while no gateway is installed): wire
+        # formats, per-adapter counters, admission queue, DLQ state.
+        "gateway": (
+            middleware.graph.gateway.snapshot()
+            if middleware.graph.gateway is not None
+            else None
+        ),
         # Compiled dispatch plan of this middleware's graph (always
         # present: a gated plan reports its fallback reason instead of
         # chains).  Shard-private plans ride along inside "sharding".
@@ -217,6 +224,34 @@ def render_report(middleware: PerPos) -> str:
                 f" rejected={lane['rejected']},"
                 f" coalesced={lane['coalesced']}"
             )
+    gateway = snapshot["gateway"]
+    lines.append("")
+    lines.append("gateway:")
+    if gateway is None:
+        lines.append("  (no ingestion gateway)")
+    else:
+        lines.append(
+            f"  source={gateway['source']},"
+            f" formats={gateway['formats']},"
+            f" policy={gateway['device_policy']['policy']},"
+            f" devices={gateway['devices']}"
+        )
+        lines.append(
+            f"  submitted={gateway['submitted']},"
+            f" accepted={gateway['accepted']},"
+            f" rejected={gateway['rejected']},"
+            f" shed={gateway['shed']},"
+            f" pending={gateway['pending']}"
+        )
+        dlq = gateway["dlq"]
+        lines.append(
+            f"  dlq: depth={dlq['depth']}/{dlq['capacity']}"
+            f" (evicted={dlq['evicted']}),"
+            f" replayed={dlq['total_replayed']},"
+            f" exhausted={dlq['total_exhausted']}"
+        )
+        for stage, count in dlq["by_stage"].items():
+            lines.append(f"    {stage}: {count}")
     sharding = snapshot["sharding"]
     lines.append("")
     lines.append("sharding:")

@@ -1,0 +1,237 @@
+"""Bounded dead-letter queue with replay-after-fix lifecycle.
+
+Every payload the gateway cannot forward becomes a :class:`DeadLetter`:
+the raw payload exactly as submitted, the pipeline stage that rejected
+it, a human-readable reason, and a timestamp.  The queue is a bounded
+ring -- under sustained rejection the *oldest* records are evicted (and
+counted) rather than growing without bound, which is what keeps
+DLQ-heavy traffic memory-safe (ISSUE acceptance: "DLQ ring bounded").
+
+Replay-after-fix: an operator patches the payload
+(:meth:`DeadLetterQueue.patch`) or installs a corrected crosswalk on
+the adapter, then asks the gateway to replay.  Replay scheduling reuses
+the middleware's real :class:`~repro.services.remote.RetryPolicy` on an
+injected clock: each failed attempt pushes the record's
+``next_attempt_s`` out by ``backoff_s * multiplier**(attempts-1)``, and
+once ``attempts`` reaches ``max_attempts`` the record lands in the
+terminal ``exhausted`` state -- poison messages stop looping instead of
+burning replay cycles forever.
+
+States::
+
+    pending --replay ok--> replayed           (terminal, success)
+    pending --replay fails, attempts < cap--> pending (backoff applied)
+    pending --replay fails, attempts = cap--> exhausted (terminal)
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.services.remote import RetryPolicy
+
+#: Record lifecycle states.
+PENDING = "pending"
+REPLAYED = "replayed"
+EXHAUSTED = "exhausted"
+
+
+@dataclass
+class DeadLetter:
+    """One rejected payload and its replay bookkeeping."""
+
+    seq: int
+    raw: Dict[str, Any]
+    stage: str
+    reason: str
+    adapter: Optional[str]
+    time_s: float
+    attempts: int = 0
+    state: str = PENDING
+    next_attempt_s: float = 0.0
+    last_error: Optional[str] = None
+    history: List[str] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        """Inspection dict (what PSL ``dead_letters`` returns)."""
+        return {
+            "seq": self.seq,
+            "stage": self.stage,
+            "reason": self.reason,
+            "adapter": self.adapter,
+            "time_s": self.time_s,
+            "attempts": self.attempts,
+            "state": self.state,
+            "next_attempt_s": self.next_attempt_s,
+            "last_error": self.last_error,
+        }
+
+
+class DeadLetterQueue:
+    """Bounded ring of :class:`DeadLetter` records with replay scheduling.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; pushing past it evicts the oldest
+        (counted in ``evicted``).
+    retry:
+        Backoff/attempt policy governing replay; ``max_attempts`` is the
+        per-record cap before the terminal ``exhausted`` state.
+    time_fn:
+        Clock source for record/backoff timestamps (inject the
+        simulation clock's ``now``; defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        time_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"DLQ capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._time_fn = time_fn if time_fn is not None else _time.monotonic
+        self._records: Dict[int, DeadLetter] = {}  # insertion-ordered ring
+        self._next_seq = 0
+        self.evicted = 0
+        self.total_pushed = 0
+        self.total_replayed = 0
+        self.total_exhausted = 0
+        self.total_discarded = 0
+
+    # -- intake ---------------------------------------------------------------
+
+    def push(
+        self,
+        raw: Dict[str, Any],
+        stage: str,
+        reason: str,
+        *,
+        adapter: Optional[str] = None,
+    ) -> DeadLetter:
+        """Record one rejection; evicts the oldest record when full."""
+        record = DeadLetter(
+            seq=self._next_seq,
+            raw=raw,
+            stage=stage,
+            reason=reason,
+            adapter=adapter,
+            time_s=self._time_fn(),
+        )
+        self._next_seq += 1
+        self._records[record.seq] = record
+        self.total_pushed += 1
+        while len(self._records) > self.capacity:
+            oldest = next(iter(self._records))
+            del self._records[oldest]
+            self.evicted += 1
+        return record
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(list(self._records.values()))
+
+    def get(self, seq: int) -> Optional[DeadLetter]:
+        return self._records.get(seq)
+
+    def records(self, state: Optional[str] = None) -> List[DeadLetter]:
+        """Retained records, oldest first, optionally filtered by state."""
+        if state is None:
+            return list(self._records.values())
+        return [r for r in self._records.values() if r.state == state]
+
+    def pending(self) -> List[DeadLetter]:
+        return self.records(PENDING)
+
+    def due(self, now: float) -> List[DeadLetter]:
+        """Pending records whose backoff window has elapsed at ``now``."""
+        return [
+            r
+            for r in self._records.values()
+            if r.state == PENDING and r.next_attempt_s <= now
+        ]
+
+    # -- operator fixes -------------------------------------------------------
+
+    def patch(self, seq: int, **fields: Any) -> DeadLetter:
+        """Fix a record's raw payload in place (the payload-level fix).
+
+        Patching also resets the backoff window: an operator fix is a
+        reason to try again now, not after the old failure's backoff.
+        """
+        record = self._records.get(seq)
+        if record is None:
+            raise KeyError(f"no dead letter with seq {seq}")
+        if record.state != PENDING:
+            raise ValueError(
+                f"dead letter {seq} is {record.state}; only pending"
+                f" records can be patched"
+            )
+        record.raw.update(fields)
+        record.next_attempt_s = 0.0
+        record.history.append(f"patched fields {sorted(fields)}")
+        return record
+
+    def discard(self, seq: int) -> bool:
+        """Drop a record the operator has decided not to replay."""
+        if seq in self._records:
+            del self._records[seq]
+            self.total_discarded += 1
+            return True
+        return False
+
+    # -- replay bookkeeping (driven by the gateway) ---------------------------
+
+    def mark_replayed(self, record: DeadLetter) -> None:
+        record.state = REPLAYED
+        record.history.append("replayed")
+        self.total_replayed += 1
+
+    def mark_failed(self, record: DeadLetter, error: str, now: float) -> None:
+        """One failed replay attempt: back off, or exhaust at the cap."""
+        record.attempts += 1
+        record.last_error = error
+        record.history.append(f"attempt {record.attempts} failed: {error}")
+        if record.attempts >= self.retry.max_attempts:
+            record.state = EXHAUSTED
+            self.total_exhausted += 1
+        else:
+            backoff = self.retry.backoff_s * (
+                self.retry.multiplier ** (record.attempts - 1)
+            )
+            record.next_attempt_s = now + backoff
+
+    # -- stats ----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        by_state: Dict[str, int] = {PENDING: 0, REPLAYED: 0, EXHAUSTED: 0}
+        by_stage: Dict[str, int] = {}
+        for record in self._records.values():
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+            by_stage[record.stage] = by_stage.get(record.stage, 0) + 1
+        return {
+            "depth": len(self._records),
+            "capacity": self.capacity,
+            "evicted": self.evicted,
+            "total_pushed": self.total_pushed,
+            "total_replayed": self.total_replayed,
+            "total_exhausted": self.total_exhausted,
+            "total_discarded": self.total_discarded,
+            "by_state": by_state,
+            "by_stage": dict(sorted(by_stage.items())),
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_s": self.retry.backoff_s,
+                "multiplier": self.retry.multiplier,
+            },
+        }

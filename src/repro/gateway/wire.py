@@ -1,0 +1,376 @@
+"""Versioned wire formats: the gateway's external data contract.
+
+Everything inside the middleware speaks :class:`~repro.core.data.Datum`;
+everything *outside* speaks whatever its vendor shipped.  A
+:class:`WireFormat` names one external JSON shape -- ``phone_tracker_v1``
+(SNIPPETS.md Snippet 3 / zmeta-stack) is the canonical example: a
+lightweight GPS fix pushed from a mobile automation with ``device_id``,
+``timestamp``, ``lat``/``lon``, ``accuracy_m`` and ``battery_pct`` --
+and carries the per-field schema the gateway validates payloads against:
+required/optional, accepted types, and numeric ranges.
+
+Formats are *versioned by name* (``..._v1``, ``..._v2``): a breaking
+payload change mints a new format name with its own schema and adapter,
+so old devices keep working against the old contract while new ones roll
+forward -- the gateway never guesses which shape it was handed, the
+payload declares it in ``source_format``.
+
+The schema check is on the gateway's per-payload hot path, so
+:meth:`WireFormat.validate` is compiled once at construction into a
+specialised validator function -- every field name, kind branch and
+range bound is inlined as straight-line code (no spec traversal, no
+kind dispatch) and the happy path allocates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Field kinds a :class:`FieldSpec` may declare.
+FLOAT = "float"  # int or float (bools excluded), optionally range-bounded
+STRING = "str"
+TIMESTAMP = "timestamp"  # epoch seconds (int/float) or ISO-8601 string
+ANY = "any"
+
+FIELD_KINDS = (FLOAT, STRING, TIMESTAMP, ANY)
+
+_MISSING = object()
+
+
+class WireFormatError(Exception):
+    """Raised on invalid wire-format definitions or unparseable values."""
+
+
+def parse_timestamp(value: Any) -> float:
+    """Normalise a wire timestamp to float epoch seconds.
+
+    Accepts epoch seconds (int/float) or an ISO-8601 string (``Z``
+    suffix and naive timestamps both read as UTC, so parsing never
+    depends on the host's timezone).  Raises :class:`WireFormatError`
+    on anything else.
+    """
+    if isinstance(value, bool):
+        raise WireFormatError(f"timestamp must be a number or string, got {value!r}")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value[:-1] + "+00:00" if value.endswith("Z") else value
+        try:
+            parsed = datetime.fromisoformat(text)
+        except ValueError:
+            raise WireFormatError(f"unparseable ISO-8601 timestamp {value!r}") from None
+        if parsed.tzinfo is None:
+            parsed = parsed.replace(tzinfo=timezone.utc)
+        return parsed.timestamp()
+    raise WireFormatError(
+        f"timestamp must be epoch seconds or an ISO-8601 string,"
+        f" got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Schema for one wire-format field.
+
+    ``kind`` is one of :data:`FIELD_KINDS`; ``minimum``/``maximum``
+    bound :data:`FLOAT` (and numeric :data:`TIMESTAMP`) values
+    inclusively.
+    """
+
+    name: str
+    kind: str = FLOAT
+    required: bool = False
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FIELD_KINDS:
+            raise WireFormatError(
+                f"field {self.name!r}: unknown kind {self.kind!r};"
+                f" expected one of {FIELD_KINDS}"
+            )
+
+
+def _compile_validator(
+    checks: Sequence[Tuple[str, bool, str, Optional[float], Optional[float]]],
+) -> Any:
+    """Compile field checks into one specialised validate function.
+
+    Generates straight-line code per field -- the name, kind test and
+    range bounds are all literals, so a payload walk does no spec
+    traversal and no kind dispatch.  The generated function mirrors the
+    reference semantics documented on :meth:`WireFormat.validate`.
+    """
+    lines = [
+        "def _validate(payload):",
+        "    errors = None",
+        "    get = payload.get",
+    ]
+    emit = lines.append
+
+    def err(expr: str, indent: str) -> None:
+        emit(f"{indent}if errors is None:")
+        emit(f"{indent}    errors = []")
+        emit(f"{indent}errors.append({expr})")
+
+    for name, required, kind, minimum, maximum in checks:
+        emit(f"    v = get({name!r}, _MISSING)")
+        if kind == ANY:
+            if required:
+                emit("    if v is _MISSING:")
+                err(f"\"missing required field {name!r}\"", "        ")
+            continue
+        emit("    if v is not _MISSING:")
+        if kind == STRING:
+            emit("        if type(v) is not str and not isinstance(v, str):")
+            err(
+                f"f\"field {name!r} must be a string,"
+                f" got {{type(v).__name__}}\"",
+                "            ",
+            )
+        else:
+            # FLOAT and TIMESTAMP: exact type() probes cover the shapes
+            # JSON decoding produces; odd-but-valid values fall back to
+            # isinstance (FLOAT) or parse_timestamp (TIMESTAMP).  bool
+            # is its own type(), so it takes the slow path and fails
+            # there.
+            emit("        t = type(v)")
+            emit("        if t is not float and t is not int:")
+            if kind == FLOAT:
+                emit(
+                    "            if t is bool"
+                    " or not isinstance(v, (int, float)):"
+                )
+                err(
+                    f"f\"field {name!r} must be numeric,"
+                    f" got {{t.__name__}}\"",
+                    "                ",
+                )
+                emit("                v = _MISSING")
+            else:  # TIMESTAMP
+                emit("            try:")
+                emit("                v = parse_timestamp(v)")
+                emit("            except WireFormatError as exc:")
+                err(f"f\"field {name!r}: {{exc}}\"", "                ")
+                emit("                v = _MISSING")
+            if minimum is not None or maximum is not None:
+                emit("        if v is not _MISSING:")
+                if minimum is not None:
+                    emit(f"            if v < {minimum!r}:")
+                    err(
+                        f"f\"field {name!r}={{v!r}}"
+                        f" below minimum {minimum}\"",
+                        "                ",
+                    )
+                    if maximum is not None:
+                        emit(f"            elif v > {maximum!r}:")
+                        err(
+                            f"f\"field {name!r}={{v!r}}"
+                            f" above maximum {maximum}\"",
+                            "                ",
+                        )
+                elif maximum is not None:
+                    emit(f"            if v > {maximum!r}:")
+                    err(
+                        f"f\"field {name!r}={{v!r}}"
+                        f" above maximum {maximum}\"",
+                        "                ",
+                    )
+        if required:
+            emit("    else:")
+            err(f"\"missing required field {name!r}\"", "        ")
+    emit("    return errors if errors is not None else []")
+    namespace: Dict[str, Any] = {
+        "_MISSING": _MISSING,
+        "parse_timestamp": parse_timestamp,
+        "WireFormatError": WireFormatError,
+    }
+    exec("\n".join(lines), namespace)  # noqa: S102 -- schema compilation
+    return namespace["_validate"]
+
+
+class WireFormat:
+    """One named, versioned external payload shape plus its schema.
+
+    Parameters
+    ----------
+    name:
+        The ``source_format`` value payloads declare; by convention it
+        ends in ``_v<N>`` (parsed into :attr:`version`).
+    fields:
+        Per-field schema.  Unknown extra fields are tolerated (forward
+        compatibility: a ``_v1`` consumer must not break when a device
+        adds an informational field).
+    device_field / timestamp_field:
+        Which fields carry the tracked-device id and the observation
+        time; both must appear in ``fields``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fields: Sequence[FieldSpec],
+        *,
+        device_field: str = "device_id",
+        timestamp_field: str = "timestamp",
+    ) -> None:
+        if not name:
+            raise WireFormatError("wire format name must be non-empty")
+        names = [spec.name for spec in fields]
+        if len(set(names)) != len(names):
+            raise WireFormatError(f"format {name!r}: duplicate field specs")
+        for label, field in (
+            ("device_field", device_field),
+            ("timestamp_field", timestamp_field),
+        ):
+            if field not in names:
+                raise WireFormatError(
+                    f"format {name!r}: {label} {field!r} has no FieldSpec"
+                )
+        self.name = name
+        self.fields: Tuple[FieldSpec, ...] = tuple(fields)
+        self.device_field = device_field
+        self.timestamp_field = timestamp_field
+        # Flat check tuples (kept for introspection), compiled once
+        # into a specialised validator for the per-payload hot path.
+        self._checks: Tuple[
+            Tuple[str, bool, str, Optional[float], Optional[float]], ...
+        ] = tuple(
+            (spec.name, spec.required, spec.kind, spec.minimum, spec.maximum)
+            for spec in self.fields
+        )
+        self._validator = _compile_validator(self._checks)
+
+    @property
+    def version(self) -> int:
+        """The ``_v<N>`` suffix of :attr:`name`, or 0 when unversioned."""
+        stem, _, suffix = self.name.rpartition("_v")
+        if stem and suffix.isdigit():
+            return int(suffix)
+        return 0
+
+    # -- validation (hot path) ----------------------------------------------
+
+    def validate(self, payload: Mapping[str, Any]) -> List[str]:
+        """Schema-check one payload; returns error strings (empty = valid).
+
+        Reference semantics (the compiled validator inlines exactly
+        this): a missing required field errors; :data:`FLOAT` accepts
+        int/float but never bool, with inclusive range bounds;
+        :data:`STRING` accepts str; :data:`TIMESTAMP` accepts epoch
+        numbers directly and parses other shapes via
+        :func:`parse_timestamp`, bounds applying to the parsed value;
+        :data:`ANY` only checks presence.  Exact ``type()`` probes cover
+        the shapes JSON decoding produces (the hot path); odd-but-valid
+        values (int/float subclasses other than bool) fall back to
+        ``isinstance``.
+        """
+        return self._validator(payload)
+
+    # -- field access ---------------------------------------------------------
+
+    def device_of(self, payload: Mapping[str, Any]) -> Optional[str]:
+        """The tracked-device id a payload names, or None."""
+        device = payload.get(self.device_field)
+        return device if isinstance(device, str) and device else None
+
+    def timestamp_of(self, payload: Mapping[str, Any]) -> float:
+        """The observation time as epoch seconds (raises if absent/bad)."""
+        value = payload.get(self.timestamp_field, _MISSING)
+        value_type = type(value)
+        if value_type is float:  # hot path: epoch seconds as shipped
+            return value
+        if value_type is int:
+            return float(value)
+        if value is _MISSING:
+            raise WireFormatError(
+                f"payload has no {self.timestamp_field!r} field"
+            )
+        return parse_timestamp(value)
+
+    def describe(self) -> Dict[str, Any]:
+        """Reflective summary (what the PSL/report surface)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "device_field": self.device_field,
+            "timestamp_field": self.timestamp_field,
+            "fields": {
+                spec.name: {
+                    "kind": spec.kind,
+                    "required": spec.required,
+                    **(
+                        {"minimum": spec.minimum}
+                        if spec.minimum is not None
+                        else {}
+                    ),
+                    **(
+                        {"maximum": spec.maximum}
+                        if spec.maximum is not None
+                        else {}
+                    ),
+                }
+                for spec in self.fields
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"WireFormat({self.name!r}, {len(self.fields)} fields)"
+
+
+#: The zmeta-stack style mobile GPS fix (SNIPPETS.md Snippet 3).
+PHONE_TRACKER_V1 = WireFormat(
+    "phone_tracker_v1",
+    fields=(
+        FieldSpec("device_id", STRING, required=True),
+        FieldSpec("timestamp", TIMESTAMP, required=True),
+        FieldSpec("lat", FLOAT, required=True, minimum=-90.0, maximum=90.0),
+        FieldSpec("lon", FLOAT, required=True, minimum=-180.0, maximum=180.0),
+        FieldSpec("alt_m", FLOAT),
+        FieldSpec("speed_mps", FLOAT, minimum=0.0),
+        FieldSpec("heading_deg", FLOAT, minimum=0.0, maximum=360.0),
+        FieldSpec("accuracy_m", FLOAT, minimum=0.0),
+        FieldSpec("battery_pct", FLOAT, minimum=0.0, maximum=1.0),
+        FieldSpec("note", STRING),
+    ),
+)
+
+
+class WireFormatRegistry:
+    """Named lookup of the wire formats one gateway understands."""
+
+    def __init__(self, formats: Sequence[WireFormat] = ()) -> None:
+        self._formats: Dict[str, WireFormat] = {}
+        for wire_format in formats:
+            self.register(wire_format)
+
+    def register(self, wire_format: WireFormat, replace: bool = False) -> None:
+        """Add a format; re-registering a name requires ``replace``."""
+        if wire_format.name in self._formats and not replace:
+            raise WireFormatError(
+                f"wire format {wire_format.name!r} already registered;"
+                f" pass replace=True to swap it"
+            )
+        self._formats[wire_format.name] = wire_format
+
+    def get(self, name: Any) -> Optional[WireFormat]:
+        """The format registered under ``name``, or None."""
+        if not isinstance(name, str):
+            return None
+        return self._formats.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._formats)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._formats
+
+    def __len__(self) -> int:
+        return len(self._formats)
+
+
+def builtin_registry() -> WireFormatRegistry:
+    """A fresh registry holding every built-in wire format."""
+    return WireFormatRegistry((PHONE_TRACKER_V1,))

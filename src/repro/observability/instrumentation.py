@@ -93,6 +93,10 @@ class ObservabilityHub:
         # offer counters and per-target depth/drop gauges.
         self._ingestion_counters: Dict[Tuple[str, str], Any] = {}
         self._ingestion_gauges: Dict[str, Tuple[Any, Any]] = {}
+        # Gateway-edge memos: per-(adapter, outcome) counters plus the
+        # dead-letter-queue gauge triple.
+        self._gateway_counters: Dict[Tuple[str, str], Any] = {}
+        self._dlq_gauges: Optional[Tuple[Any, Any, Any]] = None
         # Plan-compilation memo (graph compiler seam).
         self._plan_invalidation_counter: Any = None
 
@@ -205,6 +209,36 @@ class ObservabilityHub:
             )
         pair[0].set(depth)
         pair[1].set(dropped)
+
+    def gateway_event(self, adapter: str, outcome: str) -> None:
+        """One gateway pipeline verdict settled for ``adapter``.
+
+        ``outcome`` is one of ``accepted`` / ``rejected`` / ``shed`` /
+        ``replayed``; each becomes its own ``gateway_<outcome>`` counter
+        labelled by adapter, which is how per-adapter accept/reject
+        rates surface (ISSUE 8 instrument names).
+        """
+        counters = self._gateway_counters
+        counter = counters.get((adapter, outcome))
+        if counter is None:
+            counter = counters[(adapter, outcome)] = self.registry.counter(
+                f"gateway_{outcome}", adapter=adapter
+            )
+        counter.inc()
+
+    def dlq_state(self, depth: int, replayed: int, exhausted: int) -> None:
+        """Current dead-letter depth and cumulative replay outcomes."""
+        gauges = self._dlq_gauges
+        if gauges is None:
+            registry = self.registry
+            gauges = self._dlq_gauges = (
+                registry.gauge("dlq_depth"),
+                registry.gauge("dlq_replayed"),
+                registry.gauge("dlq_exhausted"),
+            )
+        gauges[0].set(depth)
+        gauges[1].set(replayed)
+        gauges[2].set(exhausted)
 
     def scheduler_round(self, drained: int) -> None:
         """One scheduler round drained ``drained`` datums into the graph."""

@@ -15,7 +15,13 @@ chaos run replays identically from the same seed.
   this feature's name, like any feature veto);
 * a *delay* withholds the datum and releases it ``delay_datums``
   consumed datums later -- a deterministic lag in logical datum time,
-  with the in-flight window inspectable via :meth:`pending`.
+  with the in-flight window inspectable via :meth:`pending`;
+* a *corruption* mangles a mapping payload in-flight -- dropping a
+  field, replacing a value with garbage, or skewing the timestamp --
+  the hostile-edge traffic shape the ingestion gateway has to survive.
+  :meth:`maybe_corrupt` applies the same seeded cadence directly to raw
+  wire payloads, so gateway storm tests corrupt *before* submission
+  without attaching the feature to any component.
 
 ``arm()``/``disarm()`` surface through the component's reflective API,
 so a chaos experiment can be switched off through the PSL
@@ -28,7 +34,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, Mapping, Optional, Sequence
 
 from repro.core.data import Datum
 from repro.core.features import ComponentFeature, FeatureError
@@ -51,6 +57,17 @@ class FaultInjectionFeature(ComponentFeature):
         same traffic inject identically.
     delay_datums:
         Lag each datum by this many subsequently consumed datums.
+    corrupt_every / corrupt_rate:
+        Corrupt mapping payloads on a cadence / with a probability, like
+        ``fail_every``/``fail_rate``.  Non-mapping payloads pass through
+        untouched (corruption is a payload-shape fault, not a failure).
+    corrupt_fields:
+        Candidate fields for drop/mangle corruption (None = any field
+        present in the payload).
+    timestamp_skew_s:
+        When positive, corruption may instead skew the payload's
+        ``timestamp`` field by up to this many seconds either way --
+        the stale/future traffic a freshness window must catch.
     fail_limit:
         Stop injecting failures after this many (None = unlimited);
         lets a test trip a breaker and then observe recovery without
@@ -67,6 +84,10 @@ class FaultInjectionFeature(ComponentFeature):
         drop_every: Optional[int] = None,
         drop_rate: Optional[float] = None,
         delay_datums: int = 0,
+        corrupt_every: Optional[int] = None,
+        corrupt_rate: Optional[float] = None,
+        corrupt_fields: Optional[Sequence[str]] = None,
+        timestamp_skew_s: float = 0.0,
         fail_limit: Optional[int] = None,
         seed: int = 0,
     ) -> None:
@@ -74,17 +95,21 @@ class FaultInjectionFeature(ComponentFeature):
         for label, every in (
             ("fail_every", fail_every),
             ("drop_every", drop_every),
+            ("corrupt_every", corrupt_every),
         ):
             if every is not None and every < 1:
                 raise FeatureError(f"{label} must be >= 1")
         for label, rate in (
             ("fail_rate", fail_rate),
             ("drop_rate", drop_rate),
+            ("corrupt_rate", corrupt_rate),
         ):
             if rate is not None and not 0.0 <= rate <= 1.0:
                 raise FeatureError(f"{label} must be within [0, 1]")
         if delay_datums < 0:
             raise FeatureError("delay_datums must be >= 0")
+        if timestamp_skew_s < 0:
+            raise FeatureError("timestamp_skew_s must be >= 0")
         if fail_limit is not None and fail_limit < 0:
             raise FeatureError("fail_limit must be >= 0")
         self._fail_every = fail_every
@@ -92,6 +117,12 @@ class FaultInjectionFeature(ComponentFeature):
         self._drop_every = drop_every
         self._drop_rate = drop_rate
         self._delay_datums = delay_datums
+        self._corrupt_every = corrupt_every
+        self._corrupt_rate = corrupt_rate
+        self._corrupt_fields = (
+            tuple(corrupt_fields) if corrupt_fields is not None else None
+        )
+        self._timestamp_skew_s = timestamp_skew_s
         self._fail_limit = fail_limit
         self._rng = random.Random(seed)
         self._armed = True
@@ -101,6 +132,7 @@ class FaultInjectionFeature(ComponentFeature):
         self.injected_failures = 0
         self.injected_drops = 0
         self.injected_delays = 0
+        self.injected_corruptions = 0
 
     # -- interception -------------------------------------------------------
 
@@ -121,6 +153,10 @@ class FaultInjectionFeature(ComponentFeature):
         if self._should(self._drop_every, self._drop_rate):
             self.injected_drops += 1
             return None
+        if self._should(
+            self._corrupt_every, self._corrupt_rate
+        ) and isinstance(datum.payload, Mapping):
+            datum = datum.with_payload(self.corrupt(datum.payload))
         if self._delay_datums:
             self._held.append(datum)
             if len(self._held) <= self._delay_datums:
@@ -137,6 +173,76 @@ class FaultInjectionFeature(ComponentFeature):
         if rate is not None and self._rng.random() < rate:
             return True
         return False
+
+    # -- payload corruption ---------------------------------------------------
+
+    def maybe_corrupt(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Gateway-boundary hook: corrupt per the seeded cadence/rate.
+
+        Counts the payload like a consumed datum and returns either a
+        corrupted copy or the payload as a plain dict -- a raw-traffic
+        mangler needing no host component, so storm tests can run a
+        clean payload stream through it before ``gateway.submit``.
+        """
+        if not self._armed:
+            return dict(payload)
+        self._consumed += 1
+        if self._should(self._corrupt_every, self._corrupt_rate):
+            return self.corrupt(payload)
+        return dict(payload)
+
+    def corrupt(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Return a corrupted *copy* of ``payload`` (always corrupts).
+
+        The seeded RNG picks one action: drop a candidate field, mangle
+        a candidate field's value into out-of-domain garbage, or (when
+        ``timestamp_skew_s`` is set and a ``timestamp`` field exists)
+        skew the timestamp -- the three malformations the gateway's
+        schema and freshness stages exist to catch.
+        """
+        out = dict(payload)
+        self.injected_corruptions += 1
+        actions = ["drop", "mangle"]
+        if self._timestamp_skew_s > 0 and "timestamp" in out:
+            actions.append("skew")
+        action = self._rng.choice(actions)
+        if action == "skew":
+            skew = self._rng.uniform(
+                -self._timestamp_skew_s, self._timestamp_skew_s
+            )
+            value = out["timestamp"]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out["timestamp"] = value + skew
+            else:
+                out["timestamp"] = skew
+            return out
+        fields = (
+            self._corrupt_fields
+            if self._corrupt_fields is not None
+            else tuple(sorted(out))
+        )
+        candidates = [name for name in fields if name in out]
+        if not candidates:
+            # Nothing to target -- make the corruption visible anyway.
+            out["__corrupted__"] = True
+            return out
+        field = self._rng.choice(candidates)
+        if action == "drop":
+            del out[field]
+        else:
+            out[field] = self._mangle(out[field])
+        return out
+
+    def _mangle(self, value: Any) -> Any:
+        """A deterministically-chosen wrong value for ``value``."""
+        if isinstance(value, bool):
+            return "<corrupt>"
+        if isinstance(value, (int, float)):
+            # Wrong type, or wildly out of any plausible schema range.
+            return self._rng.choice(["<corrupt>", None, value * 1e6 + 1e9])
+        if isinstance(value, str):
+            return self._rng.choice([12345, None, ["<corrupt>"]])
+        return "<corrupt>"
 
     # -- reflective surface --------------------------------------------------
 
@@ -163,5 +269,6 @@ class FaultInjectionFeature(ComponentFeature):
             "injected_failures": self.injected_failures,
             "injected_drops": self.injected_drops,
             "injected_delays": self.injected_delays,
+            "injected_corruptions": self.injected_corruptions,
             "pending": len(self._held),
         }

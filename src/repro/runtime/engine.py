@@ -190,6 +190,15 @@ class PositioningEngine:
         except KeyError:
             raise EngineError(f"no tracked target {target_id!r}") from None
 
+    def is_tracked(self, target_id: str) -> bool:
+        """Whether a lane exists for ``target_id`` (no-raise probe).
+
+        The gateway's device-admission check: producers that must not
+        fail on unknown targets probe here instead of catching
+        :class:`EngineError` from :meth:`lane`.
+        """
+        return target_id in self._lanes
+
     def lanes(self) -> List[TargetLane]:
         """All lanes, in registration order (the scheduler's order)."""
         return list(self._lane_list)

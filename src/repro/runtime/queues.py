@@ -84,6 +84,11 @@ class IngestionQueue:
         self.dropped_oldest = 0
         self.dropped_newest = 0
         self.coalesced = 0
+        # Per-key (kind) collision counts under the coalesce policy:
+        # how often an incoming datum replaced a pending same-kind one.
+        # The total equals ``coalesced``; the breakdown shows *which*
+        # kinds are racing, which the flat counter hides.
+        self.coalesce_collisions: Dict[str, int] = {}
         self.drained = 0
         self.high_water = 0
 
@@ -137,6 +142,9 @@ class IngestionQueue:
                 if items[index].kind == kind:
                     items[index] = datum
                     self.coalesced += 1
+                    self.coalesce_collisions[kind] = (
+                        self.coalesce_collisions.get(kind, 0) + 1
+                    )
                     return COALESCED
         if len(items) >= self._capacity:
             if policy == BLOCK:
@@ -174,6 +182,17 @@ class IngestionQueue:
         """The oldest pending datum, or None while empty."""
         return self._items[0] if self._items else None
 
+    def evictee(self) -> Optional[Datum]:
+        """The datum ``drop_oldest`` would evict if offered now, or None.
+
+        A single hot-path probe for producers (the ingestion gateway)
+        that must recover the evicted datum -- e.g. to dead-letter it --
+        before :meth:`offer` silently drops it.
+        """
+        if self._policy == DROP_OLDEST and len(self._items) >= self._capacity:
+            return self._items[0]
+        return None
+
     def clear(self) -> int:
         """Discard all pending datums; returns how many were discarded."""
         discarded = len(self._items)
@@ -209,6 +228,7 @@ class IngestionQueue:
             "dropped_oldest": self.dropped_oldest,
             "dropped_newest": self.dropped_newest,
             "coalesced": self.coalesced,
+            "coalesce_collisions": dict(self.coalesce_collisions),
             "drained": self.drained,
         }
 

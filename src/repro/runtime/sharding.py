@@ -762,6 +762,14 @@ class ShardedEngine:
         del self._assignments[target_id]
         return shard
 
+    def is_tracked(self, target_id: str) -> bool:
+        """Whether any shard owns a lane for ``target_id`` (no-raise).
+
+        Mirrors :meth:`PositioningEngine.is_tracked` so the ingestion
+        gateway can sit in front of either engine unchanged.
+        """
+        return target_id in self._assignments
+
     def set_policy(self, target_id: str, **kwargs: Any) -> Dict[str, Any]:
         """Adapt one lane's backpressure/fairness knobs, wherever it lives."""
         return self._shards[self.shard_of(target_id)].set_policy(target_id, **kwargs)

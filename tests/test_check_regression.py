@@ -1,9 +1,9 @@
 """Unit tests for the CI benchmark gate (``benchmarks/check_regression.py``).
 
 The gate decides whether benchmark PRs merge, so it gets the same
-treatment as product code: schema sniffing across all four artefact
-shapes, ratio/floor failure exits (1), harness errors -- missing or
-malformed artefacts, schema violations -- exiting 2, and the
+treatment as product code: schema sniffing across all five artefact
+shapes, ratio/floor/ceiling failure exits (1), harness errors --
+missing or malformed artefacts, schema violations -- exiting 2, and the
 hardware-conditional shard floor.
 """
 
@@ -64,6 +64,34 @@ def compile_artefact(speedup=2.5, floor=2.0):
     }
 
 
+def gateway_artefact(
+    overhead=1.05,
+    ceiling=1.15,
+    relative=0.8,
+    dlq_depth=100,
+    dlq_capacity=256,
+):
+    return {
+        "gateway": {
+            "dlq_capacity": dlq_capacity,
+            "gated_workload": "clean",
+            "overhead_ceiling": ceiling,
+            "workloads": {
+                "clean": {
+                    "rate": 100_000.0,
+                    "direct_rate": 100_000.0 * overhead,
+                    "overhead": overhead,
+                },
+                "malformed_heavy": {
+                    "rate": 100_000.0 * relative,
+                    "relative_rate": relative,
+                    "dlq_depth": dlq_depth,
+                },
+            },
+        }
+    }
+
+
 def shard_artefact(speedup=2.0, cpu_count=4, floor=1.5):
     return {
         "shard": {
@@ -97,6 +125,9 @@ class TestSchemaSniffing:
 
     def test_compile_schema_passes(self, tmp_path):
         assert run(tmp_path, compile_artefact(), compile_artefact()) == 0
+
+    def test_gateway_schema_passes(self, tmp_path):
+        assert run(tmp_path, gateway_artefact(), gateway_artefact()) == 0
 
     def test_unrecognised_schema_fails(self, tmp_path):
         assert run(tmp_path, {"mystery": {}}, {"mystery": {}}) == 1
@@ -144,6 +175,32 @@ class TestRegressionExits:
         current = compile_artefact()
         current["compile"]["depths"] = {}
         assert run(tmp_path, compile_artefact(), current) == 1
+
+    def test_gateway_overhead_growth_exits_1(self, tmp_path):
+        # Overhead factors invert: growing 1.02x -> 1.4x is a regression
+        # even though both clear the absolute ceiling comparison shape.
+        base = gateway_artefact(overhead=1.02)
+        cur = gateway_artefact(overhead=1.4, ceiling=1.5)
+        assert run(tmp_path, base, cur) == 1
+
+    def test_gateway_absolute_ceiling_exits_1(self, tmp_path):
+        # Ratio holds (same overhead), but the artefact's ceiling bites.
+        artefact = gateway_artefact(overhead=1.3, ceiling=1.15)
+        assert run(tmp_path, artefact, artefact) == 1
+
+    def test_gateway_relative_rate_regression_exits_1(self, tmp_path):
+        base = gateway_artefact(relative=1.5)
+        cur = gateway_artefact(relative=0.9)
+        assert run(tmp_path, base, cur) == 1
+
+    def test_gateway_dlq_over_capacity_exits_1(self, tmp_path):
+        artefact = gateway_artefact(dlq_depth=300, dlq_capacity=256)
+        assert run(tmp_path, gateway_artefact(), artefact) == 1
+
+    def test_gateway_missing_workload_exits_1(self, tmp_path):
+        current = gateway_artefact()
+        del current["gateway"]["workloads"]["malformed_heavy"]
+        assert run(tmp_path, gateway_artefact(), current) == 1
 
     def test_dispatch_rerun_tolerance_exits_1(self, tmp_path):
         current = dispatch_artefact()

@@ -92,3 +92,14 @@ def test_scale_demo(capsys):
     assert "scheduler rounds:" in out
     assert "adapted badge-02 -> policy=block" in out
     assert "report excerpt:" in out
+
+
+def test_gateway_demo(capsys):
+    out = run_example("gateway_demo", capsys)
+    assert "clean fleet: 40 fixes accepted" in out
+    assert "after firmware update: rejected=20, dlq depth=20" in out
+    assert "stage=schema adapter=phone_tracker_v1" in out
+    assert "crosswalk installed, replay: 20 recovered, 0 failed" in out
+    assert "fleet-app delivered: 60 positions" in out
+    assert "parked as" in out and "'exhausted' after 2 attempts" in out
+    assert "dlq: depth=21/256" in out

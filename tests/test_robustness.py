@@ -502,6 +502,9 @@ class TestFaultInjectionFeature:
             {"drop_rate": -0.1},
             {"delay_datums": -1},
             {"fail_limit": -1},
+            {"corrupt_every": 0},
+            {"corrupt_rate": 2.0},
+            {"timestamp_skew_s": -1.0},
         ],
     )
     def test_invalid_configuration_raises(self, kwargs):
@@ -574,6 +577,67 @@ class TestFaultInjectionFeature:
             source.inject(Datum("x", i, float(i)))
         assert feature.injected_failures == 2
         assert [d.payload for d in sink.received] == [3, 4, 5]
+
+    def test_corruption_mangles_mapping_payloads_deterministically(self):
+        runs = []
+        for _run in range(2):
+            feature = FaultInjectionFeature(corrupt_every=2, seed=11)
+            _graph, source, sink, _sup = self.build(feature)
+            for i in range(1, 7):
+                source.inject(Datum("x", {"v": i, "s": "ok"}, float(i)))
+            runs.append(
+                (
+                    [d.payload for d in sink.received],
+                    feature.injected_corruptions,
+                )
+            )
+        assert runs[0] == runs[1]
+        payloads, corruptions = runs[0]
+        assert corruptions == 3
+        # Every 2nd consumed payload was mangled; the rest pass intact.
+        for index, payload in enumerate(payloads, 1):
+            if index % 2 == 0:
+                assert payload != {"v": index, "s": "ok"}
+            else:
+                assert payload == {"v": index, "s": "ok"}
+
+    def test_corruption_skips_non_mapping_payloads(self):
+        feature = FaultInjectionFeature(corrupt_every=1)
+        _graph, source, sink, _sup = self.build(feature)
+        for i in range(3):
+            source.inject(Datum("x", i, float(i)))
+        assert [d.payload for d in sink.received] == [0, 1, 2]
+        assert feature.injected_corruptions == 0
+
+    def test_maybe_corrupt_works_without_a_host_component(self):
+        # The gateway-boundary mode: raw wire payloads, no attachment.
+        feature = FaultInjectionFeature(
+            corrupt_every=3, timestamp_skew_s=60.0, seed=5
+        )
+        original = {"device_id": "d", "timestamp": 100.0, "lat": 1.0}
+        stream = [dict(original) for _ in range(9)]
+        out = [feature.maybe_corrupt(p) for p in stream]
+        assert feature.injected_corruptions == 3
+        assert sum(1 for o in out if o != original) == 3
+        # maybe_corrupt copies: the submitted payloads are untouched.
+        assert all(p == original for p in stream)
+
+    def test_corrupt_fields_restricts_targets(self):
+        feature = FaultInjectionFeature(
+            corrupt_every=1, corrupt_fields=("lat",), seed=3
+        )
+        for _ in range(5):
+            out = feature.maybe_corrupt({"lat": 1.0, "lon": 2.0})
+            assert out.get("lon") == 2.0
+            assert out.get("lat") != 1.0  # dropped or mangled
+
+    def test_disarmed_feature_does_not_corrupt(self):
+        feature = FaultInjectionFeature(corrupt_every=1)
+        feature.disarm()
+        payload = {"lat": 1.0}
+        assert feature.maybe_corrupt(payload) == payload
+        assert feature.injected_corruptions == 0
+        assert feature.stats()["injected_corruptions"] == 0
 
     def test_disarm_through_psl_reflective_surface(self):
         feature = FaultInjectionFeature(fail_every=1)

@@ -158,6 +158,60 @@ class TestQueuePolicies:
         with pytest.raises(QueueError):
             queue.set_capacity(0)
 
+    def test_coalesce_collision_counts_per_kind_in_stats(self):
+        queue = IngestionQueue("q", capacity=4, policy=COALESCE)
+        queue.offer(datum(1, kind="x"))
+        queue.offer(datum(2, kind="y"))
+        queue.offer(datum(3, kind="x"))
+        queue.offer(datum(4, kind="x"))
+        queue.offer(datum(5, kind="y"))
+        stats = queue.stats()
+        assert stats["coalesce_collisions"] == {"x": 2, "y": 1}
+        assert stats["coalesced"] == 3
+        # The per-key breakdown always sums to the flat counter.
+        assert sum(stats["coalesce_collisions"].values()) == queue.coalesced
+        # stats() hands out a copy, not the live mapping.
+        stats["coalesce_collisions"]["x"] = 99
+        assert queue.coalesce_collisions["x"] == 2
+
+    def test_no_collisions_recorded_outside_coalesce_policy(self):
+        queue = IngestionQueue("q", capacity=2, policy=DROP_OLDEST)
+        queue.offer(datum(1, kind="x"))
+        queue.offer(datum(2, kind="x"))
+        queue.offer(datum(3, kind="x"))
+        assert queue.stats()["coalesce_collisions"] == {}
+
+    def test_coalesce_after_capacity_shrink_below_depth(self):
+        queue = IngestionQueue("q", capacity=4, policy=COALESCE)
+        for i, kind in enumerate(["a", "b", "c", "d"]):
+            queue.offer(datum(i, kind=kind))
+        # Shrink below depth: oldest (a, b) evicted as dropped_oldest.
+        assert queue.set_capacity(2) == 4
+        assert queue.depth == 2
+        assert queue.dropped_oldest == 2
+        # A surviving kind still coalesces in place at the new bound...
+        assert queue.offer(datum(9, kind="c")) == COALESCED
+        assert queue.depth == 2
+        # ...while an evicted kind re-enters via the overflow path
+        # (drop_oldest), not by resurrecting its old slot.
+        assert queue.offer(datum(10, kind="a")) == ACCEPTED
+        assert payloads(queue.drain()) == [3, 10]
+        assert queue.dropped_oldest == 3
+        assert queue.stats()["coalesce_collisions"] == {"c": 1}
+
+    def test_coalesce_shrink_to_one_keeps_freshest_of_survivor(self):
+        queue = IngestionQueue("q", capacity=3, policy=COALESCE)
+        queue.offer(datum(1, kind="x"))
+        queue.offer(datum(2, kind="y"))
+        queue.offer(datum(3, kind="z"))
+        queue.set_capacity(1)  # only z survives
+        assert queue.offer(datum(4, kind="z")) == COALESCED
+        assert queue.depth == 1
+        assert queue.offer(datum(5, kind="x")) == ACCEPTED  # evicts z
+        assert payloads(queue.drain()) == [5]
+        # High-water reflects the pre-shrink history.
+        assert queue.high_water == 3
+
 
 class FakeLane:
     def __init__(self, name, weight=1):

@@ -1,5 +1,7 @@
 """Tests for simulated distribution (hosts, network, proxies)."""
 
+import dataclasses
+
 import pytest
 
 from repro.clock import SimulationClock
@@ -238,3 +240,64 @@ class TestRetryPolicy:
         with pytest.raises(ConnectionError):
             proxy.fetch()
         assert service.calls == 1
+
+    def test_zero_attempt_configs_rejected_and_policy_frozen(self):
+        # max_attempts counts the first try, so zero (or fewer) attempts
+        # would mean "never call at all" -- invalid by construction.
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-3)
+        policy = RetryPolicy()
+        assert (policy.max_attempts, policy.backoff_s, policy.multiplier) == (
+            3,
+            0.1,
+            2.0,
+        )
+        # Frozen: a shared policy object cannot be mutated by one caller.
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            policy.max_attempts = 5  # type: ignore[misc]
+
+    def test_single_attempt_policy_never_retries_or_backs_off(self):
+        clock, _network, mobile, server = self.make_pair_with_clock()
+        service = Flaky(failures=1)
+        server.export("flaky", service)
+        proxy = mobile.import_service(
+            server, "flaky", retry=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(ConnectionError):
+            proxy.fetch()
+        assert service.calls == 1
+        assert clock.now == 0.0
+
+    def test_zero_backoff_retries_without_advancing_clock(self):
+        clock, _network, mobile, server = self.make_pair_with_clock()
+        server.export("flaky", Flaky(failures=2))
+        proxy = mobile.import_service(
+            server,
+            "flaky",
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+        )
+        assert proxy.fetch() == "payload"
+        assert clock.now == 0.0
+
+    def test_backoff_sequence_with_unit_multiplier_is_linear(self):
+        clock, network, mobile, server = self.make_pair_with_clock()
+        server.export("flaky", Flaky(failures=3))
+        proxy = mobile.import_service(
+            server,
+            "flaky",
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.5, multiplier=1.0),
+        )
+        assert proxy.fetch() == "payload"
+        times = [
+            m.time_s
+            for m in network.messages
+            if m.description == "flaky.fetch:request"
+        ]
+        assert times == [
+            0.0,
+            pytest.approx(0.5),
+            pytest.approx(1.0),
+            pytest.approx(1.5),
+        ]
