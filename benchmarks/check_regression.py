@@ -55,6 +55,17 @@ sections:
     relative to the same run's clean rate, and the recorded DLQ depth
     must respect the artefact's ``dlq_capacity`` bound.
 
+``durability`` (``BENCH_durability.json``, written by
+``bench_durability.py``)
+    Correctness figures first: every depth cell must record
+    ``lost == 0`` and ``replayed == expected_replayed``, and the
+    handoff must record ``lost == 0`` with ``pause_ms`` under the
+    artefact's own ``pause_ceiling_ms`` -- all within-run figures, so
+    they gate the *current* artefact unconditionally.  The one
+    cross-run figure is ``bytes_per_datum`` (serialized size per
+    pending datum, runner-independent): it may not grow by more than
+    1 / --min-ratio over the baseline's per depth.
+
 A missing or malformed artefact is a harness error, not a regression:
 the tool prints what went wrong and exits 2 (regressions exit 1).
 
@@ -327,8 +338,71 @@ def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
+def check_durability(baseline: dict, current: dict, min_ratio: float) -> list:
+    failures = []
+    base_dur = baseline["durability"]
+    cur_dur = current["durability"]
+
+    for key, cur_row in cur_dur.get("depths", {}).items():
+        # Within-run correctness figures: gate the current artefact
+        # unconditionally, no baseline needed.
+        lost = int(cur_row["lost"])
+        replayed = int(cur_row["replayed"])
+        expected = int(cur_row["expected_replayed"])
+        if lost:
+            failures.append(f"durability {key}: lost {lost} datums")
+        if replayed != expected:
+            failures.append(
+                f"durability {key}: replayed {replayed},"
+                f" expected {expected}"
+            )
+        base_row = base_dur.get("depths", {}).get(key)
+        if base_row is None:
+            failures.append(f"durability depth {key} missing from baseline")
+            continue
+        # Serialized size per pending datum is runner-independent;
+        # smaller is better, so the ratio inverts vs the speedup gates.
+        base_bpd = float(base_row["bytes_per_datum"])
+        cur_bpd = float(cur_row["bytes_per_datum"])
+        ratio = base_bpd / cur_bpd if cur_bpd else 1.0
+        status = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(
+            f"durability {key}: {cur_bpd:.0f}B/datum"
+            f" (baseline {base_bpd:.0f}B,"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"durability {key}: bytes_per_datum grew"
+                f" {base_bpd:.0f}B -> {cur_bpd:.0f}B"
+                f" (ratio {ratio:.3f} < {min_ratio})"
+            )
+
+    handoff = cur_dur["handoff"]
+    ceiling = float(cur_dur.get("pause_ceiling_ms", 0.0))
+    pause = float(handoff["pause_ms"])
+    lost = int(handoff["lost"])
+    status = "ok" if not lost and (not ceiling or pause <= ceiling) else "REGRESSION"
+    print(
+        f"durability handoff: {handoff['datums']} datums,"
+        f" pause {pause:.2f}ms (ceiling {ceiling:g}ms),"
+        f" lost {lost} [{status}]"
+    )
+    if lost:
+        failures.append(f"durability handoff: lost {lost} datums")
+    if ceiling and pause > ceiling:
+        failures.append(
+            f"durability handoff: pause {pause:.2f}ms above the"
+            f" artefact's own ceiling {ceiling:g}ms"
+        )
+
+    return failures
+
+
 def check(baseline: dict, current: dict, min_ratio: float) -> list:
     """Dispatch on schema: which top-level sections the artefact carries."""
+    if "durability" in current or "durability" in baseline:
+        return check_durability(baseline, current, min_ratio)
     if "gateway" in current or "gateway" in baseline:
         return check_gateway(baseline, current, min_ratio)
     if "compile" in current or "compile" in baseline:
@@ -341,7 +415,7 @@ def check(baseline: dict, current: dict, min_ratio: float) -> list:
         return check_dispatch(baseline, current, min_ratio)
     return [
         "unrecognised artefact schema: expected a 'compile', 'configs',"
-        " 'gateway', 'scale' or 'shard' top-level section"
+        " 'durability', 'gateway', 'scale' or 'shard' top-level section"
     ]
 
 

@@ -159,6 +159,20 @@ class ProcessingComponent(abc.ABC):
             "methods": self.public_methods(),
         }
 
+    # -- durability ---------------------------------------------------------
+
+    def state_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Mutable runtime state for the durability seam, or None.
+
+        Components are stateless by default; stateful ones (sinks,
+        filters with history) override this pair so snapshots capture
+        what replay alone cannot reconstruct.
+        """
+        return None
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Reinstall state captured by :meth:`state_snapshot`."""
+
     def public_methods(self) -> List[str]:
         """All public methods, including ones added by features."""
         own = [
@@ -637,6 +651,16 @@ class ApplicationSink(ProcessingComponent):
                     listener(datum)
         if len(received) > self._keep_last:
             del received[: len(received) - self._keep_last]
+
+    def state_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Received history (raw datums); listeners are not serialised."""
+        return {"received": list(self.received)}
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        received = list(state["received"])
+        if len(received) > self._keep_last:
+            del received[: len(received) - self._keep_last]
+        self.received = received
 
     def add_listener(
         self, listener: Callable[[Datum], None]

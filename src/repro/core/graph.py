@@ -155,6 +155,9 @@ class ProcessingGraph(ComponentObserver):
         # Optional ingestion gateway (wire validation + DLQ edge layer);
         # inspection-only, like the engine slot.
         self._gateway: Optional[Any] = None
+        # Optional durability manager (snapshot/restore/journal store);
+        # inspection-only, like the engine and gateway slots.
+        self._durability: Optional[Any] = None
         # -- derived indexes (dispatch fast path) -------------------------
         # Bumped by every structural mutation; compared by in-flight
         # routing loops to detect reentrant manipulation.
@@ -272,6 +275,23 @@ class ProcessingGraph(ComponentObserver):
         """
         previous = self._gateway
         self._gateway = gateway
+        return previous
+
+    @property
+    def durability(self) -> Optional[Any]:
+        """The installed durability manager, or None while state is volatile."""
+        return self._durability
+
+    def set_durability(self, durability: Optional[Any]) -> Optional[Any]:
+        """Install (or, with None, remove) the durability manager.
+
+        Inspection-only like the engine and gateway slots: the manager
+        journals through the engine and persists through its store; the
+        graph reference only exists so the PSL and the infrastructure
+        report can reach snapshot/journal state.
+        """
+        previous = self._durability
+        self._durability = durability
         return previous
 
     # -- derived indexes -------------------------------------------------------

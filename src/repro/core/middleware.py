@@ -26,6 +26,7 @@ from repro.core.positioning import (
     PositioningLayer,
 )
 from repro.core.psl import ProcessStructureLayer
+from repro.durability import DurabilityManager, MemoryStateStore, StateStore
 from repro.gateway import IngestionGateway
 from repro.observability.instrumentation import ObservabilityHub
 from repro.observability.metrics import MetricsRegistry
@@ -61,6 +62,7 @@ class PerPos:
         self._sharding: Optional[ShardedEngine] = None
         self._sharding_registration: Optional[ServiceRegistration] = None
         self._gateway_registration: Optional[ServiceRegistration] = None
+        self._durability_registration: Optional[ServiceRegistration] = None
         # The layers are themselves services, as in the OSGi realisation.
         registry = self.framework.registry
         registry.register("perpos.ProcessingGraph", self.graph)
@@ -205,6 +207,7 @@ class PerPos:
             **kwargs,  # type: ignore[arg-type]
         )
         self._sharding = engine
+        engine.durability = self.graph.durability
         # Re-register unconditionally: a stale registration would hand
         # registry consumers the previous, now-closed coordinator.
         if self._sharding_registration is not None:
@@ -285,17 +288,93 @@ class PerPos:
         self._gateway_registration = self.framework.registry.register(
             "perpos.IngestionGateway", gateway
         )
+        manager = self.graph.durability
+        if manager is not None:
+            dlq_state = manager.load_dlq_state()
+            if dlq_state is not None:
+                gateway.dlq.state_restore(dlq_state)
         return gateway
 
     def disable_gateway(self) -> Optional[IngestionGateway]:
-        """Close the ingestion edge (DLQ and counters stay readable)."""
+        """Close the ingestion edge (DLQ and counters stay readable).
+
+        With durability enabled, the dead-letter records are persisted
+        to the state store first, so a later :meth:`enable_gateway`
+        rehydrates them -- a disable/enable cycle (or a crash between
+        the two) no longer forfeits payloads awaiting replay-after-fix.
+        """
         gateway = self.graph.set_gateway(None)
         if self._gateway_registration is not None:
             self._gateway_registration.unregister()
             self._gateway_registration = None
         if gateway is not None:
+            manager = self.graph.durability
+            if manager is not None:
+                manager.save_dlq_state(gateway.dlq.state_snapshot())
             gateway.close()
         return gateway
+
+    # -- durability --------------------------------------------------------------
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The installed durability manager, or None while it is off."""
+        return self.graph.durability
+
+    def enable_durability(
+        self,
+        store: Optional[StateStore] = None,
+        *,
+        snapshot_every: Optional[int] = None,
+    ) -> DurabilityManager:
+        """Install durable state on this middleware's runtime.
+
+        Requires a live :meth:`enable_runtime` engine: the manager
+        journals every submit/drain/track/untrack/policy mutation into
+        ``store`` (default: an in-memory store, useful for tests and
+        warm handoff staging) and can snapshot/restore the full engine
+        state -- lanes, queues, component state, breakers, DLQ records,
+        metric counters.  ``snapshot_every`` auto-snapshots after that
+        many journal entries.  Re-enabling detaches the previous
+        manager (its store stays readable).
+        """
+        engine = self.graph.engine
+        if engine is None:
+            raise ValueError(
+                "no runtime to persist: enable_runtime() before"
+                " enable_durability()"
+            )
+        previous = self.graph.durability
+        if previous is not None:
+            previous.detach()
+        manager = DurabilityManager(
+            self.graph,
+            store if store is not None else MemoryStateStore(),
+            snapshot_every=snapshot_every,
+        )
+        manager.attach()
+        if self._sharding is not None:
+            self._sharding.durability = manager
+        # Re-register unconditionally: a stale registration would hand
+        # registry consumers the previous, now-detached manager.
+        if self._durability_registration is not None:
+            self._durability_registration.unregister()
+        self._durability_registration = self.framework.registry.register(
+            "perpos.DurabilityManager", manager
+        )
+        return manager
+
+    def disable_durability(self) -> Optional[DurabilityManager]:
+        """Detach durable state (the store's contents stay readable)."""
+        manager = self.graph.durability
+        if self._durability_registration is not None:
+            self._durability_registration.unregister()
+            self._durability_registration = None
+        if self._sharding is not None and self._sharding.durability is manager:
+            self._sharding.durability = None
+        if manager is not None:
+            manager.detach()
+        return manager
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
         """The component path (with timestamps) behind a delivered datum.

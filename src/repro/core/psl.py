@@ -243,6 +243,46 @@ class ProcessStructureLayer:
             raise GraphError("no ingestion gateway installed")
         return gateway.replay(seq, ignore_backoff=ignore_backoff)
 
+    # -- durability (the crash-recovery seam) ----------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Checkpoint the full runtime state into the durability store.
+
+        Lanes, queue contents, component state, breakers, dead-letter
+        records, and metric series -- everything
+        :meth:`restore` needs to resume after a crash.  Returns the
+        snapshot summary (bytes written, lanes, pending datums).
+        Raises while no durability manager is installed -- like
+        :meth:`set_backpressure`, adaptation does not degrade silently.
+        """
+        manager = self.graph.durability
+        if manager is None:
+            raise GraphError("no durability manager installed")
+        return manager.snapshot()
+
+    def restore(self) -> int:
+        """Rebuild runtime state from the durability store's latest state.
+
+        Loads the newest snapshot, replays the journal entries recorded
+        after it, and returns the number of entries replayed.  Raises
+        while no durability manager is installed.
+        """
+        manager = self.graph.durability
+        if manager is None:
+            raise GraphError("no durability manager installed")
+        return manager.restore()
+
+    def migrations(self) -> List[Dict[str, Any]]:
+        """Completed warm lane handoffs recorded by the durability seam.
+
+        Each entry names the migrated target, source/destination shard,
+        datums carried, and the handoff pause.  Empty while no
+        durability manager is installed -- inspection degrades
+        gracefully, like :meth:`component_metrics`.
+        """
+        manager = self.graph.durability
+        return manager.migrations() if manager is not None else []
+
     # -- supervision (failure seams) -----------------------------------------
 
     def component_health(

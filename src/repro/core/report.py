@@ -132,6 +132,14 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
             if middleware.graph.gateway is not None
             else None
         ),
+        # Durable state (None while no durability manager is
+        # installed): store backend, snapshot/journal counters, and
+        # the warm-handoff migration history.
+        "durability": (
+            middleware.durability.describe()
+            if middleware.durability is not None
+            else None
+        ),
         # Compiled dispatch plan of this middleware's graph (always
         # present: a gated plan reports its fallback reason instead of
         # chains).  Shard-private plans ride along inside "sharding".
@@ -241,8 +249,18 @@ def render_report(middleware: PerPos) -> str:
             f" accepted={gateway['accepted']},"
             f" rejected={gateway['rejected']},"
             f" shed={gateway['shed']},"
+            f" rate_limited={gateway['rate_limited']},"
             f" pending={gateway['pending']}"
         )
+        limiter = gateway["rate_limit"]
+        if limiter is not None:
+            lines.append(
+                f"  rate limit: {_fmt(limiter['rate'])}/s"
+                f" (burst {_fmt(limiter['burst'])}),"
+                f" devices={limiter['keys']},"
+                f" allowed={limiter['allowed']},"
+                f" limited={limiter['limited']}"
+            )
         dlq = gateway["dlq"]
         lines.append(
             f"  dlq: depth={dlq['depth']}/{dlq['capacity']}"
@@ -283,6 +301,27 @@ def render_report(middleware: PerPos) -> str:
             lines.append(line)
             if entry["error"]:
                 lines.append(f"    ! {entry['error']}")
+    durability = snapshot["durability"]
+    lines.append("")
+    lines.append("durability:")
+    if durability is None:
+        lines.append("  (durability disabled)")
+    else:
+        store = durability["store"]
+        every = durability["snapshot_every"]
+        lines.append(
+            f"  store={store['backend']}"
+            f" (snapshots={store['snapshots']},"
+            f" entries={store['entries']});"
+            f" auto_snapshot="
+            + (f"every {every} entries" if every else "off")
+        )
+        lines.append(
+            f"  snapshots_taken={durability['snapshots_taken']}"
+            f" (last={durability['last_snapshot_bytes']}B),"
+            f" restores={durability['restores']},"
+            f" migrations={durability['migrations']}"
+        )
     lines.append("")
     lines.append("compiled:")
     lines.append("  graph: " + _plan_line(snapshot["compiled"]))

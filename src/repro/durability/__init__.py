@@ -1,0 +1,42 @@
+"""Durable state: snapshot/restore, crash-recovery replay, warm handoff.
+
+Everything in the engine is in-memory and dies with the process; this
+package makes *where state lives* a pluggable policy instead of engine
+logic.  A :class:`StateStore` (stdlib backends: in-memory, JSON-lines
+append log, sqlite) receives full snapshots of engine state — lanes,
+queue contents, component state, supervision, gateway dead letters,
+hub counters — plus incremental journal entries between snapshots, and
+:func:`restore_state` rebuilds a live engine from the latest snapshot
+and replays the journal deterministically.
+"""
+
+from repro.durability.codec import decode_value, encode_value
+from repro.durability.journal import DurabilityJournal
+from repro.durability.manager import (
+    DurabilityError,
+    DurabilityManager,
+    capture_state,
+    restore_from_store,
+    restore_state,
+)
+from repro.durability.store import (
+    JsonLinesStateStore,
+    MemoryStateStore,
+    SqliteStateStore,
+    StateStore,
+)
+
+__all__ = [
+    "DurabilityError",
+    "DurabilityJournal",
+    "DurabilityManager",
+    "JsonLinesStateStore",
+    "MemoryStateStore",
+    "SqliteStateStore",
+    "StateStore",
+    "capture_state",
+    "decode_value",
+    "encode_value",
+    "restore_from_store",
+    "restore_state",
+]

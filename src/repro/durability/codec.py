@@ -1,0 +1,84 @@
+"""JSON-safe encoding of engine state.
+
+State seams (:meth:`IngestionQueue.state_snapshot`,
+:meth:`ProcessingComponent.state_snapshot`, supervisor and DLQ
+snapshots) return *raw* Python objects, including :class:`Datum`
+instances and tuples.  The store layer speaks JSON, so the manager
+passes the whole state dict through :func:`encode_value` once before
+persisting and through :func:`decode_value` after loading.
+
+Markers:
+
+- ``{"__datum__": {...}}`` — a :class:`repro.core.data.Datum`
+- ``{"__tuple__": [...]}`` — a tuple (JSON would flatten it to a list)
+- ``{"__pickle__": "<base64>"}`` — last resort for payload objects that
+  are not JSON-representable; round-trips anything picklable
+"""
+
+import base64
+import pickle
+from typing import Any
+
+from repro.core.data import Datum
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable primitives."""
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, Datum):
+        return {
+            "__datum__": {
+                "kind": value.kind,
+                "payload": encode_value(value.payload),
+                "timestamp": value.timestamp,
+                "producer": value.producer,
+                "attributes": encode_value(dict(value.attributes)),
+            }
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                # Non-string keys (e.g. DLQ seq ints) survive as a
+                # pickled blob alongside string-keyed siblings.
+                return _pickle_blob(value)
+            encoded[key] = encode_value(item)
+        return encoded
+    return _pickle_blob(value)
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if "__datum__" in value and len(value) == 1:
+            fields = value["__datum__"]
+            return Datum(
+                kind=fields["kind"],
+                payload=decode_value(fields["payload"]),
+                timestamp=fields["timestamp"],
+                producer=fields.get("producer", ""),
+                attributes=decode_value(fields.get("attributes", {})),
+            )
+        if "__tuple__" in value and len(value) == 1:
+            return tuple(decode_value(item) for item in value["__tuple__"])
+        if "__pickle__" in value and len(value) == 1:
+            return pickle.loads(base64.b64decode(value["__pickle__"]))
+        return {key: decode_value(item) for key, item in value.items()}
+    return value
+
+
+def _pickle_blob(value: Any) -> Any:
+    return {
+        "__pickle__": base64.b64encode(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+    }

@@ -1,0 +1,115 @@
+"""Incremental journal between full snapshots.
+
+The engine calls these hooks on every mutation (submit, drain round,
+track/untrack, backpressure-policy change); each becomes one appended
+store entry.  Crash recovery loads the latest snapshot and replays the
+entries after it in order, which re-executes the same deterministic
+pipeline the live run performed — exactly-once at drain boundaries.
+
+``snapshot_every`` bounds replay length: after that many entries the
+journal invokes the manager's snapshot callback, starting a fresh
+generation.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.data import Datum
+from repro.durability.codec import encode_value
+from repro.durability.store import StateStore
+
+
+class DurabilityJournal:
+    """Appends engine mutations to a :class:`StateStore`."""
+
+    def __init__(
+        self,
+        store: StateStore,
+        *,
+        snapshot_every: Optional[int] = None,
+        snapshot_fn: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.store = store
+        self.snapshot_every = snapshot_every
+        self.snapshot_fn = snapshot_fn
+        self.entries_written = 0
+        self.since_snapshot = 0
+        self.bytes_written = 0
+        #: Re-entrancy latch: replay must not re-journal its own effects.
+        self.suspended = False
+
+    # -- engine hooks ------------------------------------------------------
+
+    def record_submit(self, target_id: str, datum: Datum) -> None:
+        self._append(
+            {
+                "type": "submit",
+                "target": target_id,
+                "datum": encode_value(datum),
+            }
+        )
+
+    def record_drain(self, lane_counts: List[Tuple[str, int]]) -> None:
+        self._append(
+            {
+                "type": "drain",
+                "lanes": [[target, count] for target, count in lane_counts],
+            }
+        )
+
+    def record_track(
+        self, target_id: str, source: str, capacity: int, policy: str, weight: int
+    ) -> None:
+        self._append(
+            {
+                "type": "track",
+                "target": target_id,
+                "source": source,
+                "capacity": capacity,
+                "policy": policy,
+                "weight": weight,
+            }
+        )
+
+    def record_untrack(self, target_id: str) -> None:
+        self._append({"type": "untrack", "target": target_id})
+
+    def record_policy(
+        self,
+        target_id: str,
+        policy: Optional[str],
+        capacity: Optional[int],
+        weight: Optional[int],
+    ) -> None:
+        self._append(
+            {
+                "type": "policy",
+                "target": target_id,
+                "policy": policy,
+                "capacity": capacity,
+                "weight": weight,
+            }
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        if self.suspended:
+            return
+        self.bytes_written += self.store.append(entry)
+        self.entries_written += 1
+        self.since_snapshot += 1
+        if (
+            self.snapshot_every is not None
+            and self.snapshot_fn is not None
+            and self.since_snapshot >= self.snapshot_every
+        ):
+            self.snapshot_fn()
+            self.since_snapshot = 0
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "entries_written": self.entries_written,
+            "since_snapshot": self.since_snapshot,
+            "bytes_written": self.bytes_written,
+            "snapshot_every": self.snapshot_every,
+        }

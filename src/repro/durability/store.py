@@ -1,0 +1,248 @@
+"""Pluggable state stores: where durable engine state lives.
+
+A :class:`StateStore` persists two record kinds:
+
+- **snapshots** — full checkpoints of engine state (already
+  codec-encoded to JSON-safe primitives by the manager);
+- **entries** — incremental journal records appended between
+  snapshots (submits, drain rounds, track/untrack, policy changes).
+
+``load_latest`` returns the newest snapshot plus every entry appended
+*after* it, which is exactly what crash recovery replays.  All three
+backends are stdlib-only: an in-memory store for tests, a JSON-lines
+append log, and sqlite.
+"""
+
+import json
+import sqlite3
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class StateStore(ABC):
+    """Abstract persistence seam for snapshots and journal entries."""
+
+    @abstractmethod
+    def save_snapshot(self, state: Dict[str, Any]) -> int:
+        """Persist a full snapshot; return its serialized size in bytes."""
+
+    @abstractmethod
+    def append(self, entry: Dict[str, Any]) -> int:
+        """Append one journal entry; return its serialized size in bytes."""
+
+    @abstractmethod
+    def load_latest(
+        self,
+    ) -> Optional[Tuple[Dict[str, Any], List[Dict[str, Any]]]]:
+        """Return ``(snapshot, entries_after_it)`` or ``None`` if empty."""
+
+    @abstractmethod
+    def latest_entry(self, entry_type: str) -> Optional[Dict[str, Any]]:
+        """Newest journal entry whose ``"type"`` matches, or ``None``."""
+
+    @abstractmethod
+    def describe(self) -> Dict[str, Any]:
+        """Introspection summary (backend, counts, location)."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources; safe to call twice."""
+
+
+class MemoryStateStore(StateStore):
+    """In-memory store; JSON round-trips records to catch encoding bugs."""
+
+    def __init__(self) -> None:
+        self._snapshots: List[Dict[str, Any]] = []
+        self._entries: List[Tuple[int, Dict[str, Any]]] = []
+
+    def save_snapshot(self, state: Dict[str, Any]) -> int:
+        text = json.dumps(state)
+        self._snapshots.append(json.loads(text))
+        return len(text.encode("utf-8"))
+
+    def append(self, entry: Dict[str, Any]) -> int:
+        text = json.dumps(entry)
+        self._entries.append((len(self._snapshots), json.loads(text)))
+        return len(text.encode("utf-8"))
+
+    def load_latest(
+        self,
+    ) -> Optional[Tuple[Dict[str, Any], List[Dict[str, Any]]]]:
+        if not self._snapshots:
+            return None
+        generation = len(self._snapshots)
+        after = [
+            entry for (gen, entry) in self._entries if gen >= generation
+        ]
+        return self._snapshots[-1], after
+
+    def latest_entry(self, entry_type: str) -> Optional[Dict[str, Any]]:
+        for _, entry in reversed(self._entries):
+            if entry.get("type") == entry_type:
+                return entry
+        return None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "backend": "memory",
+            "snapshots": len(self._snapshots),
+            "entries": len(self._entries),
+        }
+
+
+class JsonLinesStateStore(StateStore):
+    """Append-only JSON-lines ledger: one record per line.
+
+    Each line is ``{"kind": "snapshot"|"entry", "seq": n, "data": ...}``.
+    Appends reopen the file per record so a crash between writes loses
+    at most the record being written; a truncated trailing line (torn
+    write) is skipped on load.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._seq = 0
+        for record in self._read_records():
+            self._seq = max(self._seq, record.get("seq", 0))
+
+    def _read_records(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        # Torn trailing write from a crash mid-append.
+                        continue
+        except FileNotFoundError:
+            pass
+        return records
+
+    def _write(self, kind: str, data: Dict[str, Any]) -> int:
+        self._seq += 1
+        line = json.dumps({"kind": kind, "seq": self._seq, "data": data})
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return len(line.encode("utf-8"))
+
+    def save_snapshot(self, state: Dict[str, Any]) -> int:
+        return self._write("snapshot", state)
+
+    def append(self, entry: Dict[str, Any]) -> int:
+        return self._write("entry", entry)
+
+    def load_latest(
+        self,
+    ) -> Optional[Tuple[Dict[str, Any], List[Dict[str, Any]]]]:
+        snapshot: Optional[Dict[str, Any]] = None
+        after: List[Dict[str, Any]] = []
+        for record in self._read_records():
+            if record.get("kind") == "snapshot":
+                snapshot = record["data"]
+                after = []
+            elif record.get("kind") == "entry" and snapshot is not None:
+                after.append(record["data"])
+        if snapshot is None:
+            return None
+        return snapshot, after
+
+    def latest_entry(self, entry_type: str) -> Optional[Dict[str, Any]]:
+        found: Optional[Dict[str, Any]] = None
+        for record in self._read_records():
+            if (
+                record.get("kind") == "entry"
+                and record["data"].get("type") == entry_type
+            ):
+                found = record["data"]
+        return found
+
+    def describe(self) -> Dict[str, Any]:
+        records = self._read_records()
+        return {
+            "backend": "jsonl",
+            "path": self.path,
+            "snapshots": sum(
+                1 for r in records if r.get("kind") == "snapshot"
+            ),
+            "entries": sum(1 for r in records if r.get("kind") == "entry"),
+        }
+
+
+class SqliteStateStore(StateStore):
+    """Sqlite-backed store; ``:memory:`` works for tests."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            "  seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            "  kind TEXT NOT NULL,"
+            "  data TEXT NOT NULL"
+            ")"
+        )
+        self._conn.commit()
+
+    def _write(self, kind: str, data: Dict[str, Any]) -> int:
+        text = json.dumps(data)
+        self._conn.execute(
+            "INSERT INTO records (kind, data) VALUES (?, ?)", (kind, text)
+        )
+        self._conn.commit()
+        return len(text.encode("utf-8"))
+
+    def save_snapshot(self, state: Dict[str, Any]) -> int:
+        return self._write("snapshot", state)
+
+    def append(self, entry: Dict[str, Any]) -> int:
+        return self._write("entry", entry)
+
+    def load_latest(
+        self,
+    ) -> Optional[Tuple[Dict[str, Any], List[Dict[str, Any]]]]:
+        row = self._conn.execute(
+            "SELECT seq, data FROM records WHERE kind = 'snapshot'"
+            " ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        seq, text = row
+        entries = [
+            json.loads(data)
+            for (data,) in self._conn.execute(
+                "SELECT data FROM records"
+                " WHERE kind = 'entry' AND seq > ? ORDER BY seq",
+                (seq,),
+            )
+        ]
+        return json.loads(text), entries
+
+    def latest_entry(self, entry_type: str) -> Optional[Dict[str, Any]]:
+        for (data,) in self._conn.execute(
+            "SELECT data FROM records WHERE kind = 'entry'"
+            " ORDER BY seq DESC"
+        ):
+            entry = json.loads(data)
+            if entry.get("type") == entry_type:
+                return entry
+        return None
+
+    def describe(self) -> Dict[str, Any]:
+        counts = dict(
+            self._conn.execute(
+                "SELECT kind, COUNT(*) FROM records GROUP BY kind"
+            )
+        )
+        return {
+            "backend": "sqlite",
+            "path": self.path,
+            "snapshots": counts.get("snapshot", 0),
+            "entries": counts.get("entry", 0),
+        }
+
+    def close(self) -> None:
+        self._conn.close()

@@ -27,6 +27,7 @@ from .dlq import (
 )
 from .gateway import (
     ADMITTED,
+    RATE_LIMITED,
     REJECTED,
     SHED,
     STAGES,
@@ -36,6 +37,7 @@ from .gateway import (
     GatewayError,
     IngestionGateway,
 )
+from .ratelimit import RateLimiter, RateLimitError, TokenBucket
 from .wire import (
     PHONE_TRACKER_V1,
     FieldSpec,
@@ -51,6 +53,7 @@ __all__ = [
     "EXHAUSTED",
     "PENDING",
     "PHONE_TRACKER_V1",
+    "RATE_LIMITED",
     "REJECTED",
     "REPLAYED",
     "SHED",
@@ -66,7 +69,10 @@ __all__ = [
     "FieldSpec",
     "GatewayError",
     "IngestionGateway",
+    "RateLimitError",
+    "RateLimiter",
     "SourceAdapter",
+    "TokenBucket",
     "WireFormat",
     "WireFormatError",
     "WireFormatRegistry",

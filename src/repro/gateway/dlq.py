@@ -211,6 +211,52 @@ class DeadLetterQueue:
             )
             record.next_attempt_s = now + backoff
 
+    # -- durability -----------------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Full record state so dead letters survive a restart."""
+        return {
+            "next_seq": self._next_seq,
+            "evicted": self.evicted,
+            "total_pushed": self.total_pushed,
+            "total_replayed": self.total_replayed,
+            "total_exhausted": self.total_exhausted,
+            "total_discarded": self.total_discarded,
+            "records": [
+                {
+                    "seq": r.seq,
+                    "raw": dict(r.raw),
+                    "stage": r.stage,
+                    "reason": r.reason,
+                    "adapter": r.adapter,
+                    "time_s": r.time_s,
+                    "attempts": r.attempts,
+                    "state": r.state,
+                    "next_attempt_s": r.next_attempt_s,
+                    "last_error": r.last_error,
+                    "history": list(r.history),
+                }
+                for r in self._records.values()
+            ],
+        }
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Rehydrate records and counters from a snapshot."""
+        self._next_seq = state["next_seq"]
+        self.evicted = state["evicted"]
+        self.total_pushed = state["total_pushed"]
+        self.total_replayed = state["total_replayed"]
+        self.total_exhausted = state["total_exhausted"]
+        self.total_discarded = state["total_discarded"]
+        self._records = {}
+        for fields in state["records"]:
+            record = DeadLetter(**fields)
+            self._records[record.seq] = record
+        while len(self._records) > self.capacity:
+            oldest = next(iter(self._records))
+            del self._records[oldest]
+            self.evicted += 1
+
     # -- stats ----------------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:

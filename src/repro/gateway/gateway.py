@@ -28,11 +28,14 @@ only pre-tracked targets.
 
 Accounting invariant (pinned by the storm tests)::
 
-    submitted == accepted + rejected + shed + pending
+    submitted == accepted + rejected + shed + rate_limited + pending
 
 where ``pending`` is the admission-queue depth; DLQ replays are counted
 separately (``dlq.total_replayed``) so clean-path counters always sum
-exactly to submissions.
+exactly to submissions.  ``rate_limited`` (a per-device token-bucket
+verdict, off by default) is deliberately **not** dead-lettered: the
+traffic is well-formed excess, and flooding the DLQ ring with it would
+evict the malformed payloads replay-after-fix exists for.
 """
 
 from __future__ import annotations
@@ -46,12 +49,14 @@ from repro.services.remote import RetryPolicy
 
 from .adapters import Crosswalk, CrosswalkError, SourceAdapter
 from .dlq import DeadLetter, DeadLetterQueue
+from .ratelimit import RateLimiter
 from .wire import WireFormat, WireFormatRegistry, builtin_registry
 
 #: Verdicts returned by :meth:`IngestionGateway.submit`.
 ADMITTED = "admitted"  # pending in the admission queue
 REJECTED = "rejected"  # dead-lettered: validation/policy failure
 SHED = "shed"  # dead-lettered: overload at the admission boundary
+RATE_LIMITED = "rate_limited"  # shed by the token bucket, NOT dead-lettered
 
 #: The payload field naming its wire format.
 FORMAT_FIELD = "source_format"
@@ -83,6 +88,15 @@ class _Reject(Exception):
         self.stage = stage
         self.reason = reason
         self.adapter = adapter
+
+
+class _RateLimited(_Reject):
+    """Internal control flow: the device's token bucket is empty.
+
+    A distinct type (caught before the generic ``_Reject`` handler)
+    because the disposition differs: rate-limited payloads are counted
+    and reported but never dead-lettered.
+    """
 
 
 # -- device admission policies (the policy seam) ----------------------------
@@ -209,6 +223,7 @@ class IngestionGateway:
         retry: Optional[RetryPolicy] = None,
         max_age_s: Optional[float] = None,
         max_future_s: Optional[float] = None,
+        rate_limit: Union[None, float, int, RateLimiter] = None,
         clock: Optional[Any] = None,
         time_fn: Optional[Callable[[], float]] = None,
         hub: Union[None, Any, Callable[[], Any]] = None,
@@ -242,6 +257,10 @@ class IngestionGateway:
         )
         self.max_age_s = max_age_s
         self.max_future_s = max_future_s
+        if rate_limit is None or isinstance(rate_limit, RateLimiter):
+            self.rate_limiter: Optional[RateLimiter] = rate_limit
+        else:
+            self.rate_limiter = RateLimiter(float(rate_limit))
         if callable(hub):
             self._hub_fn: Callable[[], Any] = hub
         else:
@@ -261,6 +280,7 @@ class IngestionGateway:
         self.accepted = 0
         self.rejected = 0
         self.shed = 0
+        self.rate_limited = 0
 
     # -- configuration seams --------------------------------------------------
 
@@ -307,6 +327,12 @@ class IngestionGateway:
         self.submitted += 1
         try:
             adapter, device, datum = self._prepare(payload)
+        except _RateLimited as limited:
+            # DLQ-exempt shedding: well-formed excess is counted and
+            # reported, never dead-lettered (see module docstring).
+            self.rate_limited += 1
+            self._emit(limited.adapter or "-", "rate_limited")
+            return RATE_LIMITED
         except _Reject as reject:
             return self._reject(payload, reject)
         except Exception as exc:  # containment backstop
@@ -341,7 +367,7 @@ class IngestionGateway:
 
     def submit_many(self, payloads: Any) -> Dict[str, int]:
         """Submit a burst; returns verdict counts."""
-        counts = {ADMITTED: 0, REJECTED: 0, SHED: 0}
+        counts = {ADMITTED: 0, REJECTED: 0, SHED: 0, RATE_LIMITED: 0}
         for payload in payloads:
             counts[self.submit(payload)] += 1
         return counts
@@ -440,7 +466,7 @@ class IngestionGateway:
     def _replay_one(self, record: DeadLetter) -> Optional[str]:
         """One replay attempt; returns an error string or None on success."""
         try:
-            adapter, device, datum = self._prepare(record.raw)
+            adapter, device, datum = self._prepare(record.raw, rate_limit=False)
         except _Reject as reject:
             return f"{reject.stage}: {reject.reason}"
         except Exception as exc:
@@ -457,10 +483,14 @@ class IngestionGateway:
 
     # -- pipeline stages -------------------------------------------------------
 
-    def _prepare(self, payload: Any) -> Any:
-        """format -> crosswalk -> schema -> freshness -> device policy.
+    def _prepare(self, payload: Any, *, rate_limit: bool = True) -> Any:
+        """format -> crosswalk -> schema -> freshness -> rate limit ->
+        device policy.
 
-        Returns ``(adapter, device, datum)`` or raises :class:`_Reject`.
+        Returns ``(adapter, device, datum)`` or raises :class:`_Reject`
+        (:class:`_RateLimited` for an empty token bucket).  Replay
+        passes ``rate_limit=False``: an operator-driven replay is not
+        edge traffic.
         """
         # Exact-dict probe first: ABC isinstance is measurably slow and
         # raw JSON traffic is dicts, Mapping is the slow-path courtesy.
@@ -508,6 +538,18 @@ class IngestionGateway:
             raise _Reject(
                 "policy",
                 f"payload names no device id ({wire.device_field!r})",
+                adapter.name,
+            )
+        limiter = self.rate_limiter
+        if (
+            rate_limit
+            and limiter is not None
+            and not limiter.allow(adapter.name, device, self._now())
+        ):
+            raise _RateLimited(
+                "rate_limit",
+                f"device {device!r} over {limiter.rate:g}/s"
+                f" (burst {limiter.burst:g})",
                 adapter.name,
             )
         if device not in self._devices:
@@ -609,8 +651,14 @@ class IngestionGateway:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "shed": self.shed,
+            "rate_limited": self.rate_limited,
             "pending": self.admission.depth,
             "admission": self.admission.stats(),
+            "rate_limit": (
+                self.rate_limiter.describe()
+                if self.rate_limiter is not None
+                else None
+            ),
             "dlq": self.dlq.stats(),
             "freshness": {
                 "max_age_s": self.max_age_s,

@@ -1,0 +1,122 @@
+"""Per-device rate limiting at the gateway edge.
+
+A chatty (or hostile) device must not be able to monopolise the
+admission boundary: the gateway can shed its excess *before* paying for
+crosswalk/schema work on every payload and before the admission queue
+evicts well-behaved traffic.  The mechanism is the classic token
+bucket, clock-injected like everything else in the middleware so tests
+and simulations are deterministic:
+
+* each ``(adapter, device)`` pair owns a :class:`TokenBucket` refilled
+  at ``rate`` tokens per (injected-clock) second up to ``burst``;
+* a payload that finds no token is *rate-limited* -- counted and
+  reported, but **not** dead-lettered: by definition the traffic is
+  well-formed excess, and letting it flood the DLQ ring would evict the
+  malformed payloads an operator actually needs to replay-after-fix.
+
+``max_keys`` bounds the key table (oldest-inserted evicted first) so a
+device-id-spraying source cannot exhaust coordinator memory through
+the limiter itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+
+class RateLimitError(Exception):
+    """Raised on invalid rate-limiter configuration."""
+
+
+class TokenBucket:
+    """One key's bucket: ``rate`` tokens/s refill, ``burst`` ceiling."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def allow(self, now: float) -> bool:
+        """Take one token if available at time ``now``."""
+        elapsed = now - self.updated
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """Token buckets keyed by ``(adapter, device)``.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens (payloads) per second per device.
+    burst:
+        Bucket ceiling -- how large an instantaneous burst one device
+        may land before throttling; defaults to ``rate``.
+    max_keys:
+        Bound on distinct ``(adapter, device)`` buckets retained;
+        oldest-inserted are evicted first (a re-seen evicted device
+        simply starts a fresh full bucket).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        burst: float | None = None,
+        max_keys: int = 4096,
+    ) -> None:
+        if rate <= 0:
+            raise RateLimitError("rate must be positive")
+        if burst is not None and burst < 1:
+            raise RateLimitError("burst must be >= 1")
+        if max_keys < 1:
+            raise RateLimitError("max_keys must be >= 1")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else max(rate, 1.0))
+        self.max_keys = max_keys
+        self._buckets: Dict[Tuple[str, str], TokenBucket] = {}
+        self.allowed = 0
+        self.limited = 0
+        self.evicted_keys = 0
+
+    def allow(self, adapter: str, device: str, now: float) -> bool:
+        """Whether one payload from ``device`` may pass at time ``now``."""
+        key = (adapter, device)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = TokenBucket(
+                self.rate, self.burst, now
+            )
+            while len(self._buckets) > self.max_keys:
+                oldest = next(iter(self._buckets))
+                del self._buckets[oldest]
+                self.evicted_keys += 1
+        if bucket.allow(now):
+            self.allowed += 1
+            return True
+        self.limited += 1
+        return False
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def describe(self) -> Dict[str, Any]:
+        """Reflective summary for the gateway snapshot and the report."""
+        return {
+            "rate": self.rate,
+            "burst": self.burst,
+            "max_keys": self.max_keys,
+            "keys": len(self._buckets),
+            "allowed": self.allowed,
+            "limited": self.limited,
+            "evicted_keys": self.evicted_keys,
+        }

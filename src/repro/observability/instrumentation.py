@@ -246,6 +246,22 @@ class ObservabilityHub:
         if drained:
             self.registry.counter("scheduler_drained").inc(drained)
 
+    def durability_snapshot(self, n_bytes: int) -> None:
+        """One full state snapshot persisted (``n_bytes`` serialized)."""
+        self.registry.counter("durability_snapshots").inc()
+        self.registry.gauge("snapshot_bytes").set(n_bytes)
+
+    def durability_restore(self, replayed: int) -> None:
+        """One crash-recovery restore replayed ``replayed`` journal entries."""
+        self.registry.counter("durability_restores").inc()
+        if replayed:
+            self.registry.counter("restore_replayed").inc(replayed)
+
+    def durability_migration(self, pause_s: float) -> None:
+        """One warm lane handoff completed with ``pause_s`` of lane pause."""
+        self.registry.counter("migrations_completed").inc()
+        self.registry.histogram("handoff_pause_ticks").observe(pause_s)
+
     def datum_dropped(
         self, component: Any, port: str, datum: Datum, feature_name: str
     ) -> None:

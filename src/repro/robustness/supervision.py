@@ -473,6 +473,46 @@ class Supervisor:
             "records": [r.as_dict() for r in self._records],
         }
 
+    # -- durability ---------------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Full breaker/record state for the durability seam."""
+        return {
+            "seq": self._seq,
+            "breakers": {
+                name: {
+                    "state": breaker.state,
+                    "failure_times": list(breaker.failure_times),
+                    "opened_at": breaker.opened_at,
+                    "trips": breaker.trips,
+                }
+                for name, breaker in self._breakers.items()
+            },
+            "half_open": sorted(self._half_open),
+            "failure_counts": dict(self._failure_counts),
+            "skipped_counts": dict(self._skipped_counts),
+            "records": [r.as_dict() for r in self._records],
+        }
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild breakers, counters, and the failure ring."""
+        self._seq = state["seq"]
+        self._breakers = {}
+        for name, fields in state["breakers"].items():
+            breaker = _Breaker()
+            breaker.state = fields["state"]
+            breaker.failure_times = deque(fields["failure_times"])
+            breaker.opened_at = fields["opened_at"]
+            breaker.trips = fields["trips"]
+            self._breakers[name] = breaker
+        self._half_open = set(state["half_open"])
+        self._failure_counts = dict(state["failure_counts"])
+        self._skipped_counts = dict(state["skipped_counts"])
+        self._records = deque(
+            (FailureRecord(**fields) for fields in state["records"]),
+            maxlen=self.policy.max_records,
+        )
+
     def reset(self) -> None:
         """Forget all failure history and breaker state."""
         self._breakers.clear()

@@ -46,6 +46,8 @@ from repro.runtime.scheduler import FairScheduler, RoundRobinScheduler
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.clock import SimulationClock
     from repro.core.graph import ProcessingGraph
+    from repro.durability.journal import DurabilityJournal
+    from repro.durability.store import StateStore
 
 
 class EngineError(Exception):
@@ -132,6 +134,11 @@ class PositioningEngine:
         #: coordinator never mistakes truncation for quiescence.
         self.truncations = 0
         self.last_drain_truncated = False
+        #: Durability journal; attached by
+        #: :class:`repro.durability.DurabilityManager`, None otherwise.
+        #: While attached, every mutation (track/untrack/submit/drain/
+        #: policy change) appends one store entry for crash replay.
+        self.journal: Optional["DurabilityJournal"] = None
         graph.set_engine(self)
 
     # -- lane management -----------------------------------------------------
@@ -174,6 +181,10 @@ class PositioningEngine:
         attach = getattr(target, "attach_lane", None)
         if callable(attach):
             attach(lane)
+        if self.journal is not None:
+            self.journal.record_track(
+                target_id, source.name, capacity, policy, weight
+            )
         return lane
 
     def untrack(self, target_id: str) -> TargetLane:
@@ -181,6 +192,8 @@ class PositioningEngine:
         lane = self.lane(target_id)
         del self._lanes[target_id]
         self._lane_list.remove(lane)
+        if self.journal is not None:
+            self.journal.record_untrack(target_id)
         return lane
 
     def lane(self, target_id: str) -> TargetLane:
@@ -224,6 +237,11 @@ class PositioningEngine:
             datum = datum.annotated(target=target_id)
         verdict = lane.queue.offer(datum)
         lane.submitted += 1
+        # Journal *after* applying, so an auto-snapshot fired by this
+        # append captures the post-offer state and the entry correctly
+        # falls before it (replay would double-apply otherwise).
+        if self.journal is not None:
+            self.journal.record_submit(target_id, datum)
         hub = self.graph.instrumentation
         if hub is not None:
             hub.ingestion_event(target_id, verdict)
@@ -241,8 +259,50 @@ class PositioningEngine:
         order holds and fairness is exactly the scheduler's plan.
         """
         total = 0
+        journal = self.journal
+        lane_counts: List[Any] = []
         for lane, quantum in self.scheduler.plan(self._lane_list):
             batch = lane.queue.drain(quantum)
+            if not batch:
+                continue
+            if journal is not None:
+                lane_counts.append((lane.target_id, len(batch)))
+            lane.source.inject_batch(batch)
+            lane.batches += 1
+            total += len(batch)
+        self.rounds += 1
+        self.drained_total += total
+        if journal is not None and lane_counts:
+            journal.record_drain(lane_counts)
+        hub = self.graph.instrumentation
+        if hub is not None:
+            hub.scheduler_round(total)
+            for lane in self._lane_list:
+                hub.ingestion_depth(
+                    lane.target_id, lane.queue.depth, lane.queue.dropped
+                )
+        return total
+
+    def replay_round(self, lane_counts: List[Any]) -> int:
+        """Re-execute one journaled drain round during crash recovery.
+
+        ``lane_counts`` is the ``[(target_id, count), ...]`` list a
+        previous run's :meth:`drain_round` journaled: exactly ``count``
+        datums are popped from each named lane in the recorded order
+        and injected through the batched dispatch path.  This
+        reproduces the original routing independent of the *current*
+        scheduler cursor, so restore does not have to reconstruct
+        scheduler internals.
+        """
+        total = 0
+        for target_id, count in lane_counts:
+            lane = self._lanes.get(target_id)
+            if lane is None:
+                # The lane was untracked later in the journal; the
+                # original round's effects on it are unreproducible
+                # and irrelevant (its sink history died with it).
+                continue
+            batch = lane.queue.drain(count)
             if not batch:
                 continue
             lane.source.inject_batch(batch)
@@ -339,7 +399,61 @@ class PositioningEngine:
             if weight < 1:
                 raise EngineError("weight must be >= 1")
             lane.weight = weight
+        if self.journal is not None:
+            self.journal.record_policy(target_id, policy, capacity, weight)
         return lane.stats()
+
+    # -- durability (snapshot/restore + warm handoff) ---------------------------
+
+    def export_lane(self, target_id: str) -> Dict[str, Any]:
+        """Detach a lane for migration; returns its portable state.
+
+        The lane is *removed* from this engine — that removal is the
+        handoff barrier: no further submits or drains can touch it
+        here, and every pending datum travels inside the payload, so
+        :meth:`install_lane` on the destination loses nothing.
+        """
+        lane = self.lane(target_id)
+        payload = {
+            "target": target_id,
+            "source": lane.source.name,
+            "weight": lane.weight,
+            "submitted": lane.submitted,
+            "batches": lane.batches,
+            "queue": lane.queue.state_snapshot(),
+        }
+        self.untrack(target_id)
+        return payload
+
+    def install_lane(self, payload: Dict[str, Any]) -> TargetLane:
+        """Install a lane exported from another engine, state intact."""
+        queue_state = payload["queue"]
+        lane = self.track(
+            payload["target"],
+            payload["source"],
+            capacity=queue_state["capacity"],
+            policy=queue_state["policy"],
+            weight=payload["weight"],
+        )
+        lane.queue.state_restore(queue_state)
+        lane.submitted = payload["submitted"]
+        lane.batches = payload["batches"]
+        return lane
+
+    def restore(self, store: "StateStore") -> int:
+        """Rebuild this engine from ``store``'s latest snapshot + journal.
+
+        Crash recovery in one call: lanes are re-tracked with their
+        queue contents and counters, component/supervision/hub state is
+        reinstated, and every journal entry appended after the snapshot
+        is replayed deterministically.  Returns the number of replayed
+        entries.  Raises :class:`EngineError` when the store is empty.
+        """
+        from repro.durability.manager import restore_from_store
+
+        return restore_from_store(
+            self.graph, self, store, gateway=self.graph.gateway
+        )
 
     # -- inspection ------------------------------------------------------------
 

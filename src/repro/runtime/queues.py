@@ -232,6 +232,48 @@ class IngestionQueue:
             "drained": self.drained,
         }
 
+    # -- durability ----------------------------------------------------------
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Full state for the durability seam: config, counters, datums.
+
+        Pending datums are returned raw; the durability codec encodes
+        them once for the whole engine snapshot.
+        """
+        return {
+            "name": self.name,
+            "capacity": self._capacity,
+            "policy": self._policy,
+            "items": list(self._items),
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "dropped_oldest": self.dropped_oldest,
+            "dropped_newest": self.dropped_newest,
+            "coalesced": self.coalesced,
+            "coalesce_collisions": dict(self.coalesce_collisions),
+            "drained": self.drained,
+            "high_water": self.high_water,
+        }
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild queue contents and counters from a snapshot."""
+        _validate_policy(state["policy"])
+        if state["capacity"] < 1:
+            raise QueueError("capacity must be >= 1")
+        self._capacity = state["capacity"]
+        self._policy = state["policy"]
+        self._items = deque(state["items"])
+        self.offered = state["offered"]
+        self.accepted = state["accepted"]
+        self.rejected = state["rejected"]
+        self.dropped_oldest = state["dropped_oldest"]
+        self.dropped_newest = state["dropped_newest"]
+        self.coalesced = state["coalesced"]
+        self.coalesce_collisions = dict(state["coalesce_collisions"])
+        self.drained = state["drained"]
+        self.high_water = state["high_water"]
+
     def __repr__(self) -> str:
         return (
             f"IngestionQueue(name={self.name!r}, policy={self._policy!r},"

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import time as _time
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -69,7 +70,11 @@ from repro.observability.metrics import (
     merge_snapshots,
 )
 from repro.runtime.engine import PositioningEngine
-from repro.runtime.placement import ConsistentHashPlacement, PlacementPolicy
+from repro.runtime.placement import (
+    ConsistentHashPlacement,
+    PinnedPlacement,
+    PlacementPolicy,
+)
 from repro.runtime.queues import DROP_OLDEST
 from repro.runtime.scheduler import (
     FairScheduler,
@@ -220,6 +225,14 @@ class _ShardBase(abc.ABC):
         """Collect the pending drain's datum count (or raise its error)."""
 
     @abc.abstractmethod
+    def export_lane(self, target_id: str) -> Dict[str, Any]:
+        """Detach one lane (with queue contents) for migration."""
+
+    @abc.abstractmethod
+    def install_lane(self, payload: Dict[str, Any]) -> None:
+        """Install a lane exported from another shard, state intact."""
+
+    @abc.abstractmethod
     def snapshot(self) -> Dict[str, Any]: ...
 
     @abc.abstractmethod
@@ -319,6 +332,12 @@ class InProcessShard(_ShardBase):
         assert drained is not None
         return drained
 
+    def export_lane(self, target_id: str) -> Dict[str, Any]:
+        return self.engine.export_lane(target_id)
+
+    def install_lane(self, payload: Dict[str, Any]) -> None:
+        self.engine.install_lane(payload)
+
     def snapshot(self) -> Dict[str, Any]:
         return self.engine.snapshot()
 
@@ -410,6 +429,11 @@ def _shard_worker(
                 result = hub.component_stats() if hub is not None else {}
             elif op == "metrics_snapshot":
                 result = hub.registry.snapshot() if hub is not None else {}
+            elif op == "export_lane":
+                result = engine.export_lane(*args)
+            elif op == "install_lane":
+                engine.install_lane(*args)
+                result = None
             elif op == "sink_outputs":
                 result = _sink_outputs(graph)
             else:
@@ -529,6 +553,12 @@ class ProcessShard(_ShardBase):
     def finish_drain(self) -> int:
         return self._collect()
 
+    def export_lane(self, target_id: str) -> Dict[str, Any]:
+        return self._call("export_lane", target_id)
+
+    def install_lane(self, payload: Dict[str, Any]) -> None:
+        self._call("install_lane", payload)
+
     def snapshot(self) -> Dict[str, Any]:
         return self._call("snapshot")
 
@@ -633,6 +663,11 @@ class ShardedEngine:
         self.drained_total = 0
         self._failure_limit = failure_limit
         self._failures: List[Dict[str, Any]] = []
+        self._migrations: List[Dict[str, Any]] = []
+        # Optional DurabilityManager bridge: when set (enable_durability
+        # wires it), completed handoffs also land in the durability
+        # seam's migration history and hub counters.
+        self.durability: Optional[Any] = None
         self._shards: List[_ShardBase] = []
         try:
             for shard_id in range(shards):
@@ -773,6 +808,81 @@ class ShardedEngine:
     def set_policy(self, target_id: str, **kwargs: Any) -> Dict[str, Any]:
         """Adapt one lane's backpressure/fairness knobs, wherever it lives."""
         return self._shards[self.shard_of(target_id)].set_policy(target_id, **kwargs)
+
+    # -- warm handoff (live migration between shards) --------------------------
+
+    def migrate_target(self, target_id: str, to_shard: int) -> Dict[str, Any]:
+        """Relocate a live lane to ``to_shard`` with zero datum loss.
+
+        The handoff protocol:
+
+        1. **Barrier**: the lane is exported from its owning shard --
+           export *removes* it there, so no submit or drain can touch
+           it mid-flight (the coordinator is single-threaded, so the
+           removal is atomic with respect to both).
+        2. **Snapshot travels**: the export payload carries the lane's
+           configuration, counters, and every pending datum.
+        3. **Install**: the destination shard rebuilds the lane, state
+           intact.  If the install raises, the lane is reinstalled on
+           the source shard and the error propagates -- the target is
+           never left untracked.
+        4. **Repoint**: the assignment map flips and the placement
+           policy is wrapped in a
+           :class:`~repro.runtime.placement.PinnedPlacement` (if it is
+           not one already) pinning the target to its new home, so
+           policy-driven re-placement respects the migration.
+
+        Returns the migration record: ``{"target", "from", "to",
+        "datums", "pause_s"}``, where ``pause_s`` is the wall-clock
+        window in which the lane accepted no traffic.
+        """
+        from_shard = self.shard_of(target_id)
+        if not 0 <= to_shard < len(self._shards):
+            raise ShardingError(
+                f"no shard {to_shard}; only {len(self._shards)} shards exist"
+            )
+        if to_shard == from_shard:
+            raise ShardingError(
+                f"target {target_id!r} already lives on shard {to_shard}"
+            )
+        source = self._shards[from_shard]
+        destination = self._shards[to_shard]
+        if not destination.healthy:
+            raise ShardingError(
+                f"destination shard {to_shard} is degraded"
+                f" ({destination.error})"
+            )
+        started = _time.perf_counter()
+        payload = source.export_lane(target_id)
+        try:
+            destination.install_lane(payload)
+        except Exception:
+            # Roll the lane back onto its source shard: a failed
+            # migration must never strand the target untracked.
+            source.install_lane(payload)
+            raise
+        self._assignments[target_id] = to_shard
+        if not isinstance(self.placement, PinnedPlacement):
+            self.placement = PinnedPlacement(base=self.placement)
+        self.placement.pin(target_id, to_shard)
+        pause_s = _time.perf_counter() - started
+        record = {
+            "target": target_id,
+            "from": from_shard,
+            "to": to_shard,
+            "datums": len(payload["queue"]["items"]),
+            "pause_s": pause_s,
+        }
+        self._migrations.append(record)
+        if len(self._migrations) > self._failure_limit:
+            del self._migrations[: len(self._migrations) - self._failure_limit]
+        if self.durability is not None:
+            self.durability.record_migration(record)
+        return record
+
+    def migrations(self) -> List[Dict[str, Any]]:
+        """Bounded history of completed warm handoffs (newest last)."""
+        return [dict(record) for record in self._migrations]
 
     # -- ingestion (producer side) -------------------------------------------
 
@@ -988,5 +1098,6 @@ class ShardedEngine:
             "degraded": self.degraded(),
             "truncated": truncated,
             "failures": self.failures(),
+            "migrations": self.migrations(),
             "per_shard": per_shard,
         }

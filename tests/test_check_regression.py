@@ -1,7 +1,7 @@
 """Unit tests for the CI benchmark gate (``benchmarks/check_regression.py``).
 
 The gate decides whether benchmark PRs merge, so it gets the same
-treatment as product code: schema sniffing across all five artefact
+treatment as product code: schema sniffing across all six artefact
 shapes, ratio/floor/ceiling failure exits (1), harness errors --
 missing or malformed artefacts, schema violations -- exiting 2, and the
 hardware-conditional shard floor.
@@ -92,6 +92,38 @@ def gateway_artefact(
     }
 
 
+def durability_artefact(
+    bytes_per_datum=135.0,
+    lost=0,
+    replayed=128,
+    expected_replayed=128,
+    pause_ms=0.5,
+    pause_ceiling_ms=250.0,
+    handoff_lost=0,
+):
+    return {
+        "durability": {
+            "n_targets": 4,
+            "gated_depth": "depth512",
+            "pause_ceiling_ms": pause_ceiling_ms,
+            "depths": {
+                "depth512": {
+                    "datums": 2176,
+                    "bytes_per_datum": bytes_per_datum,
+                    "lost": lost,
+                    "replayed": replayed,
+                    "expected_replayed": expected_replayed,
+                },
+            },
+            "handoff": {
+                "datums": 512,
+                "pause_ms": pause_ms,
+                "lost": handoff_lost,
+            },
+        }
+    }
+
+
 def shard_artefact(speedup=2.0, cpu_count=4, floor=1.5):
     return {
         "shard": {
@@ -128,6 +160,10 @@ class TestSchemaSniffing:
 
     def test_gateway_schema_passes(self, tmp_path):
         assert run(tmp_path, gateway_artefact(), gateway_artefact()) == 0
+
+    def test_durability_schema_passes(self, tmp_path):
+        artefact = durability_artefact()
+        assert run(tmp_path, artefact, artefact) == 0
 
     def test_unrecognised_schema_fails(self, tmp_path):
         assert run(tmp_path, {"mystery": {}}, {"mystery": {}}) == 1
@@ -201,6 +237,34 @@ class TestRegressionExits:
         current = gateway_artefact()
         del current["gateway"]["workloads"]["malformed_heavy"]
         assert run(tmp_path, gateway_artefact(), current) == 1
+
+    def test_durability_bytes_growth_exits_1(self, tmp_path):
+        # Size per datum is inverted like gateway overhead: growing
+        # 130B -> 200B loses more than 20% and fails at min-ratio 0.8.
+        base = durability_artefact(bytes_per_datum=130.0)
+        cur = durability_artefact(bytes_per_datum=200.0)
+        assert run(tmp_path, base, cur) == 1
+
+    def test_durability_lost_datums_exit_1(self, tmp_path):
+        artefact = durability_artefact(lost=3)
+        assert run(tmp_path, durability_artefact(), artefact) == 1
+
+    def test_durability_replay_mismatch_exits_1(self, tmp_path):
+        artefact = durability_artefact(replayed=100, expected_replayed=128)
+        assert run(tmp_path, durability_artefact(), artefact) == 1
+
+    def test_durability_handoff_pause_ceiling_exits_1(self, tmp_path):
+        artefact = durability_artefact(pause_ms=400.0, pause_ceiling_ms=250.0)
+        assert run(tmp_path, durability_artefact(), artefact) == 1
+
+    def test_durability_handoff_loss_exits_1(self, tmp_path):
+        artefact = durability_artefact(handoff_lost=1)
+        assert run(tmp_path, durability_artefact(), artefact) == 1
+
+    def test_durability_missing_baseline_depth_exits_1(self, tmp_path):
+        base = durability_artefact()
+        base["durability"]["depths"] = {}
+        assert run(tmp_path, base, durability_artefact()) == 1
 
     def test_dispatch_rerun_tolerance_exits_1(self, tmp_path):
         current = dispatch_artefact()

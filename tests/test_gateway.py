@@ -30,6 +30,7 @@ from repro.gateway import (
     EXHAUSTED,
     PENDING,
     PHONE_TRACKER_V1,
+    RATE_LIMITED,
     REJECTED,
     REPLAYED,
     SHED,
@@ -572,7 +573,7 @@ class TestGatewayPipeline:
         counts = gateway.submit_many(
             [payload(t=1.0), payload(lat=999.0), payload(t=2.0), payload(t=3.0)]
         )
-        assert counts == {ADMITTED: 2, REJECTED: 1, SHED: 1}
+        assert counts == {ADMITTED: 2, REJECTED: 1, SHED: 1, RATE_LIMITED: 0}
 
     def test_engine_error_on_forward_dead_letters_as_ingest(self):
         gateway, engine, _, _ = make_gateway()
@@ -962,7 +963,10 @@ class TestReportSurface:
         engine.drain_all()
         text = render_report(middleware)
         assert "gateway:" in text
-        assert "submitted=3, accepted=1, rejected=2, shed=0, pending=0" in text
+        assert (
+            "submitted=3, accepted=1, rejected=2, shed=0, rate_limited=0,"
+            " pending=0" in text
+        )
         assert "schema: 1" in text
         assert "format: 1" in text
         snap = infrastructure_snapshot(middleware)
