@@ -40,13 +40,17 @@ from repro.core.data import Datum
 from repro.core.graph import ProcessingGraph
 from repro.runtime import PositioningEngine, ShardedEngine
 
-N_DATUMS_PER_TARGET = 50
-N_TARGETS = 64
-SHARD_COUNTS = (1, 2, 4)
+# Scaled up by the nightly workflow via E13_* environment overrides
+# (PR CI runs the committed defaults).
+N_DATUMS_PER_TARGET = int(os.environ.get("E13_DATUMS", "50"))
+N_TARGETS = int(os.environ.get("E13_TARGETS", "64"))
+SHARD_COUNTS = tuple(
+    int(part) for part in os.environ.get("E13_SHARDS", "1,2,4").split(",")
+)
 QUANTUM = 32
 SPEEDUP_FLOOR = 1.5
 MIN_CPUS = 2
-GATED_WORKLOAD = "multiprocessing_shards4"
+GATED_WORKLOAD = f"multiprocessing_shards{max(SHARD_COUNTS)}"
 
 
 def recipe():

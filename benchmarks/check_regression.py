@@ -66,8 +66,25 @@ sections:
     pending datum, runner-independent): it may not grow by more than
     1 / --min-ratio over the baseline's per depth.
 
+``city`` (``BENCH_city.json``, written by ``bench_city_scenario.py``)
+    The closed-loop-vs-open-loop scenario gate.  Every figure is
+    simulated-time deterministic, so the within-run checks gate the
+    current artefact unconditionally: the closed loop must drop fewer
+    datums than the open loop on the same seed, hold the artefact's own
+    ``improvement_floor``, keep lane depth under ``depth_ceiling``,
+    record at least one controller decision, and (when a
+    ``sharded_closed`` run is present) reproduce the single-engine
+    drop/alert/decision figures exactly.  The cross-run figure is the
+    improvement itself, which may not shrink below ``--min-ratio`` of
+    the baseline's.
+
 A missing or malformed artefact is a harness error, not a regression:
 the tool prints what went wrong and exits 2 (regressions exit 1).
+
+When ``$GITHUB_STEP_SUMMARY`` names a writable file (GitHub Actions
+sets it), a markdown pair/ratio/floor table of every gated figure is
+appended there so the gate's outcome is readable from the run page;
+stdout output is unchanged either way.
 
 Usage (one or many pairs per invocation):
     python benchmarks/check_regression.py \
@@ -83,6 +100,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -93,11 +111,64 @@ def load(path: str) -> dict:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
+def emit(
+    rows: list,
+    line: str,
+    *,
+    artefact: str,
+    metric: str,
+    figure: str,
+    baseline: str,
+    ratio: float,
+    floor: float,
+    status: str,
+) -> None:
+    """Print one gated figure and capture it for the markdown summary."""
+    print(line)
+    rows.append(
+        {
+            "artefact": artefact,
+            "metric": metric,
+            "figure": figure,
+            "baseline": baseline,
+            "ratio": ratio,
+            "floor": floor,
+            "status": status,
+        }
+    )
+
+
+def render_markdown(rows: list, failures: list) -> str:
+    """The ``$GITHUB_STEP_SUMMARY`` table: every gated figure, one row."""
+    lines = [
+        "### Benchmark regression gate",
+        "",
+        "| artefact | metric | figure | baseline | ratio | floor | status |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['artefact']} | {row['metric']} | {row['figure']}"
+            f" | {row['baseline']} | {row['ratio']:.3f}"
+            f" | {row['floor']:g} | {row['status']} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append(f"**FAILED** ({len(failures)} regressions):")
+        lines.extend(f"- {failure}" for failure in failures)
+    else:
+        lines.append("**passed**")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def bare_rate(data: dict) -> float:
     return float(data["configs"]["datums_per_s"]["bare pipeline"])
 
 
-def check_dispatch(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_dispatch(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
 
     rerun = float(current["configs"]["bare_rerun_ratio"])
@@ -118,9 +189,17 @@ def check_dispatch(baseline: dict, current: dict, min_ratio: float) -> list:
         cur_norm = float(cur_row["throughput"]) / cur_bare
         ratio = cur_norm / base_norm
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"scalability {size}: normalised throughput ratio"
-            f" {ratio:.3f} (min {min_ratio}) [{status}]"
+            f" {ratio:.3f} (min {min_ratio}) [{status}]",
+            artefact="dispatch",
+            metric=f"scalability {size}",
+            figure=f"{cur_norm:.2f}x bare",
+            baseline=f"{base_norm:.2f}x bare",
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(
@@ -146,7 +225,9 @@ def check_dispatch(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check_scale(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_scale(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
     base_scale = baseline["scale"]
     cur_scale = current["scale"]
@@ -161,10 +242,18 @@ def check_scale(baseline: dict, current: dict, min_ratio: float) -> list:
         # Speedups are within-run figures; compare them directly.
         ratio = cur_speedup / base_speedup if base_speedup else 1.0
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"scale {key}: batch speedup {cur_speedup:.2f}x"
             f" (baseline {base_speedup:.2f}x,"
-            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]",
+            artefact="scale",
+            metric=key,
+            figure=f"{cur_speedup:.2f}x",
+            baseline=f"{base_speedup:.2f}x",
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(
@@ -187,7 +276,9 @@ def check_scale(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check_compile(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_compile(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
     base_compile = baseline["compile"]
     cur_compile = current["compile"]
@@ -202,10 +293,18 @@ def check_compile(baseline: dict, current: dict, min_ratio: float) -> list:
         # Speedups are within-run figures; compare them directly.
         ratio = cur_speedup / base_speedup if base_speedup else 1.0
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"compile {key}: fused speedup {cur_speedup:.2f}x"
             f" (baseline {base_speedup:.2f}x,"
-            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]",
+            artefact="compile",
+            metric=key,
+            figure=f"{cur_speedup:.2f}x",
+            baseline=f"{base_speedup:.2f}x",
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(
@@ -228,7 +327,9 @@ def check_compile(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check_shard(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_shard(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
     base_shard = baseline["shard"]
     cur_shard = current["shard"]
@@ -243,10 +344,18 @@ def check_shard(baseline: dict, current: dict, min_ratio: float) -> list:
         # Speedups are within-run figures; compare them directly.
         ratio = cur_speedup / base_speedup if base_speedup else 1.0
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"shard {key}: speedup {cur_speedup:.2f}x"
             f" (baseline {base_speedup:.2f}x,"
-            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]",
+            artefact="shard",
+            metric=key,
+            figure=f"{cur_speedup:.2f}x",
+            baseline=f"{base_speedup:.2f}x",
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(
@@ -278,7 +387,9 @@ def check_shard(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_gateway(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
     base_gateway = baseline["gateway"]
     cur_gateway = current["gateway"]
@@ -296,6 +407,8 @@ def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
             ratio = base_overhead / cur_overhead if cur_overhead else 1.0
             label = f"overhead {cur_overhead:.3f}x direct"
             detail = f"baseline {base_overhead:.3f}x"
+            figure = f"{cur_overhead:.3f}x direct"
+            base_figure = f"{base_overhead:.3f}x direct"
         else:
             # Degraded mixes: rate relative to the same run's clean
             # rate (runner-independent); bigger is better.
@@ -304,10 +417,20 @@ def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
             ratio = cur_rel / base_rel if base_rel else 1.0
             label = f"relative rate {cur_rel:.2f}x clean"
             detail = f"baseline {base_rel:.2f}x"
+            figure = f"{cur_rel:.2f}x clean"
+            base_figure = f"{base_rel:.2f}x clean"
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"gateway {key}: {label}"
-            f" ({detail}, ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+            f" ({detail}, ratio {ratio:.3f}, min {min_ratio}) [{status}]",
+            artefact="gateway",
+            metric=key,
+            figure=figure,
+            baseline=base_figure,
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(f"gateway {key}: ratio {ratio:.3f} < {min_ratio}")
@@ -338,7 +461,9 @@ def check_gateway(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check_durability(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_durability(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     failures = []
     base_dur = baseline["durability"]
     cur_dur = current["durability"]
@@ -366,10 +491,18 @@ def check_durability(baseline: dict, current: dict, min_ratio: float) -> list:
         cur_bpd = float(cur_row["bytes_per_datum"])
         ratio = base_bpd / cur_bpd if cur_bpd else 1.0
         status = "ok" if ratio >= min_ratio else "REGRESSION"
-        print(
+        emit(
+            rows,
             f"durability {key}: {cur_bpd:.0f}B/datum"
             f" (baseline {base_bpd:.0f}B,"
-            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]"
+            f" ratio {ratio:.3f}, min {min_ratio}) [{status}]",
+            artefact="durability",
+            metric=key,
+            figure=f"{cur_bpd:.0f}B/datum",
+            baseline=f"{base_bpd:.0f}B/datum",
+            ratio=ratio,
+            floor=min_ratio,
+            status=status,
         )
         if ratio < min_ratio:
             failures.append(
@@ -382,11 +515,20 @@ def check_durability(baseline: dict, current: dict, min_ratio: float) -> list:
     ceiling = float(cur_dur.get("pause_ceiling_ms", 0.0))
     pause = float(handoff["pause_ms"])
     lost = int(handoff["lost"])
-    status = "ok" if not lost and (not ceiling or pause <= ceiling) else "REGRESSION"
-    print(
+    ok = not lost and (not ceiling or pause <= ceiling)
+    status = "ok" if ok else "REGRESSION"
+    emit(
+        rows,
         f"durability handoff: {handoff['datums']} datums,"
         f" pause {pause:.2f}ms (ceiling {ceiling:g}ms),"
-        f" lost {lost} [{status}]"
+        f" lost {lost} [{status}]",
+        artefact="durability",
+        metric="handoff pause",
+        figure=f"{pause:.2f}ms, lost {lost}",
+        baseline="(within-run)",
+        ratio=1.0 if ok else 0.0,
+        floor=ceiling,
+        status=status,
     )
     if lost:
         failures.append(f"durability handoff: lost {lost} datums")
@@ -399,23 +541,108 @@ def check_durability(baseline: dict, current: dict, min_ratio: float) -> list:
     return failures
 
 
-def check(baseline: dict, current: dict, min_ratio: float) -> list:
+def check_city(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
+    failures = []
+    base_city = baseline["city"]
+    cur_city = current["city"]
+    cur_open = cur_city["open"]
+    cur_closed = cur_city["closed"]
+
+    # Within-run gates: the whole scenario runs on simulated time, so
+    # every figure is deterministic and gates the current artefact
+    # unconditionally, no baseline needed.
+    open_drops = int(cur_open["dropped"])
+    closed_drops = int(cur_closed["dropped"])
+    improvement = float(cur_city["improvement"])
+    floor = float(cur_city.get("improvement_floor", 0.0))
+    ceiling = int(cur_city.get("depth_ceiling", 0))
+    high_water = int(cur_closed["high_water"])
+    decisions = int(cur_closed.get("decisions", 0))
+
+    if open_drops <= 0:
+        failures.append(
+            "city: open-loop baseline recorded no drops; the scenario"
+            " never overloaded the lanes"
+        )
+    if closed_drops >= open_drops:
+        failures.append(
+            f"city: closed loop dropped {closed_drops} >="
+            f" open loop {open_drops}"
+        )
+    if improvement < floor:
+        failures.append(
+            f"city: improvement {improvement:.3f} below the artefact's"
+            f" own floor {floor}"
+        )
+    if ceiling and high_water > ceiling:
+        failures.append(
+            f"city: closed-loop high_water {high_water} above the"
+            f" artefact's own depth_ceiling {ceiling}"
+        )
+    if decisions <= 0:
+        failures.append("city: the control loop recorded no decisions")
+
+    sharded = cur_city.get("sharded_closed")
+    if sharded:
+        for key in ("submitted", "dropped", "alerts", "decisions"):
+            if sharded.get(key) != cur_closed.get(key):
+                failures.append(
+                    f"city: sharded closed loop diverged on {key}:"
+                    f" {sharded.get(key)} != {cur_closed.get(key)}"
+                )
+
+    # Cross-run figure: the improvement itself is runner-independent,
+    # so it may not shrink below min_ratio of the baseline's.
+    base_improvement = float(base_city["improvement"])
+    ratio = improvement / base_improvement if base_improvement else 1.0
+    status = "ok" if ratio >= min_ratio and not failures else "REGRESSION"
+    emit(
+        rows,
+        f"city closed-loop: {improvement:.1%} fewer drops"
+        f" ({closed_drops} vs {open_drops} open; baseline"
+        f" {base_improvement:.1%}, ratio {ratio:.3f}, min {min_ratio},"
+        f" floor {floor:g}) [{status}]",
+        artefact="city",
+        metric="drop improvement",
+        figure=f"{improvement:.1%}",
+        baseline=f"{base_improvement:.1%}",
+        ratio=ratio,
+        floor=floor,
+        status=status,
+    )
+    if ratio < min_ratio:
+        failures.append(
+            f"city: improvement shrank {base_improvement:.3f} ->"
+            f" {improvement:.3f} (ratio {ratio:.3f} < {min_ratio})"
+        )
+
+    return failures
+
+
+def check(
+    baseline: dict, current: dict, min_ratio: float, rows: list
+) -> list:
     """Dispatch on schema: which top-level sections the artefact carries."""
+    if "city" in current or "city" in baseline:
+        return check_city(baseline, current, min_ratio, rows)
     if "durability" in current or "durability" in baseline:
-        return check_durability(baseline, current, min_ratio)
+        return check_durability(baseline, current, min_ratio, rows)
     if "gateway" in current or "gateway" in baseline:
-        return check_gateway(baseline, current, min_ratio)
+        return check_gateway(baseline, current, min_ratio, rows)
     if "compile" in current or "compile" in baseline:
-        return check_compile(baseline, current, min_ratio)
+        return check_compile(baseline, current, min_ratio, rows)
     if "shard" in current or "shard" in baseline:
-        return check_shard(baseline, current, min_ratio)
+        return check_shard(baseline, current, min_ratio, rows)
     if "scale" in current or "scale" in baseline:
-        return check_scale(baseline, current, min_ratio)
+        return check_scale(baseline, current, min_ratio, rows)
     if "configs" in current or "configs" in baseline:
-        return check_dispatch(baseline, current, min_ratio)
+        return check_dispatch(baseline, current, min_ratio, rows)
     return [
-        "unrecognised artefact schema: expected a 'compile', 'configs',"
-        " 'durability', 'gateway', 'scale' or 'shard' top-level section"
+        "unrecognised artefact schema: expected a 'city', 'compile',"
+        " 'configs', 'durability', 'gateway', 'scale' or 'shard'"
+        " top-level section"
     ]
 
 
@@ -443,6 +670,7 @@ def main(argv=None) -> int:
         parser.error("give at least one --pair (or --baseline/--current)")
 
     failures = []
+    rows = []
     for baseline_path, current_path in pairs:
         print(f"== {current_path} vs {baseline_path}")
         try:
@@ -459,7 +687,7 @@ def main(argv=None) -> int:
             )
             return 2
         try:
-            failures += check(baseline, current, args.min_ratio)
+            failures += check(baseline, current, args.min_ratio, rows)
         except (KeyError, TypeError, ValueError) as exc:
             print(
                 f"artefact schema error in {current_path} vs"
@@ -467,6 +695,11 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(render_markdown(rows, failures))
 
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""City-scale scenario: the middleware adapting itself under load.
+
+One deterministic city workload (``repro.scenario``) -- a seeded device
+population with churn, a degraded-coverage parking garage, a stadium
+kickoff burst that overloads the ingestion lanes, and an in-stream
+geofence around the stadium -- is driven twice against the same engine
+configuration:
+
+* **open loop**: no controllers; the burst overflows the bounded lanes
+  and datums are dropped on the floor;
+* **closed loop**: the stock controller set (backpressure capacity
+  growth, EnTracked sampling-threshold shedding, quarantine tuning)
+  reads the merged lane stats every drain round and actuates the
+  middleware's adaptation seams, with every decision recorded in a
+  bounded ledger.
+
+Because the scenario runs on simulated time, both runs replay exactly:
+the printed figures are deterministic.  The closed loop loses far fewer
+datums on the identical seed -- adaptation, not luck.  The installed
+scenario also surfaces through the PSL and the infrastructure report
+(translucency reaches the workload driving the system, not just the
+pipelines inside it).
+
+Run:  python examples/city_demo.py
+"""
+
+from repro.core.middleware import PerPos
+from repro.core.report import render_report
+from repro.runtime import PositioningEngine
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.scenario import (
+    BurstEvent,
+    CityConfig,
+    CityGenerator,
+    ControlLoop,
+    DegradedZone,
+    GeofenceRule,
+    ScenarioRunner,
+    build_city_graph,
+    default_controllers,
+)
+
+SEED = 23
+TICKS = 120
+CAPACITY = 8
+QUANTUM = 3
+
+RULES = (GeofenceRule("stadium", 1000.0, 1000.0, 500.0, trigger="both"),)
+
+CONFIG = CityConfig(
+    seed=SEED,
+    devices=60,
+    churn_rate=0.02,
+    zones=(
+        DegradedZone("parking-garage", 1500.0, 500.0, 400.0, drop_rate=0.5),
+    ),
+    bursts=(
+        BurstEvent("kickoff", 30, 50, 1000.0, 1000.0, 800.0, factor=8),
+    ),
+)
+
+
+def run_city(*, closed: bool):
+    """One full scenario run on a fresh engine; returns (result, runner)."""
+    engine = PositioningEngine(
+        build_city_graph(RULES),
+        scheduler=RoundRobinScheduler(quantum=QUANTUM),
+    )
+    control = None
+    if closed:
+        control = ControlLoop(default_controllers(max_capacity=256))
+    runner = ScenarioRunner(
+        CityGenerator(CONFIG), engine, control=control, capacity=CAPACITY
+    )
+    return runner.run(TICKS), runner
+
+
+def main() -> None:
+    print(
+        f"city workload: {CONFIG.devices} devices, {TICKS} ticks,"
+        f" seed {SEED} -- kickoff burst x8 at tick 30,"
+        f" degraded parking garage, stadium geofence"
+    )
+
+    open_result, _ = run_city(closed=False)
+    print(
+        f"open loop:   submitted={open_result['submitted']},"
+        f" dropped={open_result['dropped']},"
+        f" high_water={open_result['high_water']},"
+        f" alerts={open_result['alerts']}"
+    )
+
+    closed_result, runner = run_city(closed=True)
+    print(
+        f"closed loop: submitted={closed_result['submitted']},"
+        f" dropped={closed_result['dropped']},"
+        f" high_water={closed_result['high_water']},"
+        f" alerts={closed_result['alerts']},"
+        f" decisions={closed_result['decisions']}"
+    )
+    improvement = 1.0 - closed_result["dropped"] / open_result["dropped"]
+    print(
+        f"adaptation: {improvement:.0%} fewer drops on the identical seed"
+    )
+
+    print("first controller decisions:")
+    for record in runner.decision_ledger()[:4]:
+        target = f" {record['target']}" if record.get("target") else ""
+        print(
+            f"  t={record['tick']} {record['controller']}:"
+            f" {record['action']}{target} ({record['reason']})"
+        )
+
+    # The installed scenario is part of the translucent surface: PSL
+    # queries and the infrastructure report expose it like any other
+    # internal process.
+    middleware = PerPos()
+    middleware.enable_scenario(runner)
+    scenario = middleware.psl.scenario()
+    print(
+        f"psl.scenario(): closed_loop={scenario['closed_loop']},"
+        f" seed={scenario['generator']['seed']}"
+    )
+    report = render_report(middleware)
+    lines = report.splitlines()
+    start = lines.index("scenario:")
+    print("report excerpt:")
+    for line in lines[start : start + 8]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

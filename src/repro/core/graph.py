@@ -158,6 +158,10 @@ class ProcessingGraph(ComponentObserver):
         # Optional durability manager (snapshot/restore/journal store);
         # inspection-only, like the engine and gateway slots.
         self._durability: Optional[Any] = None
+        # Optional scenario runner + closed-loop controller set
+        # (repro.scenario); inspection-only, like the slots above.
+        self._scenario: Optional[Any] = None
+        self._control: Optional[Any] = None
         # -- derived indexes (dispatch fast path) -------------------------
         # Bumped by every structural mutation; compared by in-flight
         # routing loops to detect reentrant manipulation.
@@ -292,6 +296,41 @@ class ProcessingGraph(ComponentObserver):
         """
         previous = self._durability
         self._durability = durability
+        return previous
+
+    @property
+    def scenario(self) -> Optional[Any]:
+        """The installed scenario runner, or None while no scenario runs."""
+        return self._scenario
+
+    def set_scenario(self, scenario: Optional[Any]) -> Optional[Any]:
+        """Install (or, with None, remove) the scenario runner.
+
+        Inspection-only like the engine/gateway/durability slots: the
+        runner drives the engine from outside; the graph reference only
+        exists so ``psl.scenario()`` and the infrastructure report can
+        reach workload state (devices, churn, bursts, progress).
+        """
+        previous = self._scenario
+        self._scenario = scenario
+        return previous
+
+    @property
+    def control(self) -> Optional[Any]:
+        """The installed control loop, or None while adaptation is manual."""
+        return self._control
+
+    def set_control(self, control: Optional[Any]) -> Optional[Any]:
+        """Install (or, with None, remove) the closed-loop controller set.
+
+        Inspection-only: controllers actuate through the existing
+        adaptation seams (``set_backpressure``, EnTracked thresholds,
+        supervision policies, shard rebalancing); the slot exists so
+        ``psl.controllers()`` and the report can read the decision
+        ledger.
+        """
+        previous = self._control
+        self._control = control
         return previous
 
     # -- derived indexes -------------------------------------------------------

@@ -13,7 +13,7 @@ Pipelines (which concrete components to chain for GPS, WiFi, ...) live in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.clock import SimulationClock
 from repro.core.component import ApplicationSink, SourceComponent
@@ -63,6 +63,7 @@ class PerPos:
         self._sharding_registration: Optional[ServiceRegistration] = None
         self._gateway_registration: Optional[ServiceRegistration] = None
         self._durability_registration: Optional[ServiceRegistration] = None
+        self._scenario_registration: Optional[ServiceRegistration] = None
         # The layers are themselves services, as in the OSGi realisation.
         registry = self.framework.registry
         registry.register("perpos.ProcessingGraph", self.graph)
@@ -375,6 +376,36 @@ class PerPos:
         if manager is not None:
             manager.detach()
         return manager
+
+    def enable_scenario(self, runner: Any) -> Any:
+        """Install a scenario runner (and its control loop, if any).
+
+        The runner (:class:`repro.scenario.ScenarioRunner`) drives the
+        workload from outside; installing it only publishes the
+        inspection surfaces -- ``psl.scenario()``, ``psl.controllers()``
+        and the report's ``scenario:`` / ``control:`` sections -- plus a
+        ``perpos.ScenarioRunner`` service registration.  Re-enabling
+        replaces the previous runner.
+        """
+        self.graph.set_scenario(runner)
+        self.graph.set_control(getattr(runner, "control", None))
+        # Re-register unconditionally: a stale registration would hand
+        # registry consumers the previous runner.
+        if self._scenario_registration is not None:
+            self._scenario_registration.unregister()
+        self._scenario_registration = self.framework.registry.register(
+            "perpos.ScenarioRunner", runner
+        )
+        return runner
+
+    def disable_scenario(self) -> Optional[Any]:
+        """Remove the scenario runner and control loop surfaces."""
+        runner = self.graph.set_scenario(None)
+        self.graph.set_control(None)
+        if self._scenario_registration is not None:
+            self._scenario_registration.unregister()
+            self._scenario_registration = None
+        return runner
 
     def trace(self, position: Optional[Datum]) -> Optional[FlowTrace]:
         """The component path (with timestamps) behind a delivered datum.

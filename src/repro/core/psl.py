@@ -214,6 +214,35 @@ class ProcessStructureLayer:
         gateway = self.graph.gateway
         return gateway.snapshot() if gateway is not None else {}
 
+    def scenario(self) -> Dict[str, Any]:
+        """Reflective state of the installed scenario runner.
+
+        Device population, churn/burst/zone counters, run progress, and
+        the lane verdict totals.  Empty while no scenario is installed
+        -- inspection degrades gracefully, like :meth:`gateway`.
+        """
+        scenario = self.graph.scenario
+        return scenario.snapshot() if scenario is not None else {}
+
+    def controllers(self) -> Dict[str, Any]:
+        """Reflective state of the installed closed-loop control set.
+
+        Controller descriptions, cumulative decision counts, and the
+        recent tail of the bounded decision ledger -- the translucency
+        surface for self-adaptation: what the system changed and why.
+        Empty while no control loop is installed.
+        """
+        control = self.graph.control
+        return control.snapshot() if control is not None else {}
+
+    def decision_ledger(self) -> List[Dict[str, Any]]:
+        """The bounded controller decision ledger, newest last.
+
+        Empty while no control loop is installed.
+        """
+        control = self.graph.control
+        return control.ledger() if control is not None else []
+
     def dead_letters(
         self, state: Optional[str] = None
     ) -> List[Dict[str, Any]]:

@@ -46,6 +46,7 @@ SEAM_COUNTERS = (
     "updates",
     "classified",
     "smoothed",
+    "alerts_raised",
 )
 
 
@@ -138,6 +139,20 @@ def infrastructure_snapshot(middleware: PerPos) -> Dict[str, Any]:
         "durability": (
             middleware.durability.describe()
             if middleware.durability is not None
+            else None
+        ),
+        # City scenario workload (None while no runner is installed):
+        # population, churn/burst/zone counters, run progress.
+        "scenario": (
+            middleware.graph.scenario.snapshot()
+            if middleware.graph.scenario is not None
+            else None
+        ),
+        # Closed-loop adaptation (None while no control loop is
+        # installed): controllers, decision counts, recent ledger tail.
+        "control": (
+            middleware.graph.control.snapshot()
+            if middleware.graph.control is not None
             else None
         ),
         # Compiled dispatch plan of this middleware's graph (always
@@ -322,6 +337,52 @@ def render_report(middleware: PerPos) -> str:
             f" restores={durability['restores']},"
             f" migrations={durability['migrations']}"
         )
+    scenario = snapshot["scenario"]
+    lines.append("")
+    lines.append("scenario:")
+    if scenario is None:
+        lines.append("  (no scenario installed)")
+    else:
+        generator = scenario["generator"]
+        progress = scenario["progress"]
+        loop = "closed" if scenario["closed_loop"] else "open"
+        lines.append(
+            f"  seed={generator['seed']}, devices={generator['devices']}"
+            f" (joined={generator['joined_total']},"
+            f" left={generator['left_total']}),"
+            f" loop={loop}"
+        )
+        lines.append(
+            f"  ticks={progress['ticks']},"
+            f" submitted={progress['submitted']},"
+            f" drained={progress['drained']},"
+            f" pending={progress['pending']},"
+            f" high_water={progress['high_water']}"
+        )
+        lines.append(
+            f"  suppressed_fixes={generator['suppressed_total']},"
+            f" zone_lost={generator['zone_lost_total']},"
+            f" burst_extra={generator['burst_extra_total']},"
+            f" gps_threshold_m={_fmt(generator['gps_threshold_m'])}"
+        )
+    control = snapshot["control"]
+    lines.append("")
+    lines.append("control:")
+    if control is None:
+        lines.append("  (no control loop installed)")
+    else:
+        names = ", ".join(c["name"] for c in control["controllers"]) or "-"
+        lines.append(
+            f"  controllers=[{names}],"
+            f" decisions={control['decisions_total']},"
+            f" ledger={control['ledger_depth']}/{control['ledger_limit']}"
+        )
+        for record in control["recent"]:
+            target = f" {record['target']}" if record.get("target") else ""
+            lines.append(
+                f"    t={record['tick']} {record['controller']}:"
+                f" {record['action']}{target} ({record['reason']})"
+            )
     lines.append("")
     lines.append("compiled:")
     lines.append("  graph: " + _plan_line(snapshot["compiled"]))

@@ -106,16 +106,26 @@ class PowerStrategyFeature(ComponentFeature):
             self._next_fix_time = now
         self._moving = moving
 
+    def sleep_interval_s(self, speed_mps: Optional[float] = None) -> float:
+        """How long the GPS may sleep after a fix at the given speed.
+
+        The EnTracked power/accuracy tradeoff in one number: the time
+        in which the error threshold cannot be exceeded at ``speed_mps``
+        (default: the current speed estimate), clamped to the
+        configured sleep bounds.  Exposed publicly so closed-loop
+        controllers and workload generators can reason about (and
+        test) the duty cycle a threshold change buys.
+        """
+        speed = self._speed_mps if speed_mps is None else max(0.05, speed_mps)
+        travel_time = self._threshold_m / speed
+        return min(self._max_sleep_s, max(self._min_sleep_s, travel_time))
+
     def notify_fix_sent(self, now: float) -> None:
         """A fix was reported; schedule the next one and sleep the GPS."""
         self._had_fix = True
         if self._mode != "entracked":
             return
-        travel_time = self._threshold_m / self._speed_mps
-        sleep = min(
-            self._max_sleep_s, max(self._min_sleep_s, travel_time)
-        )
-        self._next_fix_time = now + sleep
+        self._next_fix_time = now + self.sleep_interval_s()
 
     # -- duty-cycle decision --------------------------------------------------
 

@@ -97,6 +97,11 @@ class ObservabilityHub:
         # dead-letter-queue gauge triple.
         self._gateway_counters: Dict[Tuple[str, str], Any] = {}
         self._dlq_gauges: Optional[Tuple[Any, Any, Any]] = None
+        # Scenario / closed-loop control memos (repro.scenario).
+        self._scenario_gauges: Optional[Tuple[Any, Any, Any]] = None
+        self._geofence_counters: Dict[str, Any] = {}
+        self._controller_counters: Dict[Tuple[str, str], Any] = {}
+        self._ledger_gauge: Any = None
         # Plan-compilation memo (graph compiler seam).
         self._plan_invalidation_counter: Any = None
 
@@ -261,6 +266,52 @@ class ObservabilityHub:
         """One warm lane handoff completed with ``pause_s`` of lane pause."""
         self.registry.counter("migrations_completed").inc()
         self.registry.histogram("handoff_pause_ticks").observe(pause_s)
+
+    # -- scenario + closed-loop control (repro.scenario) --------------------
+
+    def scenario_tick(self, devices: int, events: int) -> None:
+        """One simulated city tick: population size and emissions."""
+        gauges = self._scenario_gauges
+        if gauges is None:
+            registry = self.registry
+            gauges = self._scenario_gauges = (
+                registry.gauge("scenario_devices"),
+                registry.counter("scenario_ticks"),
+                registry.counter("scenario_events"),
+            )
+        gauges[0].set(devices)
+        gauges[1].inc()
+        if events:
+            gauges[2].inc(events)
+
+    def geofence_alert(self, rule: str) -> None:
+        """One geofence rule raised an alert on the live stream."""
+        counters = self._geofence_counters
+        counter = counters.get(rule)
+        if counter is None:
+            counter = counters[rule] = self.registry.counter(
+                "geofence_alerts", rule=rule
+            )
+        counter.inc()
+
+    def controller_decision(self, controller: str, action: str) -> None:
+        """One closed-loop controller actuated an adaptation seam."""
+        counters = self._controller_counters
+        counter = counters.get((controller, action))
+        if counter is None:
+            counter = counters[(controller, action)] = self.registry.counter(
+                "controller_decisions", controller=controller, action=action
+            )
+        counter.inc()
+
+    def control_ledger_depth(self, depth: int) -> None:
+        """Current depth of the bounded controller decision ledger."""
+        gauge = self._ledger_gauge
+        if gauge is None:
+            gauge = self._ledger_gauge = self.registry.gauge(
+                "control_ledger_depth"
+            )
+        gauge.set(depth)
 
     def datum_dropped(
         self, component: Any, port: str, datum: Datum, feature_name: str

@@ -884,6 +884,54 @@ class ShardedEngine:
         """Bounded history of completed warm handoffs (newest last)."""
         return [dict(record) for record in self._migrations]
 
+    def rebalance(
+        self,
+        placement: Optional[PlacementPolicy] = None,
+        *,
+        max_moves: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Placement-policy-driven :meth:`migrate_target` sweep.
+
+        Placement was static per target until now: a target's shard was
+        decided at :meth:`track` time and never revisited, so a hot
+        shard stayed hot.  This hook re-places every tracked target
+        under ``placement`` (default: the current policy -- useful
+        after pins changed) and warm-migrates each target whose desired
+        shard differs from its current one, in sorted target order
+        (deterministic).  Targets whose destination shard is degraded
+        are skipped, not failed: rebalancing is best-effort shedding,
+        and a later sweep can finish the job.
+
+        ``max_moves`` bounds the sweep (controllers shedding a hot
+        shard mid-run want a few moves per round, not a stop-the-world
+        reshuffle).  Returns the migration records of the moves made.
+
+        When ``placement`` is given it becomes the engine's policy;
+        each completed move then pins its target via the
+        :class:`~repro.runtime.placement.PinnedPlacement` wrap that
+        :meth:`migrate_target` maintains, so the sweep's outcome
+        survives later policy-driven placement.
+        """
+        policy = placement if placement is not None else self.placement
+        if placement is not None:
+            self.placement = placement
+        moves: List[Dict[str, Any]] = []
+        shard_count = len(self._shards)
+        for target_id in sorted(self._assignments):
+            current = self._assignments[target_id]
+            desired = policy.place(target_id, shard_count)
+            if not 0 <= desired < shard_count:
+                raise ShardingError(
+                    f"placement put {target_id!r} on shard {desired}, but"
+                    f" only {shard_count} shards exist"
+                )
+            if desired == current or not self._shards[desired].healthy:
+                continue
+            moves.append(self.migrate_target(target_id, desired))
+            if max_moves is not None and len(moves) >= max_moves:
+                break
+        return moves
+
     # -- ingestion (producer side) -------------------------------------------
 
     def submit(self, target_id: str, datum: Datum) -> str:

@@ -1,0 +1,64 @@
+"""City-scale scenario generation and closed-loop adaptive control.
+
+``repro.scenario`` turns the reproduction's scenario surface from the
+paper's three hand-driven demo apps into a *city*: a deterministic,
+seed-driven workload generator (:mod:`repro.scenario.city`), in-stream
+geofence/alert rules (:mod:`repro.scenario.geofence`), closed-loop
+controllers over the middleware's adaptation seams
+(:mod:`repro.scenario.control`), and a runner binding them to any
+engine flavour on the simulated clock (:mod:`repro.scenario.runner`).
+"""
+
+from .city import (
+    ALERT_KIND,
+    BLE_KIND,
+    GPS_KIND,
+    SENSOR_KINDS,
+    WIFI_KIND,
+    BurstEvent,
+    CityConfig,
+    CityGenerator,
+    DegradedZone,
+    ScenarioError,
+    TickBatch,
+)
+from .control import (
+    Actuators,
+    BackpressureController,
+    ControlError,
+    Controller,
+    ControlLoop,
+    QuarantineController,
+    RebalanceController,
+    SamplingController,
+    default_controllers,
+)
+from .geofence import GeofenceComponent, GeofenceRule
+from .runner import ScenarioRunner, build_city_graph
+
+__all__ = [
+    "ALERT_KIND",
+    "BLE_KIND",
+    "GPS_KIND",
+    "SENSOR_KINDS",
+    "WIFI_KIND",
+    "Actuators",
+    "BackpressureController",
+    "BurstEvent",
+    "CityConfig",
+    "CityGenerator",
+    "ControlError",
+    "ControlLoop",
+    "Controller",
+    "DegradedZone",
+    "GeofenceComponent",
+    "GeofenceRule",
+    "QuarantineController",
+    "RebalanceController",
+    "SamplingController",
+    "ScenarioError",
+    "ScenarioRunner",
+    "TickBatch",
+    "build_city_graph",
+    "default_controllers",
+]

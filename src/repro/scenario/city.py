@@ -1,0 +1,497 @@
+"""Deterministic city-scale workload generator.
+
+The scenario surface up to now was the paper's three demo apps driven by
+hand.  This module simulates a *city*: a seed-driven population of
+devices with heterogeneous sensor mixes (GPS / WiFi / BLE), realistic
+trajectories over the existing building model (indoor devices walk
+between room centroids of :func:`repro.model.demo.demo_building`) and an
+outdoor metric grid, device churn (devices joining and leaving
+mid-run), degraded-signal zones (GPS fixes lost or blurred inside
+them), and burst events (an area temporarily emitting a multiple of its
+normal traffic).
+
+Everything is driven by ``random.Random`` instances derived from one
+seed: the same :class:`CityConfig` produces the *identical* stream of
+track/untrack/emit operations on every run, on every machine, under
+every ``PYTHONHASHSEED`` -- the determinism the E17 regression gate and
+the cross-execution-mode equivalence properties stand on.  To keep that
+true, the generator never iterates a set, never reads the wall clock,
+and draws device behaviour from per-device generators so churn cannot
+shift another device's random stream.
+
+GPS emission is duty-cycled through the real EnTracked power strategy
+(:class:`repro.energy.entracked.PowerStrategyFeature`), one standalone
+instance per GPS-bearing device.  That makes the power/accuracy
+tradeoff a *live knob*: :meth:`CityGenerator.set_gps_threshold` is the
+actuator the sampling controller drives to shed load at the source.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.data import Datum
+from repro.energy.entracked import PowerStrategyFeature
+from repro.model.demo import demo_building
+
+#: Data kinds minted by the city scenario (kinds are plain strings; the
+#: stock pipeline never sees these unless a port asks for them).
+GPS_KIND = "city-gps"
+WIFI_KIND = "city-wifi"
+BLE_KIND = "city-ble"
+ALERT_KIND = "geo-alert"
+
+SENSOR_KINDS = (GPS_KIND, WIFI_KIND, BLE_KIND)
+
+
+class ScenarioError(Exception):
+    """Raised on invalid scenario configuration or use."""
+
+
+@dataclass(frozen=True)
+class DegradedZone:
+    """A circular area of degraded GPS signal (urban canyon, tunnel).
+
+    Inside the zone a GPS fix is lost with probability ``drop_rate``;
+    fixes that survive carry ``extra_error_m`` of additional reported
+    inaccuracy.
+    """
+
+    name: str
+    x_m: float
+    y_m: float
+    radius_m: float
+    drop_rate: float = 0.5
+    extra_error_m: float = 30.0
+
+    def contains(self, x_m: float, y_m: float) -> bool:
+        dx = x_m - self.x_m
+        dy = y_m - self.y_m
+        return dx * dx + dy * dy <= self.radius_m * self.radius_m
+
+
+@dataclass(frozen=True)
+class BurstEvent:
+    """A window of ticks in which an area emits a multiple of its traffic.
+
+    Models a stadium letting out or a transit hub at rush hour: every
+    device inside the circle emits ``factor - 1`` extra copies of each
+    due sensor reading while the burst is active.
+    """
+
+    name: str
+    start_tick: int
+    duration_ticks: int
+    x_m: float
+    y_m: float
+    radius_m: float
+    factor: int = 4
+
+    def active(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.start_tick + self.duration_ticks
+
+    def contains(self, x_m: float, y_m: float) -> bool:
+        dx = x_m - self.x_m
+        dy = y_m - self.y_m
+        return dx * dx + dy * dy <= self.radius_m * self.radius_m
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Everything the generator needs, hashable-free and picklable.
+
+    ``seed`` fully determines the run.  Sensor-mix probabilities are
+    applied per device at creation time (a device with no sensor after
+    the draws gets GPS, so no device is mute).  ``churn_rate`` is the
+    expected fraction of the active population replaced per tick.
+    """
+
+    seed: int = 7
+    devices: int = 100
+    width_m: float = 2000.0
+    height_m: float = 2000.0
+    indoor_fraction: float = 0.25
+    p_gps: float = 0.9
+    p_wifi: float = 0.5
+    p_ble: float = 0.3
+    churn_rate: float = 0.01
+    speed_mps: float = 1.5
+    gps_period_ticks: int = 1
+    wifi_period_ticks: int = 3
+    ble_period_ticks: int = 2
+    tick_s: float = 1.0
+    entracked_threshold_m: float = 40.0
+    entracked_min_sleep_s: float = 1.0
+    entracked_max_sleep_s: float = 60.0
+    zones: Tuple[DegradedZone, ...] = (
+        DegradedZone("canyon", 500.0, 500.0, 220.0, drop_rate=0.4),
+        DegradedZone("tunnel", 1500.0, 1200.0, 150.0, drop_rate=0.7),
+    )
+    bursts: Tuple[BurstEvent, ...] = (
+        BurstEvent("stadium", 60, 40, 1000.0, 1000.0, 600.0, factor=4),
+    )
+
+    def __post_init__(self) -> None:
+        if self.devices < 0:
+            raise ScenarioError("devices must be non-negative")
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ScenarioError("city bounds must be positive")
+        if not 0.0 <= self.churn_rate <= 1.0:
+            raise ScenarioError("churn_rate must be within [0, 1]")
+        for period in (
+            self.gps_period_ticks,
+            self.wifi_period_ticks,
+            self.ble_period_ticks,
+        ):
+            if period < 1:
+                raise ScenarioError("sensor periods must be >= 1 tick")
+
+
+@dataclass
+class _Device:
+    """One simulated device: identity, sensors, motion state."""
+
+    device_id: str
+    sensors: Tuple[str, ...]
+    indoor: bool
+    x_m: float
+    y_m: float
+    heading: float
+    speed_mps: float
+    rng: random.Random
+    phases: Dict[str, int]
+    strategy: Optional[PowerStrategyFeature]
+    waypoint: Optional[Tuple[float, float]] = None
+    battery: float = 1.0
+
+
+@dataclass
+class TickBatch:
+    """What one simulated tick produced, in deterministic order."""
+
+    tick: int
+    joined: List[str] = field(default_factory=list)
+    left: List[str] = field(default_factory=list)
+    events: List[Tuple[str, Datum]] = field(default_factory=list)
+    suppressed: int = 0
+    zone_lost: int = 0
+    burst_extra: int = 0
+
+
+class CityGenerator:
+    """Seed-driven device population advancing one tick at a time.
+
+    Call :meth:`advance` once per simulated tick; it returns a
+    :class:`TickBatch` naming devices that joined or left plus every
+    ``(device_id, Datum)`` emission, all in deterministic order.  The
+    caller (normally :class:`repro.scenario.runner.ScenarioRunner`)
+    tracks/untracks lanes and submits the events to whichever engine is
+    under test.
+    """
+
+    def __init__(self, config: CityConfig) -> None:
+        self.config = config
+        self._master = random.Random(config.seed)
+        self._churn_rng = random.Random(config.seed + 0x5EED)
+        self._devices: List[_Device] = []
+        self._index: Dict[str, _Device] = {}
+        self._next_id = 0
+        self._tick = 0
+        self._gps_threshold_m = config.entracked_threshold_m
+        self._rooms = [room.centroid for room in demo_building().rooms()]
+        self.joined_total = 0
+        self.left_total = 0
+        self.events_total = 0
+        self.suppressed_total = 0
+        self.zone_lost_total = 0
+        self.burst_extra_total = 0
+        self._initial = [self._spawn() for _ in range(config.devices)]
+
+    # -- population ---------------------------------------------------------
+
+    def _spawn(self) -> _Device:
+        config = self.config
+        idx = self._next_id
+        self._next_id += 1
+        rng = random.Random(config.seed * 1_000_003 + idx)
+        sensors: List[str] = []
+        if rng.random() < config.p_gps:
+            sensors.append(GPS_KIND)
+        if rng.random() < config.p_wifi:
+            sensors.append(WIFI_KIND)
+        if rng.random() < config.p_ble:
+            sensors.append(BLE_KIND)
+        if not sensors:
+            sensors.append(GPS_KIND)
+        indoor = rng.random() < config.indoor_fraction
+        strategy = None
+        if GPS_KIND in sensors:
+            strategy = PowerStrategyFeature(
+                threshold_m=self._gps_threshold_m,
+                acquisition_time_s=0.0,
+                min_sleep_s=config.entracked_min_sleep_s,
+                max_sleep_s=config.entracked_max_sleep_s,
+            )
+        device = _Device(
+            device_id=f"dev-{idx:06d}",
+            sensors=tuple(sensors),
+            indoor=indoor,
+            x_m=rng.uniform(0.0, config.width_m),
+            y_m=rng.uniform(0.0, config.height_m),
+            heading=rng.uniform(0.0, 6.283185307179586),
+            speed_mps=max(0.1, rng.gauss(config.speed_mps, 0.5)),
+            rng=rng,
+            phases={kind: rng.randrange(8) for kind in sensors},
+            strategy=strategy,
+        )
+        self._devices.append(device)
+        self._index[device.device_id] = device
+        self.joined_total += 1
+        return device
+
+    def _retire(self, device: _Device) -> None:
+        self._devices.remove(device)
+        del self._index[device.device_id]
+        self.left_total += 1
+
+    def active_devices(self) -> List[str]:
+        """Ids of currently active devices, in join order."""
+        return [device.device_id for device in self._devices]
+
+    # -- control surface ----------------------------------------------------
+
+    def set_gps_threshold(self, threshold_m: float) -> float:
+        """Adapt the EnTracked error threshold on every GPS device.
+
+        A larger threshold lets each device sleep its GPS longer between
+        fixes (fewer emissions, less power, less load); a smaller one
+        restores accuracy.  Returns the previous threshold.  This is the
+        sampling controller's actuator.
+        """
+        if threshold_m <= 0:
+            raise ScenarioError("threshold_m must be positive")
+        previous = self._gps_threshold_m
+        self._gps_threshold_m = threshold_m
+        for device in self._devices:
+            if device.strategy is not None:
+                device.strategy.set_threshold(threshold_m)
+        return previous
+
+    def gps_threshold(self) -> float:
+        return self._gps_threshold_m
+
+    # -- the tick -----------------------------------------------------------
+
+    def advance(self, tick: Optional[int] = None) -> TickBatch:
+        """Advance the city one tick; returns everything that happened."""
+        if tick is not None and tick != self._tick:
+            raise ScenarioError(
+                f"ticks must be consumed in order (expected {self._tick},"
+                f" got {tick})"
+            )
+        tick = self._tick
+        self._tick += 1
+        batch = TickBatch(tick=tick)
+        now = tick * self.config.tick_s
+
+        if tick == 0:
+            batch.joined.extend(d.device_id for d in self._initial)
+            self._initial = []
+        self._churn(batch)
+
+        bursts = [b for b in self.config.bursts if b.active(tick)]
+        for device in list(self._devices):
+            self._move(device)
+            self._emit(device, tick, now, bursts, batch)
+
+        self.events_total += len(batch.events)
+        self.suppressed_total += batch.suppressed
+        self.zone_lost_total += batch.zone_lost
+        self.burst_extra_total += batch.burst_extra
+        return batch
+
+    def _churn(self, batch: TickBatch) -> None:
+        rate = self.config.churn_rate
+        if rate <= 0 or not self._devices:
+            return
+        expected = rate * len(self._devices)
+        count = int(expected)
+        if self._churn_rng.random() < expected - count:
+            count += 1
+        for _ in range(count):
+            if len(self._devices) > 1:
+                victim = self._devices[
+                    self._churn_rng.randrange(len(self._devices))
+                ]
+                self._retire(victim)
+                batch.left.append(victim.device_id)
+            joiner = self._spawn()
+            batch.joined.append(joiner.device_id)
+
+    def _move(self, device: _Device) -> None:
+        config = self.config
+        step = device.speed_mps * config.tick_s
+        if device.indoor and self._rooms:
+            if device.waypoint is None or (
+                abs(device.x_m - device.waypoint[0]) < step
+                and abs(device.y_m - device.waypoint[1]) < step
+            ):
+                room = self._rooms[device.rng.randrange(len(self._rooms))]
+                device.waypoint = (room.x_m, room.y_m)
+            wx, wy = device.waypoint
+            dx = wx - device.x_m
+            dy = wy - device.y_m
+            distance = (dx * dx + dy * dy) ** 0.5
+            if distance > 1e-9:
+                scale = min(1.0, step / distance)
+                device.x_m += dx * scale
+                device.y_m += dy * scale
+        else:
+            if device.rng.random() < 0.1:
+                device.heading = device.rng.uniform(0.0, 6.283185307179586)
+            device.x_m += step * math.cos(device.heading)
+            device.y_m += step * math.sin(device.heading)
+            if not 0.0 <= device.x_m <= config.width_m:
+                device.x_m = min(max(device.x_m, 0.0), config.width_m)
+                device.heading = 3.141592653589793 - device.heading
+            if not 0.0 <= device.y_m <= config.height_m:
+                device.y_m = min(max(device.y_m, 0.0), config.height_m)
+                device.heading = -device.heading
+        device.battery = max(0.05, device.battery - 0.0001)
+
+    def _emit(
+        self,
+        device: _Device,
+        tick: int,
+        now: float,
+        bursts: List[BurstEvent],
+        batch: TickBatch,
+    ) -> None:
+        factor = 1
+        for burst in bursts:
+            if burst.contains(device.x_m, device.y_m):
+                factor = max(factor, burst.factor)
+        for kind in device.sensors:
+            period = self._period(kind)
+            if (tick + device.phases[kind]) % period != 0:
+                continue
+            datum = self._reading(device, kind, tick, now, batch)
+            if datum is None:
+                continue
+            batch.events.append((device.device_id, datum))
+            for extra in range(factor - 1):
+                batch.events.append(
+                    (device.device_id, self._jitter(datum, extra))
+                )
+                batch.burst_extra += 1
+
+    def _period(self, kind: str) -> int:
+        config = self.config
+        if kind == GPS_KIND:
+            return config.gps_period_ticks
+        if kind == WIFI_KIND:
+            return config.wifi_period_ticks
+        return config.ble_period_ticks
+
+    def _reading(
+        self,
+        device: _Device,
+        kind: str,
+        tick: int,
+        now: float,
+        batch: TickBatch,
+    ) -> Optional[Datum]:
+        if kind == GPS_KIND:
+            strategy = device.strategy
+            if strategy is not None:
+                strategy.set_moving(device.speed_mps > 0.2, now)
+                if not strategy.gps_should_be_on(now):
+                    batch.suppressed += 1
+                    return None
+            accuracy = 5.0 + device.rng.random() * 10.0
+            for zone in self.config.zones:
+                if zone.contains(device.x_m, device.y_m):
+                    if device.rng.random() < zone.drop_rate:
+                        batch.zone_lost += 1
+                        return None
+                    accuracy += zone.extra_error_m
+                    break
+            if strategy is not None:
+                strategy.update_speed(device.speed_mps)
+                strategy.notify_fix_sent(now)
+            payload = (
+                round(device.x_m, 2),
+                round(device.y_m, 2),
+                round(accuracy, 2),
+            )
+        elif kind == WIFI_KIND:
+            payload = (
+                1 + device.rng.randrange(6),
+                -40 - device.rng.randrange(50),
+            )
+        else:
+            payload = (
+                device.rng.randrange(4),
+                -50 - device.rng.randrange(40),
+            )
+        return Datum(
+            kind=kind,
+            payload=payload,
+            timestamp=now,
+            producer="city",
+            attributes={"tick": tick},
+        )
+
+    @staticmethod
+    def _jitter(datum: Datum, extra: int) -> Datum:
+        return Datum(
+            kind=datum.kind,
+            payload=datum.payload,
+            timestamp=datum.timestamp,
+            producer=datum.producer,
+            attributes={**datum.attributes, "burst_copy": extra + 1},
+        )
+
+    # -- wire bridge (feeding the ingestion gateway) -------------------------
+
+    def wire_payload(self, device_id: str, datum: Datum) -> Dict[str, Any]:
+        """A ``phone_tracker_v1`` wire dict for one GPS emission.
+
+        Lets the same generator feed the ingestion gateway: grid metres
+        are projected onto a small WGS84 patch so the wire format's
+        lat/lon range checks hold.
+        """
+        if datum.kind != GPS_KIND:
+            raise ScenarioError("only city-gps readings cross the wire")
+        x_m, y_m, accuracy = datum.payload
+        device = self._index.get(device_id)
+        return {
+            "device_id": device_id,
+            "timestamp": float(datum.timestamp),
+            "lat": round(55.0 + y_m / 111_320.0, 6),
+            "lon": round(12.0 + x_m / 63_000.0, 6),
+            "accuracy_m": float(accuracy),
+            "battery_pct": round(device.battery, 3) if device else 1.0,
+        }
+
+    # -- inspection ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Reflective summary for PSL / the report."""
+        return {
+            "seed": self.config.seed,
+            "tick": self._tick,
+            "devices": len(self._devices),
+            "joined_total": self.joined_total,
+            "left_total": self.left_total,
+            "events_total": self.events_total,
+            "suppressed_total": self.suppressed_total,
+            "zone_lost_total": self.zone_lost_total,
+            "burst_extra_total": self.burst_extra_total,
+            "gps_threshold_m": self._gps_threshold_m,
+            "zones": [zone.name for zone in self.config.zones],
+            "bursts": [burst.name for burst in self.config.bursts],
+        }

@@ -1,10 +1,11 @@
 """Unit tests for the CI benchmark gate (``benchmarks/check_regression.py``).
 
 The gate decides whether benchmark PRs merge, so it gets the same
-treatment as product code: schema sniffing across all six artefact
+treatment as product code: schema sniffing across all seven artefact
 shapes, ratio/floor/ceiling failure exits (1), harness errors --
-missing or malformed artefacts, schema violations -- exiting 2, and the
-hardware-conditional shard floor.
+missing or malformed artefacts, schema violations -- exiting 2, the
+hardware-conditional shard floor, and the ``$GITHUB_STEP_SUMMARY``
+markdown table.
 """
 
 import json
@@ -16,6 +17,12 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
 import check_regression  # noqa: E402
+
+
+@pytest.fixture(autouse=True)
+def _no_step_summary(monkeypatch):
+    """Keep unit-test runs from appending to a real CI step summary."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
 
 
 def write(tmp_path, name, payload):
@@ -124,6 +131,43 @@ def durability_artefact(
     }
 
 
+def city_artefact(
+    improvement=0.8,
+    floor=0.25,
+    open_dropped=4000,
+    closed_dropped=800,
+    high_water=64,
+    depth_ceiling=256,
+    decisions=200,
+    sharded_dropped=None,
+):
+    closed = {
+        "submitted": 12000,
+        "dropped": closed_dropped,
+        "high_water": high_water,
+        "alerts": 25,
+        "decisions": decisions,
+    }
+    sharded = dict(closed)
+    if sharded_dropped is not None:
+        sharded["dropped"] = sharded_dropped
+    return {
+        "city": {
+            "improvement_floor": floor,
+            "depth_ceiling": depth_ceiling,
+            "improvement": improvement,
+            "open": {
+                "submitted": 12600,
+                "dropped": open_dropped,
+                "high_water": 8,
+                "alerts": 27,
+            },
+            "closed": closed,
+            "sharded_closed": sharded,
+        }
+    }
+
+
 def shard_artefact(speedup=2.0, cpu_count=4, floor=1.5):
     return {
         "shard": {
@@ -163,6 +207,10 @@ class TestSchemaSniffing:
 
     def test_durability_schema_passes(self, tmp_path):
         artefact = durability_artefact()
+        assert run(tmp_path, artefact, artefact) == 0
+
+    def test_city_schema_passes(self, tmp_path):
+        artefact = city_artefact()
         assert run(tmp_path, artefact, artefact) == 0
 
     def test_unrecognised_schema_fails(self, tmp_path):
@@ -271,6 +319,37 @@ class TestRegressionExits:
         current["configs"]["bare_rerun_ratio"] = 1.2
         assert run(tmp_path, dispatch_artefact(), current) == 1
 
+    def test_city_improvement_regression_exits_1(self, tmp_path):
+        # A 0.8 -> 0.3 improvement collapse fails the cross-run ratio.
+        base = city_artefact(improvement=0.8)
+        cur = city_artefact(improvement=0.3)
+        assert run(tmp_path, base, cur) == 1
+
+    def test_city_own_floor_exits_1(self, tmp_path):
+        # Ratio holds (same improvement), but the artefact's floor bites.
+        artefact = city_artefact(improvement=0.2, floor=0.25)
+        assert run(tmp_path, artefact, artefact) == 1
+
+    def test_city_closed_not_better_exits_1(self, tmp_path):
+        artefact = city_artefact(open_dropped=800, closed_dropped=800)
+        assert run(tmp_path, city_artefact(), artefact) == 1
+
+    def test_city_open_loop_never_overloaded_exits_1(self, tmp_path):
+        artefact = city_artefact(open_dropped=0, closed_dropped=0)
+        assert run(tmp_path, city_artefact(), artefact) == 1
+
+    def test_city_depth_ceiling_exits_1(self, tmp_path):
+        artefact = city_artefact(high_water=512, depth_ceiling=256)
+        assert run(tmp_path, city_artefact(), artefact) == 1
+
+    def test_city_no_decisions_exits_1(self, tmp_path):
+        artefact = city_artefact(decisions=0)
+        assert run(tmp_path, city_artefact(), artefact) == 1
+
+    def test_city_sharded_divergence_exits_1(self, tmp_path):
+        artefact = city_artefact(closed_dropped=800, sharded_dropped=801)
+        assert run(tmp_path, city_artefact(), artefact) == 1
+
     def test_min_ratio_is_respected(self, tmp_path):
         # A 25% drop passes at 0.7 but fails at 0.8.
         base, cur = scale_artefact(4.0), scale_artefact(3.0)
@@ -337,3 +416,74 @@ class TestHarnessErrors:
     def test_no_pairs_is_a_usage_error(self):
         with pytest.raises(SystemExit):
             check_regression.main([])
+
+
+class TestMarkdownSummary:
+    ROWS = [
+        {
+            "artefact": "scale",
+            "metric": "batch32",
+            "figure": "3.40x",
+            "baseline": "3.38x",
+            "ratio": 1.0059,
+            "floor": 0.8,
+            "status": "ok",
+        },
+        {
+            "artefact": "city",
+            "metric": "drop improvement",
+            "figure": "84.4%",
+            "baseline": "84.4%",
+            "ratio": 1.0,
+            "floor": 0.25,
+            "status": "ok",
+        },
+    ]
+
+    def test_renderer_emits_one_table_row_per_figure(self):
+        text = check_regression.render_markdown(self.ROWS, [])
+        lines = text.splitlines()
+        assert "### Benchmark regression gate" in lines
+        header = "| artefact | metric | figure | baseline | ratio | floor | status |"
+        assert header in lines
+        assert "| scale | batch32 | 3.40x | 3.38x | 1.006 | 0.8 | ok |" in lines
+        assert (
+            "| city | drop improvement | 84.4% | 84.4% | 1.000 | 0.25 | ok |"
+            in lines
+        )
+        assert "**passed**" in lines
+
+    def test_renderer_lists_failures(self):
+        text = check_regression.render_markdown(
+            self.ROWS, ["scale w1: speedup ratio 0.5 < 0.8"]
+        )
+        assert "**FAILED** (1 regressions):" in text
+        assert "- scale w1: speedup ratio 0.5 < 0.8" in text
+        assert "**passed**" not in text
+
+    def test_summary_appended_when_env_set(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        summary.write_text("existing content\n", encoding="utf-8")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert run(tmp_path, city_artefact(), city_artefact()) == 0
+        text = summary.read_text(encoding="utf-8")
+        assert text.startswith("existing content\n")
+        assert "### Benchmark regression gate" in text
+        assert "| city | drop improvement |" in text
+        assert "**passed**" in text
+
+    def test_summary_written_on_failure_too(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        base = city_artefact(improvement=0.8)
+        cur = city_artefact(improvement=0.3)
+        assert run(tmp_path, base, cur) == 1
+        text = summary.read_text(encoding="utf-8")
+        assert "**FAILED**" in text
+
+    def test_no_summary_file_without_env(self, tmp_path):
+        # The autouse fixture clears GITHUB_STEP_SUMMARY; nothing is
+        # written anywhere besides stdout.
+        summary = tmp_path / "summary.md"
+        assert run(tmp_path, city_artefact(), city_artefact()) == 0
+        assert not summary.exists()

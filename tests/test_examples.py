@@ -103,3 +103,14 @@ def test_gateway_demo(capsys):
     assert "fleet-app delivered: 60 positions" in out
     assert "parked as" in out and "'exhausted' after 2 attempts" in out
     assert "dlq: depth=21/256" in out
+
+
+def test_city_demo(capsys):
+    out = run_example("city_demo", capsys)
+    assert "city workload: 60 devices, 120 ticks, seed 23" in out
+    assert "open loop:   submitted=6769, dropped=1411" in out
+    assert "closed loop: submitted=6609, dropped=231" in out
+    assert "adaptation: 84% fewer drops on the identical seed" in out
+    assert "t=31 backpressure: grow_capacity" in out
+    assert "psl.scenario(): closed_loop=True, seed=23" in out
+    assert "controllers=[backpressure, sampling, quarantine]" in out

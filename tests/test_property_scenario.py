@@ -1,0 +1,189 @@
+"""Property tests: the city scenario is deterministic and
+execution-mode independent (hypothesis).
+
+Three pinned contracts:
+
+* **Seed determinism** -- the same :class:`CityConfig` yields the
+  identical stream of joins/leaves/emissions on every run, whatever the
+  churn, zones, or bursts drawn.
+* **Execution-mode equivalence** -- the same seeded scenario driven
+  closed-loop through a single :class:`PositioningEngine` and through an
+  in-process :class:`ShardedEngine` delivers the same sink-output
+  multiset, the same headline result figures, and the *same decision
+  ledger*: sharding redistributes work, it must change neither results
+  nor adaptation.
+* **Storm determinism** (chaos-marked) -- a hostile mix of heavy churn,
+  total-coverage bursts and degraded zones over tiny lanes still
+  replays byte-identically, closed loop included.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import PositioningEngine, ShardedEngine
+from repro.runtime.scheduler import RoundRobinScheduler
+from repro.scenario import (
+    BurstEvent,
+    CityConfig,
+    CityGenerator,
+    ControlLoop,
+    DegradedZone,
+    ScenarioRunner,
+    build_city_graph,
+    default_controllers,
+)
+
+
+def recipe():
+    return build_city_graph()
+
+
+def config_for(seed, devices=10, churn_rate=0.05):
+    return CityConfig(
+        seed=seed,
+        devices=devices,
+        churn_rate=churn_rate,
+        bursts=(
+            BurstEvent("rush", 3, 12, 1000.0, 1000.0, 5000.0, factor=5),
+        ),
+    )
+
+
+def batch_key(batch):
+    return (
+        batch.tick,
+        tuple(batch.joined),
+        tuple(batch.left),
+        tuple(
+            (
+                device_id,
+                d.kind,
+                d.payload,
+                d.timestamp,
+                tuple(sorted(d.attributes.items())),
+            )
+            for device_id, d in batch.events
+        ),
+        batch.suppressed,
+        batch.zone_lost,
+        batch.burst_extra,
+    )
+
+
+def run_single(config, ticks, *, closed, quantum):
+    engine = PositioningEngine(
+        recipe(), scheduler=RoundRobinScheduler(quantum=quantum)
+    )
+    control = ControlLoop(default_controllers()) if closed else None
+    runner = ScenarioRunner(
+        CityGenerator(config), engine, control=control, capacity=4
+    )
+    result = runner.run(ticks)
+    graph = engine.graph
+    outputs = Counter(
+        (sink, d.kind, d.payload, d.attributes.get("target"))
+        for sink in ("city-app", "city-alerts")
+        for d in graph.component(sink).received
+    )
+    return result, outputs, runner.decision_ledger()
+
+
+def run_sharded(config, ticks, *, closed, quantum, shards):
+    control = ControlLoop(default_controllers()) if closed else None
+    with ShardedEngine(
+        recipe, shards, scheduler=("round_robin", quantum)
+    ) as engine:
+        runner = ScenarioRunner(
+            CityGenerator(config), engine, control=control, capacity=4
+        )
+        result = runner.run(ticks)
+        outputs = Counter(
+            (sink, kind, payload, target)
+            for sink, kind, payload, target in engine.sink_outputs()
+        )
+        ledger = runner.decision_ledger()
+    return result, outputs, ledger
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    devices=st.integers(min_value=1, max_value=20),
+    churn=st.floats(min_value=0.0, max_value=0.3),
+)
+def test_same_seed_yields_identical_streams(seed, devices, churn):
+    config = config_for(seed, devices=devices, churn_rate=churn)
+    a = CityGenerator(config)
+    b = CityGenerator(config)
+    for _ in range(15):
+        assert batch_key(a.advance()) == batch_key(b.advance())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shards=st.integers(min_value=2, max_value=3),
+    quantum=st.integers(min_value=1, max_value=4),
+)
+def test_sharded_closed_loop_matches_single_engine(seed, shards, quantum):
+    config = config_for(seed)
+    single_result, single_out, single_ledger = run_single(
+        config, 20, closed=True, quantum=quantum
+    )
+    sharded_result, sharded_out, sharded_ledger = run_sharded(
+        config, 20, closed=True, quantum=quantum, shards=shards
+    )
+    assert sharded_out == single_out
+    assert sharded_ledger == single_ledger
+    for key in ("submitted", "dropped", "alerts", "decisions", "drained"):
+        assert sharded_result.get(key) == single_result.get(key)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shards=st.integers(min_value=2, max_value=3),
+)
+def test_sharded_open_loop_matches_single_engine(seed, shards):
+    config = config_for(seed)
+    single_result, single_out, _ = run_single(
+        config, 20, closed=False, quantum=2
+    )
+    sharded_result, sharded_out, ledger = run_sharded(
+        config, 20, closed=False, quantum=2, shards=shards
+    )
+    assert ledger == []
+    assert sharded_out == single_out
+    for key in ("submitted", "dropped", "alerts", "drained"):
+        assert sharded_result.get(key) == single_result.get(key)
+
+
+@pytest.mark.chaos
+def test_storm_replays_byte_identically():
+    """Heavy churn + a city-wide burst + hostile zones, tiny lanes: the
+    run must still replay identically -- closed loop, ledger and all --
+    and the sharded replay must agree with the single engine."""
+    config = CityConfig(
+        seed=1234,
+        devices=30,
+        churn_rate=0.25,
+        zones=(
+            DegradedZone("blanket", 1000.0, 1000.0, 3000.0, drop_rate=0.6),
+        ),
+        bursts=(
+            BurstEvent("storm", 2, 30, 1000.0, 1000.0, 5000.0, factor=10),
+        ),
+    )
+    first = run_single(config, 40, closed=True, quantum=1)
+    second = run_single(config, 40, closed=True, quantum=1)
+    assert first == second
+    result, outputs, ledger = first
+    assert result["dropped"] > 0
+    assert result["decisions"] > 0
+    sharded = run_sharded(config, 40, closed=True, quantum=1, shards=3)
+    assert sharded[1] == outputs
+    assert sharded[2] == ledger
+    for key in ("submitted", "dropped", "alerts", "decisions"):
+        assert sharded[0][key] == result[key]
